@@ -1,0 +1,221 @@
+//! Local must-alias analysis.
+//!
+//! "A local must-alias analysis helps us track permission (which
+//! fundamentally are related to objects) even if those objects are
+//! reassigned to other local variables" (paper §3.1). The analysis is a
+//! union-find-free must-alias map: every tracked object gets a token, and
+//! places (locals, `this`, expression temporaries) map to tokens. Two
+//! places must-alias iff they map to the same token.
+//!
+//! Joins at control-flow merges keep only agreeing bindings — the *must*
+//! part: a place bound to different tokens on two paths may alias either,
+//! so it is dropped from tracking (conservative for inference; the sound
+//! checker re-validates everything downstream).
+
+use crate::events::Place;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An object identity token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AliasToken(pub u32);
+
+impl fmt::Display for AliasToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Allocates fresh [`AliasToken`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TokenSource {
+    next: u32,
+}
+
+impl TokenSource {
+    /// A source starting at token 0.
+    pub fn new() -> TokenSource {
+        TokenSource::default()
+    }
+
+    /// A fresh, never-before-seen token.
+    pub fn fresh(&mut self) -> AliasToken {
+        let t = AliasToken(self.next);
+        self.next += 1;
+        t
+    }
+}
+
+/// The must-alias map at one program point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AliasMap {
+    map: BTreeMap<Place, AliasToken>,
+}
+
+impl AliasMap {
+    /// An empty map.
+    pub fn new() -> AliasMap {
+        AliasMap::default()
+    }
+
+    /// Binds `place` to `token` (a fresh object or an explicit rebind).
+    pub fn bind(&mut self, place: Place, token: AliasToken) {
+        self.map.insert(place, token);
+    }
+
+    /// The token `place` currently refers to.
+    pub fn resolve(&self, place: &Place) -> Option<AliasToken> {
+        self.map.get(place).copied()
+    }
+
+    /// Models `dest = src`: afterwards both places must-alias. If `src` is
+    /// untracked, `dest` becomes untracked too.
+    pub fn copy(&mut self, dest: Place, src: &Place) {
+        match self.map.get(src).copied() {
+            Some(t) => {
+                self.map.insert(dest, t);
+            }
+            None => {
+                self.map.remove(&dest);
+            }
+        }
+    }
+
+    /// Removes a binding (e.g. a variable going dead).
+    pub fn remove(&mut self, place: &Place) {
+        self.map.remove(place);
+    }
+
+    /// Whether two places certainly refer to the same object.
+    pub fn must_alias(&self, a: &Place, b: &Place) -> bool {
+        match (self.map.get(a), self.map.get(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All places currently bound to `token`.
+    pub fn places_of(&self, token: AliasToken) -> impl Iterator<Item = &Place> {
+        self.map.iter().filter(move |(_, t)| **t == token).map(|(p, _)| p)
+    }
+
+    /// Join at a control-flow merge: keeps only bindings both sides agree
+    /// on.
+    pub fn join(&self, other: &AliasMap) -> AliasMap {
+        let mut out = AliasMap::new();
+        for (p, t) in &self.map {
+            if other.map.get(p) == Some(t) {
+                out.map.insert(p.clone(), *t);
+            }
+        }
+        out
+    }
+
+    /// Iterates over all bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Place, AliasToken)> {
+        self.map.iter().map(|(p, t)| (p, *t))
+    }
+
+    /// Number of tracked places.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::ast::ExprId;
+
+    fn local(n: &str) -> Place {
+        Place::Local(n.to_string())
+    }
+
+    #[test]
+    fn copy_establishes_must_alias() {
+        let mut src = TokenSource::new();
+        let mut m = AliasMap::new();
+        let obj = src.fresh();
+        m.bind(local("a"), obj);
+        m.copy(local("b"), &local("a"));
+        assert!(m.must_alias(&local("a"), &local("b")));
+        assert_eq!(m.resolve(&local("b")), Some(obj));
+    }
+
+    #[test]
+    fn rebinding_breaks_alias() {
+        let mut src = TokenSource::new();
+        let mut m = AliasMap::new();
+        let o1 = src.fresh();
+        let o2 = src.fresh();
+        m.bind(local("a"), o1);
+        m.copy(local("b"), &local("a"));
+        m.bind(local("a"), o2); // a = new ...
+        assert!(!m.must_alias(&local("a"), &local("b")));
+        assert_eq!(m.resolve(&local("b")), Some(o1), "b keeps the old object");
+    }
+
+    #[test]
+    fn copy_from_untracked_untracks_dest() {
+        let mut src = TokenSource::new();
+        let mut m = AliasMap::new();
+        m.bind(local("b"), src.fresh());
+        m.copy(local("b"), &local("mystery"));
+        assert_eq!(m.resolve(&local("b")), None);
+    }
+
+    #[test]
+    fn join_keeps_agreement_only() {
+        let mut src = TokenSource::new();
+        let o1 = src.fresh();
+        let o2 = src.fresh();
+        let mut left = AliasMap::new();
+        left.bind(local("x"), o1);
+        left.bind(local("y"), o1);
+        let mut right = AliasMap::new();
+        right.bind(local("x"), o1);
+        right.bind(local("y"), o2); // reassigned on this path
+        let joined = left.join(&right);
+        assert_eq!(joined.resolve(&local("x")), Some(o1));
+        assert_eq!(joined.resolve(&local("y")), None, "disagreement drops the binding");
+        assert_eq!(joined.len(), 1);
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        let mut src = TokenSource::new();
+        let o1 = src.fresh();
+        let mut a = AliasMap::new();
+        a.bind(local("x"), o1);
+        a.bind(Place::This, o1);
+        let mut b = AliasMap::new();
+        b.bind(local("x"), o1);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn temporaries_participate() {
+        let mut src = TokenSource::new();
+        let mut m = AliasMap::new();
+        let obj = src.fresh();
+        m.bind(Place::Temp(ExprId(7)), obj);
+        m.copy(local("it"), &Place::Temp(ExprId(7)));
+        assert!(m.must_alias(&local("it"), &Place::Temp(ExprId(7))));
+        assert_eq!(m.places_of(obj).count(), 2);
+    }
+
+    #[test]
+    fn tokens_are_unique() {
+        let mut src = TokenSource::new();
+        let a = src.fresh();
+        let b = src.fresh();
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "o0");
+    }
+}

@@ -1,0 +1,491 @@
+//! Flattening expressions into ordered permission events.
+//!
+//! Permission flow is attached to the *events* a method body performs on
+//! object references: constructions, method calls, field reads and field
+//! writes (paper §3.1). This module linearizes an expression tree into the
+//! sequence of such events in Java evaluation order (receiver, then
+//! arguments, then the call itself), which both the PFG builder and the
+//! PLURAL checker consume.
+
+use crate::types::{Callee, TypeEnv};
+use java_syntax::ast::*;
+use java_syntax::Span;
+use std::fmt;
+
+/// An abstract storage location holding an object reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Place {
+    /// The method receiver.
+    This,
+    /// A local variable or parameter.
+    Local(String),
+    /// The anonymous result of an expression (identified by its [`ExprId`]).
+    Temp(ExprId),
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::This => f.write_str("this"),
+            Place::Local(n) => f.write_str(n),
+            Place::Temp(id) => write!(f, "tmp({id})"),
+        }
+    }
+}
+
+/// A reference-valued operand: where it lives and its inferred type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// Location of the reference.
+    pub place: Place,
+    /// Simple type name, if resolved.
+    pub type_name: Option<String>,
+}
+
+/// One permission-relevant event, in evaluation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The expression that produced this event.
+    pub id: ExprId,
+    /// Source location for diagnostics.
+    pub span: Span,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of permission events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// `new T(...)` — a fresh object with `unique` permission.
+    New {
+        /// Constructed type (simple name).
+        type_name: Option<String>,
+        /// Where the fresh reference lands.
+        dest: Place,
+        /// Resolved constructor, when the class is in the program.
+        callee: Callee,
+        /// Reference-valued arguments.
+        args: Vec<Option<Operand>>,
+    },
+    /// A method call.
+    Call {
+        /// Resolved callee.
+        callee: Callee,
+        /// Receiver operand (`None` for unqualified/static calls — an
+        /// unqualified instance call has receiver [`Place::This`]).
+        receiver: Option<Operand>,
+        /// Reference-valued arguments (`None` entries are primitives).
+        args: Vec<Option<Operand>>,
+        /// Where a reference-valued result lands.
+        dest: Option<Operand>,
+    },
+    /// Reading a field out of an object (a permission source).
+    FieldRead {
+        /// Receiver operand.
+        receiver: Operand,
+        /// Field name.
+        field: String,
+        /// Where the read reference lands.
+        dest: Operand,
+    },
+    /// Writing a field (a permission sink; requires write permission on the
+    /// receiver — constraint L3).
+    FieldWrite {
+        /// Receiver operand.
+        receiver: Operand,
+        /// Field name.
+        field: String,
+        /// The written reference, when reference-typed.
+        src: Option<Operand>,
+    },
+    /// A reference copy `x = y` — the must-alias analysis tracks these.
+    Copy {
+        /// Target local.
+        dest: Place,
+        /// Source operand.
+        src: Operand,
+    },
+    /// Entering a `synchronized (target) { ... }` block. Consumed by
+    /// heuristic H5 (thread-shared targets are `full`/`share`/`pure`).
+    Sync {
+        /// The lock target.
+        target: Operand,
+    },
+}
+
+/// Linearizes `expr`, appending events to `sink`, and returns the operand
+/// holding the expression's reference value (if reference-typed).
+///
+/// `env` must already have all locals in scope bound; it is not modified.
+pub fn flatten_expr(expr: &Expr, env: &TypeEnv<'_>, sink: &mut Vec<Event>) -> Option<Operand> {
+    match &expr.kind {
+        ExprKind::Literal(_) => None,
+        ExprKind::This => {
+            Some(Operand { place: Place::This, type_name: Some(env.class.clone()) })
+        }
+        ExprKind::Name(n) => {
+            if env.is_local(n) {
+                Some(Operand { place: Place::Local(n.clone()), type_name: env.local_type(n) })
+            } else {
+                // Implicit `this.field` read: produces a fresh permission.
+                let recv =
+                    Operand { place: Place::This, type_name: Some(env.class.clone()) };
+                field_read(expr, env, recv, n, sink)
+            }
+        }
+        ExprKind::FieldAccess { receiver, name } => {
+            let recv = flatten_expr(receiver, env, sink)?;
+            field_read(expr, env, recv, name, sink)
+        }
+        ExprKind::Call { receiver, name, args } => {
+            let recv_op = match receiver {
+                Some(r) => flatten_expr(r, env, sink),
+                None => {
+                    // Unqualified call: implicit `this` receiver unless the
+                    // target is static.
+                    let callee = env.resolve(None, name);
+                    match &callee {
+                        Callee::Program(_id) => {
+                            Some(Operand {
+                                place: Place::This,
+                                type_name: Some(env.class.clone()),
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+            };
+            let arg_ops: Vec<Option<Operand>> =
+                args.iter().map(|a| flatten_expr(a, env, sink)).collect();
+            let callee = env.resolve(receiver.as_deref(), name);
+            // Static targets carry no receiver permission.
+            let recv_op = match &callee {
+                Callee::Program(id) => {
+                    let is_static = env_is_static(env, id);
+                    if is_static {
+                        None
+                    } else {
+                        recv_op
+                    }
+                }
+                _ => recv_op,
+            };
+            let ret_ty = env.infer(expr);
+            let dest = ret_ty.map(|t| Operand {
+                place: Place::Temp(expr.id),
+                type_name: Some(t),
+            });
+            sink.push(Event {
+                id: expr.id,
+                span: expr.span,
+                kind: EventKind::Call {
+                    callee,
+                    receiver: recv_op,
+                    args: arg_ops,
+                    dest: dest.clone(),
+                },
+            });
+            dest
+        }
+        ExprKind::New { ty, args } => {
+            let arg_ops: Vec<Option<Operand>> =
+                args.iter().map(|a| flatten_expr(a, env, sink)).collect();
+            let type_name = crate::types::ref_type_name(ty);
+            let callee = match &type_name {
+                Some(t) => env.resolve_constructor(t),
+                None => Callee::Unknown { method: "<init>".into() },
+            };
+            let dest = Place::Temp(expr.id);
+            sink.push(Event {
+                id: expr.id,
+                span: expr.span,
+                kind: EventKind::New {
+                    type_name: type_name.clone(),
+                    dest: dest.clone(),
+                    callee,
+                    args: arg_ops,
+                },
+            });
+            Some(Operand { place: dest, type_name })
+        }
+        ExprKind::Assign { lhs, op, rhs } => {
+            // Compound assignments (`+=`) on references do not occur in the
+            // subset; treat all assignments uniformly.
+            let _ = op;
+            match &lhs.kind {
+                ExprKind::Name(n) if env.is_local(n) => {
+                    let src = flatten_expr(rhs, env, sink);
+                    if let Some(src) = &src {
+                        sink.push(Event {
+                            id: expr.id,
+                            span: expr.span,
+                            kind: EventKind::Copy {
+                                dest: Place::Local(n.clone()),
+                                src: src.clone(),
+                            },
+                        });
+                    }
+                    src.map(|s| Operand { place: Place::Local(n.clone()), ..s })
+                }
+                ExprKind::Name(n) => {
+                    // Implicit `this.n = rhs`.
+                    let recv =
+                        Operand { place: Place::This, type_name: Some(env.class.clone()) };
+                    let src = flatten_expr(rhs, env, sink);
+                    sink.push(Event {
+                        id: expr.id,
+                        span: expr.span,
+                        kind: EventKind::FieldWrite {
+                            receiver: recv,
+                            field: n.clone(),
+                            src: src.clone(),
+                        },
+                    });
+                    src
+                }
+                ExprKind::FieldAccess { receiver, name } => {
+                    let recv = flatten_expr(receiver, env, sink);
+                    let src = flatten_expr(rhs, env, sink);
+                    if let Some(recv) = recv {
+                        sink.push(Event {
+                            id: expr.id,
+                            span: expr.span,
+                            kind: EventKind::FieldWrite {
+                                receiver: recv,
+                                field: name.clone(),
+                                src: src.clone(),
+                            },
+                        });
+                    }
+                    src
+                }
+                _ => {
+                    // Array writes etc.: evaluate for effects.
+                    flatten_expr(lhs, env, sink);
+                    flatten_expr(rhs, env, sink)
+                }
+            }
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            flatten_expr(lhs, env, sink);
+            flatten_expr(rhs, env, sink);
+            None
+        }
+        ExprKind::Unary { expr: inner, .. } | ExprKind::Postfix { expr: inner, .. } => {
+            flatten_expr(inner, env, sink);
+            None
+        }
+        ExprKind::Cast { ty, expr: inner } => {
+            let op = flatten_expr(inner, env, sink)?;
+            // A cast refines the static type but keeps the same place.
+            Some(Operand { type_name: crate::types::ref_type_name(ty).or(op.type_name), ..op })
+        }
+        ExprKind::InstanceOf { expr: inner, .. } => {
+            flatten_expr(inner, env, sink);
+            None
+        }
+        ExprKind::Conditional { cond, then_expr, else_expr } => {
+            // ANEK is branch-insensitive inside expressions (paper §4.2
+            // attributes one false positive to exactly this); both arms'
+            // events are emitted in order and the *then* arm's value is
+            // used.
+            flatten_expr(cond, env, sink);
+            let t = flatten_expr(then_expr, env, sink);
+            let e = flatten_expr(else_expr, env, sink);
+            t.or(e)
+        }
+        ExprKind::ArrayAccess { array, index } => {
+            flatten_expr(array, env, sink);
+            flatten_expr(index, env, sink);
+            None
+        }
+    }
+}
+
+fn field_read(
+    expr: &Expr,
+    env: &TypeEnv<'_>,
+    recv: Operand,
+    field: &str,
+    sink: &mut Vec<Event>,
+) -> Option<Operand> {
+    let field_ty = recv
+        .type_name
+        .as_deref()
+        .and_then(|t| env.index().field_type(t, field));
+    field_ty.as_ref()?;
+    let dest = Operand { place: Place::Temp(expr.id), type_name: field_ty };
+    sink.push(Event {
+        id: expr.id,
+        span: expr.span,
+        kind: EventKind::FieldRead { receiver: recv, field: field.to_string(), dest: dest.clone() },
+    });
+    Some(dest)
+}
+
+fn env_is_static(env: &TypeEnv<'_>, id: &crate::types::MethodId) -> bool {
+    env.index().method(id).is_some_and(|m| m.is_static)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{MethodId, ProgramIndex};
+    use java_syntax::parse;
+    use spec_lang::standard_api;
+
+    fn events_in(method_src: &str) -> Vec<Event> {
+        let src = format!(
+            r#"class Row {{
+                Collection<Integer> entries;
+                Iterator<Integer> createColIter() {{ return entries.iterator(); }}
+                void add(int val) {{}}
+                static Row parseCSVRow(String s) {{ return new Row(); }}
+            }}
+            class App {{
+                Row helper(Row r) {{ return r; }}
+                {method_src}
+            }}"#
+        );
+        let unit = parse(&src).unwrap();
+        let index = ProgramIndex::build([&unit]);
+        let api = standard_api();
+        let app = unit.type_named("App").unwrap();
+        let m = app.methods().last().unwrap();
+        let mut env = TypeEnv::for_method(&index, &api, "App", m);
+        let mut sink = Vec::new();
+        for s in &m.body.as_ref().unwrap().stmts {
+            match &s.kind {
+                StmtKind::Expr(e) | StmtKind::Return(Some(e)) => {
+                    flatten_expr(e, &env, &mut sink);
+                }
+                StmtKind::LocalVar { ty, name, init } => {
+                    env.bind_local(name, ty);
+                    if let Some(e) = init {
+                        flatten_expr(e, &env, &mut sink);
+                    }
+                }
+                _ => {}
+            }
+        }
+        sink
+    }
+
+    #[test]
+    fn chained_call_events_in_eval_order() {
+        let evs = events_in("void m(Row r) { r.createColIter().next(); }");
+        assert_eq!(evs.len(), 2);
+        match &evs[0].kind {
+            EventKind::Call { callee: Callee::Program(id), receiver: Some(r), dest: Some(d), .. } => {
+                assert_eq!(*id, MethodId::new("Row", "createColIter"));
+                assert_eq!(r.place, Place::Local("r".into()));
+                assert_eq!(d.type_name.as_deref(), Some("Iterator"));
+            }
+            other => panic!("first event wrong: {other:?}"),
+        }
+        match &evs[1].kind {
+            EventKind::Call { callee: Callee::Api { type_name, method }, receiver: Some(r), .. } => {
+                assert_eq!(type_name, "Iterator");
+                assert_eq!(method, "next");
+                assert!(matches!(r.place, Place::Temp(_)));
+            }
+            other => panic!("second event wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_produces_fresh_temp() {
+        let evs = events_in("void m() { Row r = new Row(); }");
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::New { type_name, dest, .. } => {
+                assert_eq!(type_name.as_deref(), Some("Row"));
+                assert!(matches!(dest, Place::Temp(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_assignment_emits_copy() {
+        let evs = events_in("void m(Row a) { Row b = null; b = a; }");
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::Copy { dest, src } => {
+                assert_eq!(*dest, Place::Local("b".into()));
+                assert_eq!(src.place, Place::Local("a".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_write_is_a_sink_event() {
+        let evs = events_in("void m(Row r, Collection<Integer> c) { r.entries = c; }");
+        assert_eq!(evs.len(), 1);
+        match &evs[0].kind {
+            EventKind::FieldWrite { receiver, field, src: Some(src) } => {
+                assert_eq!(receiver.place, Place::Local("r".into()));
+                assert_eq!(field, "entries");
+                assert_eq!(src.place, Place::Local("c".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_read_produces_source_event() {
+        let evs = events_in("void m(Row r) { r.entries.add(null); }");
+        // read entries, then call add.
+        assert!(matches!(&evs[0].kind, EventKind::FieldRead { field, .. } if field == "entries"));
+        assert!(matches!(
+            &evs[1].kind,
+            EventKind::Call { callee: Callee::Api { type_name, .. }, .. } if type_name == "Collection"
+        ));
+    }
+
+    #[test]
+    fn static_call_has_no_receiver() {
+        let evs = events_in(r#"void m() { Row r = parseCSVRow("1,2"); }"#);
+        match &evs[0].kind {
+            EventKind::Call { callee: Callee::Program(id), receiver, dest: Some(_), .. } => {
+                assert_eq!(*id, MethodId::new("Row", "parseCSVRow"));
+                assert!(receiver.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unqualified_instance_call_gets_this_receiver() {
+        let evs = events_in("void m(Row r) { helper(r); }");
+        match &evs[0].kind {
+            EventKind::Call { callee: Callee::Program(id), receiver: Some(recv), args, .. } => {
+                assert_eq!(*id, MethodId::new("App", "helper"));
+                assert_eq!(recv.place, Place::This);
+                assert_eq!(args.len(), 1);
+                assert_eq!(args[0].as_ref().unwrap().place, Place::Local("r".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn primitive_args_are_none() {
+        let evs = events_in("void m(Row r) { r.add(42); }");
+        match &evs[0].kind {
+            EventKind::Call { args, dest, .. } => {
+                assert_eq!(args, &vec![None]);
+                assert!(dest.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conditional_expression_flattens_both_arms() {
+        let evs = events_in("void m(Row a, Row b, boolean c) { Row x = c ? a.createColIter() != null ? a : b : b; }");
+        // one call event from the nested conditional
+        assert!(evs.iter().any(|e| matches!(&e.kind, EventKind::Call { .. })));
+    }
+}

@@ -1,0 +1,480 @@
+//! Program indexing and lightweight type resolution.
+//!
+//! The analyses need to know, for every expression that denotes an object,
+//! the *simple name* of its static reference type — enough to look up state
+//! spaces, resolve call targets and fetch API specifications. This module
+//! builds a [`ProgramIndex`] over the parsed compilation units and exposes a
+//! per-method [`TypeEnv`] for expression typing.
+
+use java_syntax::ast::*;
+use spec_lang::stdlib::ApiRegistry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a method in the program: declaring class + method name.
+///
+/// Overloads are not distinguished — the benchmark corpus never overloads a
+/// method whose specification matters, matching the paper's per-name method
+/// summaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId {
+    /// Simple name of the declaring class.
+    pub class: String,
+    /// Method name.
+    pub method: String,
+}
+
+impl MethodId {
+    /// Creates a method id.
+    pub fn new(class: impl Into<String>, method: impl Into<String>) -> MethodId {
+        MethodId { class: class.into(), method: method.into() }
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.method)
+    }
+}
+
+/// The signature information the analyses need about a method.
+#[derive(Debug, Clone)]
+pub struct MethodInfo {
+    /// Identity.
+    pub id: MethodId,
+    /// Parameter names and reference-type simple names (`None` for
+    /// primitives).
+    pub params: Vec<(String, Option<String>)>,
+    /// Simple name of the reference return type; `None` for `void`,
+    /// primitives, or constructors.
+    pub return_type: Option<String>,
+    /// Whether the method is `static` (no receiver).
+    pub is_static: bool,
+    /// Whether this is a constructor.
+    pub is_constructor: bool,
+    /// Whether a body is present.
+    pub has_body: bool,
+}
+
+/// Where a call site resolves to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Callee {
+    /// A method defined in the program under analysis.
+    Program(MethodId),
+    /// A library method from the [`ApiRegistry`].
+    Api {
+        /// Declaring API type.
+        type_name: String,
+        /// Method name.
+        method: String,
+    },
+    /// Unresolvable (e.g. calls on unknown types); analyses treat these
+    /// conservatively.
+    Unknown {
+        /// The method name as written.
+        method: String,
+    },
+}
+
+impl fmt::Display for Callee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Callee::Program(id) => write!(f, "{id}"),
+            Callee::Api { type_name, method } => write!(f, "{type_name}.{method} [api]"),
+            Callee::Unknown { method } => write!(f, "?.{method}"),
+        }
+    }
+}
+
+/// An index over all classes, fields and methods of a program.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramIndex {
+    /// class -> field -> reference-type simple name (None for primitives).
+    fields: BTreeMap<String, BTreeMap<String, Option<String>>>,
+    /// (class, method) -> info.
+    methods: BTreeMap<MethodId, MethodInfo>,
+    /// class names in declaration order.
+    classes: Vec<String>,
+}
+
+/// The simple reference-type name of a [`TypeRef`], or `None` for
+/// primitives/void/arrays-of-primitives.
+pub fn ref_type_name(ty: &TypeRef) -> Option<String> {
+    match ty {
+        TypeRef::Named { name, .. } => Some(name.simple().to_string()),
+        TypeRef::Array(inner) => ref_type_name(inner).map(|n| format!("{n}[]")),
+        TypeRef::Primitive(_) | TypeRef::Void | TypeRef::Wildcard => None,
+    }
+}
+
+impl ProgramIndex {
+    /// Builds the index from compilation units.
+    pub fn build<'a>(units: impl IntoIterator<Item = &'a CompilationUnit>) -> ProgramIndex {
+        let mut idx = ProgramIndex::default();
+        for unit in units {
+            for t in &unit.types {
+                idx.classes.push(t.name.clone());
+                let fields = idx.fields.entry(t.name.clone()).or_default();
+                for f in t.fields() {
+                    fields.insert(f.name.clone(), ref_type_name(&f.ty));
+                }
+                for m in t.methods() {
+                    let id = MethodId::new(&t.name, &m.name);
+                    let info = MethodInfo {
+                        id: id.clone(),
+                        params: m
+                            .params
+                            .iter()
+                            .map(|p| (p.name.clone(), ref_type_name(&p.ty)))
+                            .collect(),
+                        return_type: if m.is_constructor() {
+                            Some(t.name.clone())
+                        } else {
+                            m.return_type.as_ref().and_then(ref_type_name)
+                        },
+                        is_static: m.modifiers.is_static,
+                        is_constructor: m.is_constructor(),
+                        has_body: m.body.is_some(),
+                    };
+                    idx.methods.insert(id, info);
+                }
+            }
+        }
+        idx
+    }
+
+    /// All class names in declaration order.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Whether `class` is declared in the program.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.fields.contains_key(class)
+    }
+
+    /// Looks up a method.
+    pub fn method(&self, id: &MethodId) -> Option<&MethodInfo> {
+        self.methods.get(id)
+    }
+
+    /// Finds a method by name in a class.
+    pub fn method_in(&self, class: &str, method: &str) -> Option<&MethodInfo> {
+        self.methods.get(&MethodId::new(class, method))
+    }
+
+    /// Finds methods by name across all classes (for unqualified calls).
+    pub fn methods_named<'a>(&'a self, method: &'a str) -> impl Iterator<Item = &'a MethodInfo> {
+        self.methods.values().filter(move |m| m.id.method == method)
+    }
+
+    /// The reference type of a field, or `None` if unknown/primitive.
+    pub fn field_type(&self, class: &str, field: &str) -> Option<String> {
+        self.fields.get(class)?.get(field).cloned().flatten()
+    }
+
+    /// Whether the field exists at all.
+    pub fn has_field(&self, class: &str, field: &str) -> bool {
+        self.fields.get(class).is_some_and(|f| f.contains_key(field))
+    }
+
+    /// Iterates over all methods.
+    pub fn methods(&self) -> impl Iterator<Item = &MethodInfo> {
+        self.methods.values()
+    }
+
+    /// Resolves a call with receiver type `recv_ty` and method name `name`
+    /// against the program first, then the API registry, then by unqualified
+    /// program-wide search.
+    pub fn resolve_call(
+        &self,
+        api: &ApiRegistry,
+        recv_ty: Option<&str>,
+        name: &str,
+    ) -> Callee {
+        if let Some(ty) = recv_ty {
+            if let Some(m) = self.method_in(ty, name) {
+                return Callee::Program(m.id.clone());
+            }
+            if api.get(ty, name).is_some() {
+                return Callee::Api { type_name: ty.to_string(), method: name.to_string() };
+            }
+        } else {
+            // Unqualified: unique program method wins, then unique API method.
+            let mut hits = self.methods_named(name);
+            if let Some(first) = hits.next() {
+                if hits.next().is_none() {
+                    return Callee::Program(first.id.clone());
+                }
+            }
+            if let Some(m) = api.get_by_name(name) {
+                return Callee::Api { type_name: m.type_name.clone(), method: name.to_string() };
+            }
+        }
+        // Receiver type known but method not found there: fall back to a
+        // unique API method of that name (interfaces are often elided in the
+        // subset corpus).
+        if let Some(m) = api.get_by_name(name) {
+            return Callee::Api { type_name: m.type_name.clone(), method: name.to_string() };
+        }
+        Callee::Unknown { method: name.to_string() }
+    }
+}
+
+/// A per-method typing environment mapping locals/params/fields to simple
+/// reference-type names.
+#[derive(Debug, Clone)]
+pub struct TypeEnv<'a> {
+    index: &'a ProgramIndex,
+    api: &'a ApiRegistry,
+    /// The class declaring the current method.
+    pub class: String,
+    locals: BTreeMap<String, Option<String>>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// Creates the environment for a method: parameters are pre-bound.
+    pub fn for_method(
+        index: &'a ProgramIndex,
+        api: &'a ApiRegistry,
+        class: &str,
+        method: &MethodDecl,
+    ) -> TypeEnv<'a> {
+        let mut locals = BTreeMap::new();
+        for p in &method.params {
+            locals.insert(p.name.clone(), ref_type_name(&p.ty));
+        }
+        TypeEnv { index, api, class: class.to_string(), locals }
+    }
+
+    /// Binds a local variable's declared type.
+    pub fn bind_local(&mut self, name: &str, ty: &TypeRef) {
+        self.locals.insert(name.to_string(), ref_type_name(ty));
+    }
+
+    /// Binds a local to a known simple type name (or unknown).
+    pub fn bind_local_name(&mut self, name: &str, ty: Option<String>) {
+        self.locals.insert(name.to_string(), ty);
+    }
+
+    /// The type of a local/parameter, if it is a known reference type.
+    pub fn local_type(&self, name: &str) -> Option<String> {
+        self.locals.get(name).cloned().flatten()
+    }
+
+    /// Whether `name` is a declared local/parameter (of any type).
+    pub fn is_local(&self, name: &str) -> bool {
+        self.locals.contains_key(name)
+    }
+
+    /// Infers the simple reference-type name of an expression, or `None`
+    /// for primitives and unresolvable expressions.
+    pub fn infer(&self, expr: &Expr) -> Option<String> {
+        match &expr.kind {
+            ExprKind::Literal(_) => None,
+            ExprKind::This => Some(self.class.clone()),
+            ExprKind::Name(n) => {
+                if let Some(t) = self.locals.get(n) {
+                    t.clone()
+                } else {
+                    // Implicit-this field.
+                    self.index.field_type(&self.class, n)
+                }
+            }
+            ExprKind::FieldAccess { receiver, name } => {
+                let rt = self.infer(receiver)?;
+                self.index.field_type(&rt, name)
+            }
+            ExprKind::Call { receiver, name, .. } => {
+                match self.resolve(receiver.as_deref(), name) {
+                    Callee::Program(id) => {
+                        self.index.method(&id).and_then(|m| m.return_type.clone())
+                    }
+                    Callee::Api { type_name, method } => self
+                        .api
+                        .get(&type_name, &method)
+                        .and_then(|m| m.return_type.clone()),
+                    Callee::Unknown { .. } => None,
+                }
+            }
+            ExprKind::New { ty, .. } => ref_type_name(ty),
+            ExprKind::Cast { ty, .. } => ref_type_name(ty),
+            ExprKind::Assign { rhs, .. } => self.infer(rhs),
+            ExprKind::Conditional { then_expr, else_expr, .. } => {
+                self.infer(then_expr).or_else(|| self.infer(else_expr))
+            }
+            ExprKind::ArrayAccess { array, .. } => {
+                let at = self.infer(array)?;
+                at.strip_suffix("[]").map(str::to_string)
+            }
+            ExprKind::Binary { .. }
+            | ExprKind::Unary { .. }
+            | ExprKind::Postfix { .. }
+            | ExprKind::InstanceOf { .. } => None,
+        }
+    }
+
+    /// The underlying program index.
+    pub fn index(&self) -> &'a ProgramIndex {
+        self.index
+    }
+
+    /// The underlying API registry.
+    pub fn api(&self) -> &'a ApiRegistry {
+        self.api
+    }
+
+    /// Resolves the constructor of `type_name`, when the class is part of
+    /// the program.
+    pub fn resolve_constructor(&self, type_name: &str) -> Callee {
+        match self.index.method_in(type_name, type_name) {
+            Some(m) => Callee::Program(m.id.clone()),
+            None => Callee::Unknown { method: "<init>".to_string() },
+        }
+    }
+
+    /// Resolves the callee of a call expression. Unqualified calls try the
+    /// current class first, then a program-wide unambiguous-name search
+    /// (covering static imports and calls to other classes' static methods).
+    pub fn resolve(&self, receiver: Option<&Expr>, name: &str) -> Callee {
+        match receiver {
+            Some(r) => self.index.resolve_call(self.api, self.infer(r).as_deref(), name),
+            None => {
+                let own = self.index.resolve_call(self.api, Some(&self.class), name);
+                if matches!(own, Callee::Unknown { .. }) {
+                    self.index.resolve_call(self.api, None, name)
+                } else {
+                    own
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+    use spec_lang::standard_api;
+
+    fn setup(src: &str) -> (CompilationUnit, ProgramIndex) {
+        let unit = parse(src).unwrap();
+        let index = ProgramIndex::build([&unit]);
+        (unit, index)
+    }
+
+    const ROW_SRC: &str = r#"class Row {
+        Collection<Integer> entries;
+        int width;
+        Iterator<Integer> createColIter() { return entries.iterator(); }
+        void add(int val) {}
+        static Row parseCSVRow(String text) { return new Row(); }
+    }"#;
+
+    #[test]
+    fn index_collects_fields_and_methods() {
+        let (_, idx) = setup(ROW_SRC);
+        assert!(idx.has_class("Row"));
+        assert_eq!(idx.field_type("Row", "entries").as_deref(), Some("Collection"));
+        assert_eq!(idx.field_type("Row", "width"), None); // primitive
+        assert!(idx.has_field("Row", "width"));
+        let m = idx.method_in("Row", "createColIter").unwrap();
+        assert_eq!(m.return_type.as_deref(), Some("Iterator"));
+        assert!(!m.is_static);
+        let p = idx.method_in("Row", "parseCSVRow").unwrap();
+        assert!(p.is_static);
+    }
+
+    #[test]
+    fn constructor_returns_its_class() {
+        let (_, idx) = setup("class Box { Box() {} }");
+        let c = idx.method_in("Box", "Box").unwrap();
+        assert!(c.is_constructor);
+        assert_eq!(c.return_type.as_deref(), Some("Box"));
+    }
+
+    #[test]
+    fn infers_chained_call_types() {
+        let (unit, idx) = setup(&format!(
+            "{ROW_SRC}\nclass App {{ void m(Row r) {{ Object x = r.createColIter().next(); }} }}"
+        ));
+        let api = standard_api();
+        let app = unit.type_named("App").unwrap();
+        let m = app.method_named("m").unwrap();
+        let env = TypeEnv::for_method(&idx, &api, "App", m);
+        // r: Row
+        let body = m.body.as_ref().unwrap();
+        if let StmtKind::LocalVar { init: Some(e), .. } = &body.stmts[0].kind {
+            // r.createColIter() : Iterator ; .next() : Object (API model)
+            assert_eq!(env.infer(e).as_deref(), Some("Object"));
+            if let ExprKind::Call { receiver: Some(inner), .. } = &e.kind {
+                assert_eq!(env.infer(inner).as_deref(), Some("Iterator"));
+            }
+        } else {
+            panic!("expected local var");
+        }
+    }
+
+    #[test]
+    fn resolves_program_api_and_unknown() {
+        let (unit, idx) = setup(ROW_SRC);
+        let api = standard_api();
+        let m = unit.type_named("Row").unwrap().method_named("createColIter").unwrap();
+        let env = TypeEnv::for_method(&idx, &api, "Row", m);
+        // entries.iterator() resolves to the API Collection.iterator.
+        if let StmtKind::Return(Some(e)) = &m.body.as_ref().unwrap().stmts[0].kind {
+            if let ExprKind::Call { receiver, name, .. } = &e.kind {
+                let callee = env.resolve(receiver.as_deref(), name);
+                assert_eq!(
+                    callee,
+                    Callee::Api { type_name: "Collection".into(), method: "iterator".into() }
+                );
+            }
+        }
+        // Unqualified program call.
+        assert_eq!(
+            idx.resolve_call(&api, None, "createColIter"),
+            Callee::Program(MethodId::new("Row", "createColIter"))
+        );
+        // Unknown.
+        assert!(matches!(
+            idx.resolve_call(&api, Some("Mystery"), "frobnicate"),
+            Callee::Unknown { .. }
+        ));
+    }
+
+    #[test]
+    fn this_and_implicit_fields_type() {
+        let (unit, idx) = setup(ROW_SRC);
+        let api = standard_api();
+        let m = unit.type_named("Row").unwrap().method_named("createColIter").unwrap();
+        let env = TypeEnv::for_method(&idx, &api, "Row", m);
+        let this_expr = java_syntax::parse_expr("this").unwrap();
+        assert_eq!(env.infer(&this_expr).as_deref(), Some("Row"));
+        let field_expr = java_syntax::parse_expr("entries").unwrap();
+        assert_eq!(env.infer(&field_expr).as_deref(), Some("Collection"));
+    }
+
+    #[test]
+    fn locals_shadow_fields() {
+        let (_, idx) = setup(ROW_SRC);
+        let api = standard_api();
+        let unit = parse("class App { void m() {} }").unwrap();
+        let m = unit.type_named("App").unwrap().method_named("m").unwrap();
+        let mut env = TypeEnv::for_method(&idx, &api, "Row", m);
+        env.bind_local_name("entries", Some("Stream".into()));
+        let e = java_syntax::parse_expr("entries").unwrap();
+        assert_eq!(env.infer(&e).as_deref(), Some("Stream"));
+    }
+
+    #[test]
+    fn fallback_to_unique_api_method_when_type_unknown() {
+        let (_, idx) = setup("class A {}");
+        let api = standard_api();
+        // `it.next()` where `it`'s type didn't resolve.
+        assert_eq!(
+            idx.resolve_call(&api, Some("SomethingElse"), "next"),
+            Callee::Api { type_name: "Iterator".into(), method: "next".into() }
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural invariants of Permissions Flow Graphs, checked over every
+//! method of the generated corpus and the paper figures.
+
+use analysis::pfg::{Pfg, PfgNodeKind};
+use analysis::types::ProgramIndex;
+use java_syntax::CompilationUnit;
+use spec_lang::standard_api;
+
+fn all_pfgs(units: &[CompilationUnit]) -> Vec<Pfg> {
+    let index = ProgramIndex::build(units.iter());
+    let api = standard_api();
+    let mut out = Vec::new();
+    for unit in units {
+        for t in &unit.types {
+            for m in t.methods() {
+                if m.body.is_some() {
+                    out.push(Pfg::build(&index, &api, &t.name, m));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_invariants(pfg: &Pfg) {
+    let n = pfg.nodes.len();
+    // Edges reference valid nodes; no self-loops.
+    for &(a, b) in &pfg.edges {
+        assert!(a < n && b < n, "{}: edge ({a},{b}) out of range", pfg.method);
+        assert_ne!(a, b, "{}: self loop at {a}", pfg.method);
+    }
+    // Adjacency is consistent with the edge list.
+    let mut degree = 0usize;
+    for node in 0..n {
+        degree += pfg.outgoing(node).len();
+        for &s in pfg.outgoing(node) {
+            assert!(pfg.incoming(s).contains(&node), "{}: asymmetric adjacency", pfg.method);
+        }
+    }
+    assert_eq!(degree, pfg.edges.len(), "{}: adjacency/edge mismatch", pfg.method);
+
+    for node in &pfg.nodes {
+        match &node.kind {
+            // Field writes are sinks (paper §3.1).
+            PfgNodeKind::FieldWrite { .. } => {
+                assert!(
+                    pfg.outgoing(node.id).is_empty(),
+                    "{}: field write with outgoing edges",
+                    pfg.method
+                );
+            }
+            // Sources have no incoming edges.
+            PfgNodeKind::ParamPre { .. }
+            | PfgNodeKind::New { .. }
+            | PfgNodeKind::CallResult { .. }
+            | PfgNodeKind::FieldRead { .. }
+            | PfgNodeKind::CallPost { .. } => {
+                assert!(
+                    pfg.incoming(node.id).is_empty(),
+                    "{}: source node {:?} has incoming edges",
+                    pfg.method,
+                    node.kind
+                );
+            }
+            // Splits have exactly one predecessor and at least one successor.
+            PfgNodeKind::Split => {
+                assert_eq!(pfg.incoming(node.id).len(), 1, "{}: split fan-in", pfg.method);
+                assert!(!pfg.outgoing(node.id).is_empty(), "{}: dead split", pfg.method);
+            }
+            // Call preconditions are sinks within the caller's graph (their
+            // permission flows through the callee).
+            PfgNodeKind::CallPre { .. } => {
+                assert!(
+                    pfg.outgoing(node.id).is_empty(),
+                    "{}: call-pre with outgoing edges",
+                    pfg.method
+                );
+            }
+            _ => {}
+        }
+        // Field nodes keep their receiver link inside the graph.
+        if let Some(r) = node.receiver_link {
+            assert!(r < n, "{}: dangling receiver link", pfg.method);
+        }
+    }
+
+    // Every parameter has distinct pre/post nodes of the declared type.
+    for p in &pfg.params {
+        assert_ne!(p.pre, p.post, "{}: param {} pre == post", pfg.method, p.name);
+        assert!(matches!(pfg.nodes[p.pre].kind, PfgNodeKind::ParamPre { .. }));
+        assert!(matches!(pfg.nodes[p.post].kind, PfgNodeKind::ParamPost { .. }));
+    }
+}
+
+#[test]
+fn corpus_pfgs_satisfy_invariants() {
+    let corpus = corpus::generate(&corpus::PmdConfig::small());
+    let pfgs = all_pfgs(&corpus.units);
+    assert!(pfgs.len() >= 50);
+    for pfg in &pfgs {
+        check_invariants(pfg);
+    }
+}
+
+#[test]
+fn figure_pfgs_satisfy_invariants() {
+    for src in [corpus::FIGURE3, corpus::FIGURE7] {
+        let unit = java_syntax::parse(src).unwrap();
+        for pfg in all_pfgs(std::slice::from_ref(&unit)) {
+            check_invariants(&pfg);
+        }
+    }
+}
+
+#[test]
+fn regression_suite_pfgs_satisfy_invariants() {
+    for case in corpus::suite() {
+        let unit = case.unit();
+        for pfg in all_pfgs(std::slice::from_ref(&unit)) {
+            check_invariants(&pfg);
+        }
+    }
+}
+
+#[test]
+fn table3_pfgs_satisfy_invariants() {
+    let p = corpus::table3_program(3, 200);
+    for pfg in all_pfgs(&[p.modular, p.inlined]) {
+        check_invariants(&pfg);
+    }
+}

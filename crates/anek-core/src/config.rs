@@ -1,0 +1,130 @@
+//! Tunable parameters of the inference (the paper's `h`, `t` and `MaxIters`).
+
+use factor_graph::BpOptions;
+
+/// Configuration of the ANEK inference.
+///
+/// "Each constraint generation rule is parametrized by some probability
+/// `h ∈ [0,1]` that represents high probability, and is given as input to
+/// the algorithm. Parametrization of these high probabilities allows us to
+/// tune the performance of inference." (§3.3)
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferConfig {
+    /// `h1` — L1 strength: node equals its outgoing edge(s).
+    pub h_outgoing: f64,
+    /// `h2` — L1 strength for legal permission splitting at split nodes.
+    pub h_split: f64,
+    /// `h3` — L2 strength: node equals one of its incoming edges.
+    pub h_incoming: f64,
+    /// L3: probability that a field-write receiver is read-only (very low).
+    pub p_field_write_readonly: f64,
+    /// H1: elevated probability that constructors return `unique`.
+    pub p_constructor_unique: f64,
+    /// H2 strength: pre and post kinds of a parameter agree.
+    pub h_pre_post: f64,
+    /// H3: elevated probability that `create*` methods return `unique`.
+    pub p_create_unique: f64,
+    /// H4: low probability that `set*` receivers are read-only kinds.
+    pub p_setter_readonly: f64,
+    /// H5 strength: synchronized targets are `full`/`share`/`pure`.
+    pub h_thread_shared: f64,
+    /// Strength of the soft exactly-one-kind / exactly-one-state factors.
+    ///
+    /// The paper models each kind/state as its own Bernoulli variable and
+    /// relies on evidence to separate them (Figure 8 gives the chosen kind
+    /// 0.9 and all others 0.1); a soft mutual-exclusion factor makes the
+    /// same assumption explicit in the model.
+    pub h_exactly_one: f64,
+    /// Prior given to specification-asserted facts (Figure 8's `B(0.9)`).
+    pub p_spec_high: f64,
+    /// Prior given to specification-denied facts (Figure 8's `B(0.1)`).
+    pub p_spec_low: f64,
+    /// Extraction threshold `t ∈ [0.5, 1)` (Figure 9, line 24).
+    pub threshold: f64,
+    /// `MaxIters` of the modular worklist (Figure 9, line 8).
+    pub max_iters: usize,
+    /// Enable the branch-sensitivity extension (the paper's future work):
+    /// dynamic state tests contribute per-branch state evidence through the
+    /// PFG's refinement nodes. ANEK proper is branch-insensitive (§4.2), so
+    /// this defaults to `false`.
+    pub branch_sensitive: bool,
+    /// Minimum marginal change for a summary to count as updated.
+    pub summary_epsilon: f64,
+    /// Belief-propagation options for the per-method `Solve`.
+    pub bp: BpOptions,
+}
+
+impl Default for InferConfig {
+    fn default() -> InferConfig {
+        InferConfig {
+            h_outgoing: 0.98,
+            h_split: 0.98,
+            h_incoming: 0.98,
+            p_field_write_readonly: 0.05,
+            p_constructor_unique: 0.85,
+            h_pre_post: 0.75,
+            p_create_unique: 0.85,
+            p_setter_readonly: 0.1,
+            h_thread_shared: 0.85,
+            h_exactly_one: 0.9,
+            p_spec_high: 0.9,
+            p_spec_low: 0.1,
+            threshold: 0.6,
+            max_iters: 64,
+            branch_sensitive: false,
+            summary_epsilon: 0.01,
+            bp: BpOptions { max_iterations: 40, tolerance: 1e-4, damping: 0.1 },
+        }
+    }
+}
+
+impl InferConfig {
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probability parameter is outside its documented range;
+    /// intended for use at configuration boundaries.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("h_outgoing", self.h_outgoing),
+            ("h_split", self.h_split),
+            ("h_incoming", self.h_incoming),
+            ("h_pre_post", self.h_pre_post),
+            ("h_thread_shared", self.h_thread_shared),
+            ("h_exactly_one", self.h_exactly_one),
+        ] {
+            assert!(v > 0.5 && v < 1.0, "{name} must be in (0.5, 1), got {v}");
+        }
+        assert!(
+            self.threshold >= 0.5 && self.threshold < 1.0,
+            "threshold must be in [0.5, 1), got {}",
+            self.threshold
+        );
+        assert!(self.max_iters > 0, "max_iters must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        InferConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let cfg = InferConfig { threshold: 0.4, ..InferConfig::default() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "h_outgoing")]
+    fn weak_strength_rejected() {
+        let cfg = InferConfig { h_outgoing: 0.5, ..InferConfig::default() };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,464 @@
+//! The modular `ANEK-INFER` worklist algorithm (paper Figure 9).
+//!
+//! Each method gets a probabilistic model built from its PFG; models are
+//! solved one method at a time, publishing *probabilistic summaries* that
+//! callers consume as evidence. The loop runs for at most `MaxIters` model
+//! solves — a fixpoint is deliberately not required ("another source of
+//! approximation", §3.4) — and finally thresholds the summaries into
+//! deterministic specifications.
+
+use crate::config::InferConfig;
+use crate::model::{CallerEvidence, MethodModel, ModelCtx};
+use crate::summary::{MethodSummary, SlotProbs};
+use analysis::pfg::{Pfg, PfgNodeKind};
+use analysis::types::{Callee, MethodId, ProgramIndex};
+use java_syntax::ast::CompilationUnit;
+use java_syntax::ExprId;
+use spec_lang::{
+    spec_of_method, ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry,
+    StateSpace,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// The output of [`infer`].
+#[derive(Debug, Clone)]
+pub struct InferResult {
+    /// Thresholded deterministic specifications per method.
+    pub specs: BTreeMap<MethodId, MethodSpec>,
+    /// The final probabilistic summaries.
+    pub summaries: BTreeMap<MethodId, MethodSummary>,
+    /// Confidence of each extracted spec (smallest chosen-atom marginal).
+    pub confidence: BTreeMap<MethodId, f64>,
+    /// Number of per-method model solves performed.
+    pub solves: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Methods that had a hand-written spec already (their atoms acted as
+    /// priors).
+    pub pre_annotated: BTreeSet<MethodId>,
+}
+
+impl InferResult {
+    /// Count of non-empty inferred specifications.
+    pub fn annotation_count(&self) -> usize {
+        self.specs.values().filter(|s| !s.is_empty()).count()
+    }
+}
+
+/// Builds the merged state registry: API state spaces plus program-declared
+/// `@States("A, B, C")` class annotations.
+pub fn merged_states(units: &[CompilationUnit], api: &ApiRegistry) -> StateRegistry {
+    let mut reg = api.states.clone();
+    for unit in units {
+        for t in &unit.types {
+            for ann in &t.annotations {
+                if ann.name.simple() == "States" {
+                    if let Some(list) = ann.single_string() {
+                        reg.insert(StateSpace::parse_decl(&t.name, list));
+                    }
+                }
+            }
+        }
+    }
+    reg
+}
+
+/// One analyzable method: its PFG, existing spec and flags.
+struct MethodUnit {
+    pfg: Pfg,
+    spec: MethodSpec,
+    is_constructor: bool,
+}
+
+/// Runs ANEK-INFER over the program.
+///
+/// `units` are the parsed sources of the program under inference, `api` the
+/// developer-annotated library model.
+pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) -> InferResult {
+    cfg.validate();
+    let start = Instant::now();
+    let index = ProgramIndex::build(units.iter());
+    let states = merged_states(units, api);
+    let ctx = ModelCtx { index: &index, api, states: &states };
+
+    // ---- Gather analyzable methods, their PFGs and priors ----
+    let mut methods: BTreeMap<MethodId, MethodUnit> = BTreeMap::new();
+    let mut order: Vec<MethodId> = Vec::new();
+    let mut pre_annotated = BTreeSet::new();
+    for unit in units {
+        for t in &unit.types {
+            for m in t.methods() {
+                if m.body.is_none() {
+                    // Interface/abstract methods carry specs but no flow.
+                    continue;
+                }
+                let id = MethodId::new(&t.name, &m.name);
+                let spec = spec_of_method(m).unwrap_or_default();
+                if !spec.is_empty() {
+                    pre_annotated.insert(id.clone());
+                }
+                let pfg = Pfg::build_with_refinement(
+                    &index,
+                    api,
+                    &t.name,
+                    m,
+                    cfg.branch_sensitive,
+                );
+                order.push(id.clone());
+                methods.insert(
+                    id,
+                    MethodUnit { pfg, spec, is_constructor: m.is_constructor() },
+                );
+            }
+        }
+    }
+
+    // ---- Caller map (who must be re-analyzed when a summary changes) ----
+    let mut callers: BTreeMap<MethodId, BTreeSet<MethodId>> = BTreeMap::new();
+    for (id, mu) in &methods {
+        for n in mu.pfg.call_nodes() {
+            let callee = match &n.kind {
+                PfgNodeKind::CallPre { callee, .. }
+                | PfgNodeKind::CallPost { callee, .. }
+                | PfgNodeKind::CallResult { callee, .. } => callee,
+                _ => continue,
+            };
+            if let Callee::Program(c) = callee {
+                callers.entry(c.clone()).or_default().insert(id.clone());
+            }
+        }
+    }
+
+    // ---- INIT (Figure 9 lines 2–6): summaries from priors ----
+    let mut summaries: BTreeMap<MethodId, MethodSummary> = BTreeMap::new();
+    for (id, mu) in &methods {
+        summaries.insert(id.clone(), initial_summary(ctx, mu, cfg));
+    }
+
+    // ---- The worklist loop (lines 8–21) ----
+    // Caller-side evidence per callee: (caller, call-site) -> observed
+    // marginals. This is the second half of the PARAMARG binding — caller
+    // demands aggregate onto callee summaries (the Figure 3 conflict story).
+    let mut evidence: BTreeMap<MethodId, BTreeMap<(MethodId, ExprId), CallerEvidence>> =
+        BTreeMap::new();
+    let mut worklist: VecDeque<MethodId> = order.iter().cloned().collect();
+    let mut queued: BTreeSet<MethodId> = order.iter().cloned().collect();
+    let mut solves = 0usize;
+    while solves < cfg.max_iters {
+        let Some(id) = worklist.pop_front() else { break };
+        queued.remove(&id);
+        let mu = &methods[&id];
+        solves += 1;
+        let own_evidence: Vec<CallerEvidence> = evidence
+            .get(&id)
+            .map(|m| m.values().cloned().collect())
+            .unwrap_or_default();
+        let model = MethodModel::build_with_evidence(
+            ctx,
+            mu.pfg.clone(),
+            &mu.spec,
+            mu.is_constructor,
+            &summaries,
+            &own_evidence,
+            cfg,
+        );
+        let marginals = model.graph.solve(&cfg.bp);
+        let new_summary = model.read_summary(ctx, &marginals);
+        let mut to_queue: Vec<MethodId> = Vec::new();
+        // Publish evidence about callees observed at this method's sites.
+        for (callee, sites) in model.read_call_evidence(ctx, &marginals) {
+            let store = evidence.entry(callee.clone()).or_default();
+            let mut changed = false;
+            for (site, ev) in sites {
+                let key = (id.clone(), site);
+                match store.get(&key) {
+                    Some(old) if old.max_delta(&ev) <= cfg.summary_epsilon => {}
+                    _ => {
+                        store.insert(key, ev);
+                        changed = true;
+                    }
+                }
+            }
+            if changed && callee != id {
+                to_queue.push(callee);
+            }
+        }
+        let old = &summaries[&id];
+        if new_summary.max_delta(old) > cfg.summary_epsilon {
+            summaries.insert(id.clone(), new_summary);
+            // Re-enqueue the method itself (per Figure 9 line 19) and its
+            // callers, whose models consumed the stale summary.
+            to_queue.push(id.clone());
+            if let Some(cs) = callers.get(&id) {
+                to_queue.extend(cs.iter().cloned());
+            }
+        }
+        for q in to_queue {
+            if queued.insert(q.clone()) {
+                worklist.push_back(q);
+            }
+        }
+    }
+
+    // ---- Spec extraction (lines 22–29) ----
+    let mut specs = BTreeMap::new();
+    let mut confidence = BTreeMap::new();
+    for (id, summary) in &summaries {
+        let (spec, conf) = summary.extract_spec_with_confidence(cfg.threshold);
+        specs.insert(id.clone(), spec);
+        confidence.insert(id.clone(), conf);
+    }
+
+    InferResult { specs, summaries, confidence, solves, elapsed: start.elapsed(), pre_annotated }
+}
+
+/// The INIT summary: spec-derived high/low priors where an annotation
+/// exists, uniform elsewhere.
+fn initial_summary(ctx: ModelCtx<'_>, mu: &MethodUnit, cfg: &InferConfig) -> MethodSummary {
+    let slot_for = |ty: &str, atom: Option<&spec_lang::PermAtom>| -> SlotProbs {
+        let mut slot = SlotProbs::uniform(ctx.states_of(Some(ty)));
+        if let Some(atom) = atom {
+            for k in PermissionKind::ALL {
+                slot.set_kind(k, if k == atom.kind { cfg.p_spec_high } else { cfg.p_spec_low });
+            }
+            let st = atom.effective_state();
+            let names: Vec<String> = slot.states.keys().cloned().collect();
+            for name in names {
+                let p = if name == st { cfg.p_spec_high } else { cfg.p_spec_low };
+                slot.states.insert(name, p);
+            }
+        }
+        slot
+    };
+    let params = mu
+        .pfg
+        .params
+        .iter()
+        .map(|p| {
+            let target = if p.name == "this" {
+                SpecTarget::This
+            } else {
+                SpecTarget::Param(p.name.clone())
+            };
+            (
+                p.name.clone(),
+                slot_for(&p.type_name, mu.spec.requires.for_target(&target)),
+                slot_for(&p.type_name, mu.spec.ensures.for_target(&target)),
+            )
+        })
+        .collect();
+    let result = mu
+        .pfg
+        .result
+        .as_ref()
+        .map(|(ty, _)| slot_for(ty, mu.spec.ensures.for_target(&SpecTarget::Result)));
+    MethodSummary { params, result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+    use spec_lang::standard_api;
+
+    fn run(src: &str) -> InferResult {
+        let unit = parse(src).unwrap();
+        let api = standard_api();
+        infer(&[unit], &api, &InferConfig::default())
+    }
+
+    const FIG3: &str = r#"
+        class Row {
+            Collection<Integer> entries;
+            Iterator<Integer> createColIter() {
+                return entries.iterator();
+            }
+            void add(int val) { }
+        }
+        class App {
+            Row copy(Row original) {
+                Iterator<Integer> iter = original.createColIter();
+                Row result = new Row();
+                while (iter.hasNext()) {
+                    result.add(iter.next());
+                }
+                return result;
+            }
+            @Test
+            void testParseCSV() {
+                Row r1 = parseCSVRow("1,2,3,4");
+                Row r2 = parseCSVRow("4,6,7,8");
+                int sum = r1.createColIter().next() + r2.createColIter().next();
+                assert sum != 5;
+            }
+            static Row parseCSVRow(String text) { return new Row(); }
+        }
+    "#;
+
+    #[test]
+    fn figure3_createcoliter_resolves_conflict_to_alive_unique() {
+        // The paper's running example (§1): testParseCSV calls next()
+        // directly (wants HASNEXT), while copy and the iterator() spec say
+        // ALIVE. Evidence for ALIVE outweighs HASNEXT, and H3 picks unique.
+        let result = run(FIG3);
+        let id = MethodId::new("Row", "createColIter");
+        let spec = &result.specs[&id];
+        let atom = spec
+            .ensures
+            .for_target(&SpecTarget::Result)
+            .expect("result spec inferred");
+        assert_eq!(atom.kind, PermissionKind::Unique, "H3: create* returns unique");
+        let state = atom.state.as_deref().unwrap_or(spec_lang::ALIVE);
+        assert_eq!(state, spec_lang::ALIVE, "majority evidence selects ALIVE over HASNEXT");
+    }
+
+    #[test]
+    fn figure3_summary_shows_conflicting_evidence() {
+        let result = run(FIG3);
+        let id = MethodId::new("Row", "createColIter");
+        let summary = &result.summaries[&id];
+        let res = summary.result.as_ref().unwrap();
+        // ALIVE beats HASNEXT, but HASNEXT is not certainly-false: the
+        // conflicting site left a trace.
+        assert!(res.state("ALIVE") > res.state("HASNEXT"));
+    }
+
+    #[test]
+    fn drain_helper_infers_full_iterator_param() {
+        let result = run(r#"
+            class App {
+                void drain(Iterator<Integer> it) {
+                    while (it.hasNext()) { it.next(); }
+                }
+            }
+        "#);
+        let spec = &result.specs[&MethodId::new("App", "drain")];
+        let atom = spec.requires.for_target(&SpecTarget::Param("it".into()));
+        let atom = atom.expect("it gets a precondition");
+        assert!(
+            atom.kind.allows_write(),
+            "next() needs a writing permission, got {}",
+            atom.kind
+        );
+    }
+
+    #[test]
+    fn summaries_flow_through_wrappers() {
+        // level2 wraps level1 which calls next(); the requirement should
+        // propagate up the call chain through summaries.
+        let result = run(r#"
+            class App {
+                void level1(Iterator<Integer> it) { it.next(); }
+                void level2(Iterator<Integer> it) { level1(it); }
+            }
+        "#);
+        let l2 = &result.specs[&MethodId::new("App", "level2")];
+        let atom = l2.requires.for_target(&SpecTarget::Param("it".into()));
+        assert!(atom.is_some(), "level2 should inherit level1's requirement: {l2:?}");
+        let s = &result.summaries[&MethodId::new("App", "level2")];
+        let (pre, _) = s.param("it").unwrap();
+        assert!(
+            pre.state("HASNEXT") > 0.5,
+            "HASNEXT requirement propagates: {:.3}",
+            pre.state("HASNEXT")
+        );
+    }
+
+    #[test]
+    fn pre_annotated_methods_are_recorded() {
+        let result = run(r#"
+            class App {
+                @Perm(requires = "pure(this)", ensures = "pure(this)")
+                void annotated() { }
+                void plain() { }
+            }
+        "#);
+        assert!(result.pre_annotated.contains(&MethodId::new("App", "annotated")));
+        assert!(!result.pre_annotated.contains(&MethodId::new("App", "plain")));
+    }
+
+    #[test]
+    fn max_iters_bounds_work() {
+        let src = r#"
+            class App {
+                void a(Iterator<Integer> it) { b(it); }
+                void b(Iterator<Integer> it) { c(it); }
+                void c(Iterator<Integer> it) { it.next(); }
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        let api = standard_api();
+        let cheap = infer(
+            &[unit.clone()],
+            &api,
+            &InferConfig { max_iters: 3, ..InferConfig::default() },
+        );
+        assert!(cheap.solves <= 3);
+        let full = infer(&[unit], &api, &InferConfig::default());
+        assert!(full.solves >= 3, "re-analysis should occur: {}", full.solves);
+        // The trade-off the paper describes: more iterations, better specs.
+        let a_pre_full = full.summaries[&MethodId::new("App", "a")]
+            .param("it")
+            .unwrap()
+            .0
+            .state("HASNEXT");
+        assert!(a_pre_full > 0.5, "with enough iterations a() learns HASNEXT: {a_pre_full:.3}");
+    }
+
+    #[test]
+    fn states_annotation_merges_into_registry() {
+        let unit = parse(r#"@States("OPEN, SHUT") class Door { void m() { } }"#).unwrap();
+        let api = standard_api();
+        let reg = merged_states(&[unit], &api);
+        let space = reg.get("Door").expect("Door space registered");
+        assert!(space.contains("OPEN"));
+        assert!(space.contains("SHUT"));
+        // API spaces survive the merge.
+        assert!(reg.get("Iterator").is_some());
+    }
+
+    #[test]
+    fn branch_sensitivity_extension_sees_through_state_tests() {
+        // The paper's fourth-warning scenario (§4.2): provably HASNEXT on
+        // return, but only via branch reasoning. ANEK proper infers ALIVE;
+        // the future-work extension infers HASNEXT.
+        let src = r#"class Registry {
+            Collection<Integer> items;
+            Iterator<Integer> createReadyIter() {
+                Iterator<Integer> it = items.iterator();
+                if (!it.hasNext()) {
+                    throw new RuntimeException("empty");
+                }
+                return it;
+            }
+        }"#;
+        let unit = parse(src).unwrap();
+        let api = standard_api();
+        let id = MethodId::new("Registry", "createReadyIter");
+
+        let plain = infer(&[unit.clone()], &api, &InferConfig::default());
+        let plain_atom =
+            plain.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
+        assert_eq!(plain_atom.kind, PermissionKind::Unique);
+        assert_eq!(plain_atom.state.as_deref().unwrap_or(spec_lang::ALIVE), spec_lang::ALIVE);
+
+        let ext_cfg = InferConfig { branch_sensitive: true, ..InferConfig::default() };
+        let ext = infer(&[unit], &api, &ext_cfg);
+        let ext_atom =
+            ext.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
+        assert_eq!(ext_atom.kind, PermissionKind::Unique);
+        assert_eq!(
+            ext_atom.state.as_deref(),
+            Some("HASNEXT"),
+            "the extension proves HASNEXT through the test"
+        );
+    }
+
+    #[test]
+    fn elapsed_and_solves_populated() {
+        let result = run("class App { void m() { } }");
+        assert!(result.solves >= 1);
+        assert!(result.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The spec applier (the paper's "Eclipse Applier", §4.1, Figure 10).
+//!
+//! Walks the program AST and attaches inferred specifications as `@Perm`
+//! annotations to methods that have none, then pretty-prints the result —
+//! producing the annotated program a PLURAL user would see in their IDE.
+
+use analysis::types::MethodId;
+use java_syntax::ast::{CompilationUnit, Member};
+use java_syntax::print_unit;
+use spec_lang::{spec_of_method, spec_to_annotations, MethodSpec};
+use std::collections::BTreeMap;
+
+/// Applies `specs` to copies of `units`: every method that lacks a
+/// hand-written `@Perm`/`@Spec` and has a non-empty inferred spec gains the
+/// corresponding annotations. Returns the annotated ASTs and how many
+/// methods were annotated.
+pub fn apply_specs(
+    units: &[CompilationUnit],
+    specs: &BTreeMap<MethodId, MethodSpec>,
+) -> (Vec<CompilationUnit>, usize) {
+    let mut out = Vec::with_capacity(units.len());
+    let mut applied = 0usize;
+    for unit in units {
+        let mut unit = unit.clone();
+        for t in &mut unit.types {
+            let class = t.name.clone();
+            for m in &mut t.members {
+                let Member::Method(md) = m else { continue };
+                let existing = spec_of_method(md).unwrap_or_default();
+                if !existing.is_empty() {
+                    continue;
+                }
+                let id = MethodId::new(&class, &md.name);
+                if let Some(spec) = specs.get(&id) {
+                    if !spec.is_empty() {
+                        md.annotations.extend(spec_to_annotations(spec));
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        out.push(unit);
+    }
+    (out, applied)
+}
+
+/// Pretty-prints annotated units back to Java source.
+pub fn render(units: &[CompilationUnit]) -> String {
+    let mut s = String::new();
+    for u in units {
+        s.push_str(&print_unit(u));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+    use spec_lang::parse_clause;
+
+    fn spec(req: &str, ens: &str) -> MethodSpec {
+        MethodSpec {
+            requires: parse_clause(req).unwrap(),
+            ensures: parse_clause(ens).unwrap(),
+            true_indicates: None,
+            false_indicates: None,
+        }
+    }
+
+    #[test]
+    fn applies_to_unannotated_methods_only() {
+        let unit = parse(
+            r#"class C {
+                @Perm(requires = "pure(this)")
+                void annotated() { }
+                void plain(Iterator<Integer> it) { }
+            }"#,
+        )
+        .unwrap();
+        let mut specs = BTreeMap::new();
+        specs.insert(MethodId::new("C", "annotated"), spec("full(this)", ""));
+        specs.insert(MethodId::new("C", "plain"), spec("full(it) in HASNEXT", "full(it)"));
+        let (annotated, applied) = apply_specs(&[unit], &specs);
+        assert_eq!(applied, 1);
+        let rendered = render(&annotated);
+        // The hand annotation survives untouched…
+        assert!(rendered.contains("requires = \"pure(this)\""));
+        // …and plain() gained the inferred one.
+        assert!(rendered.contains("requires = \"full(it) in HASNEXT\""), "{rendered}");
+    }
+
+    #[test]
+    fn applied_source_reparses_with_specs() {
+        let unit = parse("class C { void m(Iterator<Integer> it) { it.next(); } }").unwrap();
+        let mut specs = BTreeMap::new();
+        specs.insert(MethodId::new("C", "m"), spec("full(it) in HASNEXT", "full(it)"));
+        let (annotated, _) = apply_specs(&[unit], &specs);
+        let reparsed = parse(&render(&annotated)).unwrap();
+        let m = reparsed.type_named("C").unwrap().method_named("m").unwrap();
+        let round = spec_of_method(m).unwrap();
+        assert_eq!(round.requires.to_string(), "full(it) in HASNEXT");
+    }
+
+    #[test]
+    fn empty_specs_change_nothing() {
+        let unit = parse("class C { void m() { } }").unwrap();
+        let before = render(std::slice::from_ref(&unit));
+        let (annotated, applied) = apply_specs(&[unit], &BTreeMap::new());
+        assert_eq!(applied, 0);
+        assert_eq!(render(&annotated), before);
+    }
+}

@@ -1,0 +1,186 @@
+//! The `anek` command-line tool — the reproduction's equivalent of the
+//! paper's Eclipse plugin pipeline (Figure 10).
+//!
+//! ```text
+//! anek infer <file.java>...     infer specs, print them
+//! anek check <file.java>...     run PLURAL on the sources as-is
+//! anek pipeline [--out DIR] <file.java>...
+//!                               infer, apply, re-check; print the annotated
+//!                               program (or write one file per input into
+//!                               DIR) and report both warning counts
+//! anek pfg <file.java> <Class.method>
+//!                               dump a method's Permissions Flow Graph as DOT
+//! anek corpus <dir> [--small]   materialize the PMD-shaped synthetic corpus
+//!                               as .java files under <dir>
+//! ```
+
+use anek::analysis::{MethodId, Pfg, ProgramIndex};
+use anek::plural::SpecTable;
+use anek::spec_lang::standard_api;
+use anek::Pipeline;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: anek <infer|check|pipeline|pfg> <file.java>...");
+        return ExitCode::from(2);
+    };
+    match run(cmd, rest) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("anek: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_sources(paths: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    if paths.is_empty() {
+        return Err("no input files".into());
+    }
+    paths
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}").into()))
+        .collect()
+}
+
+fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match cmd {
+        "infer" => {
+            let sources = read_sources(rest)?;
+            let pipeline = Pipeline::from_sources(&sources)?;
+            let result = pipeline.infer();
+            for (method, spec) in &result.specs {
+                if spec.is_empty() {
+                    continue;
+                }
+                let conf = result.confidence.get(method).copied().unwrap_or(1.0);
+                println!("{method}:  (confidence {conf:.2})");
+                if !spec.requires.is_empty() {
+                    println!("    requires: {}", spec.requires);
+                }
+                if !spec.ensures.is_empty() {
+                    println!("    ensures:  {}", spec.ensures);
+                }
+            }
+            eprintln!(
+                "inferred {} specs with {} model solves in {:?}",
+                result.annotation_count(),
+                result.solves,
+                result.elapsed
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let sources = read_sources(rest)?;
+            let pipeline = Pipeline::from_sources(&sources)?;
+            let specs = SpecTable::from_units(&pipeline.units);
+            let result = pipeline.check(&specs);
+            for w in &result.warnings {
+                println!("{w}");
+            }
+            eprintln!(
+                "{} warnings across {} methods in {:?}",
+                result.warnings.len(),
+                result.methods_checked,
+                result.elapsed
+            );
+            Ok(if result.warnings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "pipeline" => {
+            let mut out_dir: Option<String> = None;
+            let mut files: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--out" {
+                    out_dir =
+                        Some(it.next().ok_or("--out needs a directory")?.clone());
+                } else {
+                    files.push(a.clone());
+                }
+            }
+            let sources = read_sources(&files)?;
+            let pipeline = Pipeline::from_sources(&sources)?;
+            let report = pipeline.run();
+            match &out_dir {
+                Some(dir) => {
+                    // One annotated file per input, mirroring the input names.
+                    std::fs::create_dir_all(dir)?;
+                    let (annotated, _) = anek::apply_specs(
+                        &pipeline.units,
+                        &report.inference.specs,
+                    );
+                    for (unit, input) in annotated.iter().zip(&files) {
+                        let name = std::path::Path::new(input)
+                            .file_name()
+                            .ok_or("input has no file name")?;
+                        let path = std::path::Path::new(dir).join(name);
+                        std::fs::write(&path, anek::java_syntax::print_unit(unit))?;
+                    }
+                    eprintln!("wrote {} annotated files to {dir}", files.len());
+                }
+                None => println!("{}", report.annotated_source),
+            }
+            eprintln!(
+                "warnings: {} before, {} after; {} annotations applied; inference {:?}",
+                report.warnings_before.warnings.len(),
+                report.warnings_after.warnings.len(),
+                report.annotations_applied,
+                report.inference.elapsed
+            );
+            for w in &report.warnings_after.warnings {
+                eprintln!("  {w}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "pfg" => {
+            let (target, files) = rest.split_last().ok_or("usage: anek pfg <file>... <Class.method>")?;
+            // Allow either order: if the last arg looks like a file, the
+            // first is the target.
+            let (files, target) = if target.ends_with(".java") {
+                let (t, f) = rest.split_first().ok_or("usage: anek pfg <Class.method> <file>...")?;
+                (f.to_vec(), t.clone())
+            } else {
+                (files.to_vec(), target.clone())
+            };
+            let (class, method) =
+                target.split_once('.').ok_or("target must be Class.method")?;
+            let sources = read_sources(&files)?;
+            let pipeline = Pipeline::from_sources(&sources)?;
+            let index = ProgramIndex::build(pipeline.units.iter());
+            let api = standard_api();
+            let id = MethodId::new(class, method);
+            for unit in &pipeline.units {
+                if let Some(t) = unit.type_named(class) {
+                    if let Some(m) = t.method_named(method) {
+                        let pfg = Pfg::build(&index, &api, class, m);
+                        print!("{}", pfg.to_dot());
+                        return Ok(ExitCode::SUCCESS);
+                    }
+                }
+            }
+            Err(format!("method {id} not found").into())
+        }
+        "corpus" => {
+            let small = rest.iter().any(|a| a == "--small");
+            let dir = rest
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .ok_or("usage: anek corpus <dir> [--small]")?;
+            let cfg = if small {
+                anek::corpus::PmdConfig::small()
+            } else {
+                anek::corpus::PmdConfig::paper()
+            };
+            let corpus = anek::corpus::generate(&cfg);
+            let n = corpus.write_to_dir(std::path::Path::new(dir))?;
+            eprintln!(
+                "wrote {n} classes ({} lines, {} methods, {} next() calls) to {dir}",
+                corpus.stats.lines, corpus.stats.methods, corpus.stats.next_calls
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}

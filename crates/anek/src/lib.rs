@@ -1,0 +1,50 @@
+//! # anek
+//!
+//! The end-to-end facade of the ANEK reproduction (Beckman & Nori,
+//! *Probabilistic, Modular and Scalable Inference of Typestate
+//! Specifications*, PLDI 2011): parse Java → build Permissions Flow Graphs →
+//! infer access-permission specifications probabilistically → apply them as
+//! `@Perm` annotations → verify with the PLURAL modular typestate checker.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anek::Pipeline;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pipeline = Pipeline::from_sources(&[r#"
+//!     class App {
+//!         void drain(Iterator<Integer> it) {
+//!             while (it.hasNext()) { it.next(); }
+//!         }
+//!     }
+//! "#])?;
+//! let report = pipeline.run();
+//! // drain() gets a precondition for `it`, and the program verifies.
+//! assert!(report.annotations_applied >= 1);
+//! assert!(report.warnings_after.warnings.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The re-exported crates hold the pieces: [`java_syntax`] (front end),
+//! [`spec_lang`] (permissions and the annotation language), [`analysis`]
+//! (CFGs and PFGs), [`factor_graph`] (sum-product inference), [`anek_core`]
+//! (constraint generation and ANEK-INFER), [`plural`] (the checker) and
+//! [`corpus`] (benchmark programs).
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod pipeline;
+
+pub use apply::{apply_specs, render};
+pub use pipeline::{Pipeline, PipelineReport};
+
+pub use anek_core;
+pub use analysis;
+pub use corpus;
+pub use factor_graph;
+pub use java_syntax;
+pub use plural;
+pub use spec_lang;

@@ -1,0 +1,135 @@
+//! The end-to-end ANEK + PLURAL pipeline (paper Figure 10).
+//!
+//! Extractor (parse) → constraint generation + probabilistic inference
+//! (`anek-core`) → applier (annotate the AST) → PLURAL check. This is the
+//! workflow of §2.1: run inference over client code, then let the sound
+//! checker validate the result.
+
+use anek_core::{infer, InferConfig, InferResult};
+use java_syntax::{parse, CompilationUnit, ParseError};
+use plural::{check, CheckResult, SpecTable};
+use spec_lang::{standard_api, ApiRegistry};
+
+/// A configured pipeline over one program.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Parsed program.
+    pub units: Vec<CompilationUnit>,
+    /// Annotated library model.
+    pub api: ApiRegistry,
+    /// Inference configuration.
+    pub config: InferConfig,
+}
+
+/// The complete result of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The inference output.
+    pub inference: InferResult,
+    /// PLURAL warnings with no annotations at all (Table 2 "Original").
+    pub warnings_before: CheckResult,
+    /// PLURAL warnings with the inferred annotations applied.
+    pub warnings_after: CheckResult,
+    /// Number of methods the applier annotated.
+    pub annotations_applied: usize,
+    /// The annotated program, pretty-printed.
+    pub annotated_source: String,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from already-parsed units with the standard API
+    /// model and default configuration.
+    pub fn new(units: Vec<CompilationUnit>) -> Pipeline {
+        Pipeline { units, api: standard_api(), config: InferConfig::default() }
+    }
+
+    /// Parses each source string into a unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseError`].
+    pub fn from_sources<S: AsRef<str>>(sources: &[S]) -> Result<Pipeline, ParseError> {
+        let units =
+            sources.iter().map(|s| parse(s.as_ref())).collect::<Result<Vec<_>, _>>()?;
+        Ok(Pipeline::new(units))
+    }
+
+    /// Replaces the API model.
+    pub fn with_api(mut self, api: ApiRegistry) -> Pipeline {
+        self.api = api;
+        self
+    }
+
+    /// Replaces the inference configuration.
+    pub fn with_config(mut self, config: InferConfig) -> Pipeline {
+        self.config = config;
+        self
+    }
+
+    /// Runs inference only.
+    pub fn infer(&self) -> InferResult {
+        infer(&self.units, &self.api, &self.config)
+    }
+
+    /// Runs PLURAL with the given spec table.
+    pub fn check(&self, specs: &SpecTable) -> CheckResult {
+        check(&self.units, &self.api, specs)
+    }
+
+    /// Runs the whole Figure 10 pipeline: check unannotated, infer, apply,
+    /// re-check.
+    pub fn run(&self) -> PipelineReport {
+        let original_specs = SpecTable::from_units(&self.units);
+        let warnings_before = self.check(&original_specs);
+        let inference = self.infer();
+        let merged = SpecTable::from_units(&self.units).overlay_inferred(&inference.specs);
+        let warnings_after = self.check(&merged);
+        let (annotated, annotations_applied) =
+            crate::apply::apply_specs(&self.units, &inference.specs);
+        let annotated_source = crate::apply::render(&annotated);
+        PipelineReport {
+            inference,
+            warnings_before,
+            warnings_after,
+            annotations_applied,
+            annotated_source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_pipeline_reduces_warnings() {
+        let pipeline =
+            Pipeline::from_sources(&[corpus::FIGURE3]).expect("figure 3 parses");
+        let report = pipeline.run();
+        // Unannotated: boundary uses of createColIter warn.
+        assert!(
+            !report.warnings_before.warnings.is_empty(),
+            "original program should warn"
+        );
+        // Inference reduces warnings to just the genuinely-buggy sites.
+        assert!(
+            report.warnings_after.warnings.len() < report.warnings_before.warnings.len(),
+            "before: {:?}\nafter: {:?}",
+            report.warnings_before.warnings,
+            report.warnings_after.warnings
+        );
+        assert!(report.annotations_applied > 0);
+        assert!(report.annotated_source.contains("@Perm"));
+    }
+
+    #[test]
+    fn clean_program_stays_clean() {
+        let pipeline = Pipeline::from_sources(&[
+            "class App { void m(Collection<Integer> c) { Iterator<Integer> it = c.iterator(); while (it.hasNext()) { it.next(); } } }",
+        ])
+        .unwrap();
+        let report = pipeline.run();
+        assert!(report.warnings_before.warnings.is_empty());
+        assert!(report.warnings_after.warnings.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation: the branch-sensitivity extension (the paper's future work).
+//!
+//! §4.2 attributes ANEK's fourth PMD warning to its lack of
+//! branch-sensitivity: "ANEK … cannot infer the correct specification for a
+//! method that is only called in true branches of a conditional." This
+//! harness runs the corpus' branch-trap helper — whose returned iterator is
+//! provably in `HASNEXT` only through the `hasNext()` test — with the
+//! extension off (paper behaviour) and on.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_branch [-- --small]`
+
+use anek::analysis::MethodId;
+use anek::anek_core::InferConfig;
+use anek::plural::{check, SpecTable};
+use anek::spec_lang::{standard_api, SpecTarget};
+use anek::Pipeline;
+use bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let api = standard_api();
+    let trap = MethodId::new("Registry0", "createReadyIter");
+
+    println!("Ablation: branch-sensitivity on the {scale:?} corpus.\n");
+    for bs in [false, true] {
+        let cfg = InferConfig {
+            branch_sensitive: bs,
+            max_iters: 3 * corpus.stats.methods,
+            ..InferConfig::default()
+        };
+        let inference = Pipeline::new(corpus.units.clone()).with_config(cfg).infer();
+        let spec = &inference.specs[&trap];
+        let atom = spec.ensures.for_target(&SpecTarget::Result);
+        let table =
+            SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
+        let warnings = check(&corpus.units, &api, &table);
+        println!(
+            "branch_sensitive = {bs:5} : {trap} ensures {:28}  warnings = {}",
+            atom.map(|a| a.to_string()).unwrap_or_else(|| "(none)".into()),
+            warnings.warnings.len()
+        );
+    }
+    println!(
+        "\nWith the extension the trap helper's spec gains `in HASNEXT` and the\n\
+         fourth warning disappears — ANEK matches the hand-annotated count."
+    );
+}

@@ -1,0 +1,75 @@
+//! Ablation: what the heuristic constraints (H1–H5) buy.
+//!
+//! §1 discusses exactly this on `createColIter`: without H3 the best
+//! inferable return permission is `full` (what `next()` needs); with H3 the
+//! idiomatic `unique` wins. This harness runs inference on Figure 3 with
+//! heuristics enabled and neutralized and prints the inferred result
+//! permission of `createColIter` under each.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_heuristics`
+
+use anek::analysis::MethodId;
+use anek::anek_core::{infer, InferConfig};
+use anek::spec_lang::{standard_api, SpecTarget};
+
+fn main() {
+    // The §1 scenario in its pure form: "should the createColIter method be
+    // inferred to return a permission of type full or unique, in the
+    // absence of any other constraints?" Here the iterator comes from an
+    // *unannotated* program source, so no API spec answers the question --
+    // only H3 can.
+    let unit = anek::java_syntax::parse(
+        r#"class Source {
+            Iterator<Integer> raw() {
+                return null;
+            }
+        }
+        class Maker {
+            Iterator<Integer> createWrapped(Source s) {
+                return s.raw();
+            }
+            void consume(Maker m, Source s) {
+                Iterator<Integer> it = m.createWrapped(s);
+                while (it.hasNext()) { it.next(); }
+            }
+        }"#,
+    )
+    .expect("ablation program parses");
+    let api = standard_api();
+    let id = MethodId::new("Maker", "createWrapped");
+
+    let with_h = InferConfig::default();
+    // Neutralize the heuristics: uniform priors instead of elevated ones.
+    let without_h = InferConfig {
+        p_constructor_unique: 0.5,
+        p_create_unique: 0.5,
+        p_setter_readonly: 0.5,
+        h_thread_shared: 0.51,
+        h_pre_post: 0.51,
+        ..InferConfig::default()
+    };
+
+    println!("Ablation: heuristic H3 on a create* method with no API evidence.\n");
+    for (label, cfg) in [("with heuristics", with_h), ("without heuristics", without_h)] {
+        let result = infer(&[unit.clone()], &api, &cfg);
+        let spec = &result.specs[&id];
+        let atom = spec.ensures.for_target(&SpecTarget::Result);
+        let summary = &result.summaries[&id];
+        let res = summary.result.as_ref().expect("result slot");
+        println!("{label}:");
+        println!(
+            "    ensures result: {}",
+            atom.map(|a| a.to_string()).unwrap_or_else(|| "(nothing above threshold)".into())
+        );
+        println!(
+            "    p(unique)={:.3}  p(full)={:.3}",
+            res.kind(anek::spec_lang::PermissionKind::Unique),
+            res.kind(anek::spec_lang::PermissionKind::Full),
+        );
+    }
+    println!(
+        "\nH3 (create* returns unique) is what turns a merely-satisfying `full`\n\
+         into the strongest, idiomatic `unique` — the paper's §1 argument for\n\
+         heuristic constraints."
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 1 — the iterator protocol as a state machine, reconstructed from
+//! the annotated API model (Figure 2's specs): states, method-induced
+//! transitions, and dynamic state tests.
+//!
+//! Run: `cargo run -p bench --bin figure1`
+
+use anek::spec_lang::{standard_api, SpecTarget, ALIVE};
+
+fn main() {
+    let api = standard_api();
+    for protocol in ["Iterator", "Stream"] {
+        let Some(space) = api.states.get(protocol) else { continue };
+        println!("== {protocol} protocol ==");
+        println!("  states: {}", space.states().join(", "));
+        for m in api.iter().filter(|m| m.type_name == protocol) {
+            let req = m
+                .spec
+                .requires
+                .for_target(&SpecTarget::This)
+                .map(|a| format!("{} in {}", a.kind, a.effective_state()))
+                .unwrap_or_else(|| "-".into());
+            let ens = m
+                .spec
+                .ensures
+                .for_target(&SpecTarget::This)
+                .map(|a| a.effective_state().to_string())
+                .unwrap_or_else(|| ALIVE.into());
+            println!("  {:10} : requires {req:22} -> {ens}", m.method_name);
+            if let Some(t) = &m.spec.true_indicates {
+                println!("  {:10}   returns true  => {t}", "");
+            }
+            if let Some(f) = &m.spec.false_indicates {
+                println!("  {:10}   returns false => {f}", "");
+            }
+        }
+        // Constructors/factories producing the protocol type.
+        for m in api.iter().filter(|m| m.return_type.as_deref() == Some(protocol)) {
+            if let Some(a) = m.spec.ensures.for_target(&SpecTarget::Result) {
+                println!(
+                    "  {}.{}() creates: {} in {}",
+                    m.type_name,
+                    m.method_name,
+                    a.kind,
+                    a.effective_state()
+                );
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 4 — the five permission kinds and the legal-split relation.
+//!
+//! Run: `cargo run -p bench --bin figure4`
+
+use anek::spec_lang::PermissionKind;
+use bench::row;
+
+fn main() {
+    println!("Figure 4. The five permission kinds.\n");
+    let w = &[11, 12, 14, 14];
+    row(&["kind", "this access", "other aliases", "others write"], w);
+    row(&["-".repeat(11).as_str(), "-".repeat(12).as_str(), "-".repeat(14).as_str(), "-".repeat(14).as_str()], w);
+    for k in PermissionKind::ALL {
+        row(
+            &[
+                k.as_str(),
+                if k.allows_write() { "read/write" } else { "read-only" },
+                if k.allows_other_aliases() { "may exist" } else { "none" },
+                if k.allows_other_writers() { "yes" } else { "no" },
+            ],
+            w,
+        );
+    }
+
+    println!("\nLegal weakenings (row may split an edge to column):\n");
+    let mut header = vec!["".to_string()];
+    header.extend(PermissionKind::ALL.iter().map(|k| k.to_string()));
+    let widths = vec![11usize; 6];
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    row(&header_refs, &widths);
+    for a in PermissionKind::ALL {
+        let mut cols = vec![a.to_string()];
+        for b in PermissionKind::ALL {
+            cols.push(if a.can_weaken_to(b) { "yes".into() } else { ".".into() });
+        }
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        row(&refs, &widths);
+    }
+
+    println!("\nExample sound splits of `unique`:");
+    for parts in [
+        vec![PermissionKind::Full, PermissionKind::Pure],
+        vec![PermissionKind::Share, PermissionKind::Share],
+        vec![PermissionKind::Immutable, PermissionKind::Immutable, PermissionKind::Immutable],
+    ] {
+        println!(
+            "  unique -> {:?} : {}",
+            parts.iter().map(|k| k.as_str()).collect::<Vec<_>>(),
+            PermissionKind::Unique.can_split_into(&parts)
+        );
+    }
+    println!(
+        "  unique -> [\"full\", \"full\"] : {}",
+        PermissionKind::Unique.can_split_into(&[PermissionKind::Full, PermissionKind::Full])
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 7 — the PFG of a method with field accesses (dotted receiver
+//! links on read/write nodes).
+//!
+//! Run: `cargo run -p bench --bin figure7`
+
+use anek::analysis::{Pfg, ProgramIndex};
+use anek::spec_lang::standard_api;
+
+fn main() {
+    let unit = anek::java_syntax::parse(anek::corpus::FIGURE7).expect("figure 7 parses");
+    let index = ProgramIndex::build([&unit]);
+    let api = standard_api();
+    let m = unit.type_named("C").expect("C").method_named("accessFields").expect("method");
+    let pfg = Pfg::build(&index, &api, "C", m);
+    print!("{}", pfg.to_dot());
+}

@@ -1,0 +1,28 @@
+//! Figure 8 — prior distributions derived from an existing specification.
+//!
+//! For `@Perm(requires = "full(this) in HASNEXT", ...)` on `next()`, the
+//! receiver-precondition variables get the priors of the paper's table:
+//! B(0.9) for the asserted kind/state and B(0.1) for the alternatives.
+//!
+//! Run: `cargo run -p bench --bin figure8`
+
+use anek::anek_core::InferConfig;
+use anek::spec_lang::{parse_clause, PermissionKind, SpecTarget};
+
+fn main() {
+    let cfg = InferConfig::default();
+    let clause = parse_clause("full(this) in HASNEXT").expect("figure 8 clause");
+    let atom = clause.for_target(&SpecTarget::This).expect("this atom");
+
+    println!("Figure 8. Priors for the receiver precondition of next().\n");
+    println!("{:<14} {:<20}", "Random Var.", "Prior Distribution");
+    println!("{:-<14} {:-<20}", "", "");
+    for k in PermissionKind::ALL {
+        let p = if k == atom.kind { cfg.p_spec_high } else { cfg.p_spec_low };
+        println!("{:<14} B({p})", format!("X{k}"));
+    }
+    for s in ["HASNEXT", "END", "ALIVE"] {
+        let p = if s == atom.effective_state() { cfg.p_spec_high } else { cfg.p_spec_low };
+        println!("{:<14} B({p})", format!("X{s}"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 1 — statistics of the program under inference.
+//!
+//! Paper values (PMD): 38,483 lines, 463 classes, 3,120 methods, 170 calls
+//! to `Iterator.next()`. Our corpus is the PMD stand-in generator at paper
+//! scale (see DESIGN.md for the substitution rationale).
+//!
+//! Run: `cargo run --release -p bench --bin table1 [-- --small]`
+
+use bench::{row, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let s = corpus.stats;
+
+    println!("Table 1. Simple statistics for the corpus ({scale:?} scale).\n");
+    let w = &[28, 14, 14];
+    row(&["", "paper (PMD)", "measured"], w);
+    row(&["-".repeat(28).as_str(), "-".repeat(14).as_str(), "-".repeat(14).as_str()], w);
+    let paper: [(&str, &str); 4] = [
+        ("Lines of Source", "38,483"),
+        ("Number of Classes", "463"),
+        ("Number of Methods", "3,120"),
+        ("Calls to Iterator.next()", "170"),
+    ];
+    let measured =
+        [s.lines.to_string(), s.classes.to_string(), s.methods.to_string(), s.next_calls.to_string()];
+    for ((label, p), m) in paper.iter().zip(measured.iter()) {
+        row(&[label, p, m], w);
+    }
+    if scale == Scale::Small {
+        println!("\n(small scale: paper column is for reference only)");
+    }
+}

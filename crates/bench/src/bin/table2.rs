@@ -1,0 +1,122 @@
+//! Table 2 — the main experiment: annotations, warnings and time for the
+//! four configurations.
+//!
+//! Paper values (PMD):
+//!
+//! | Method       | Annotations | Warnings | Time Taken |
+//! |--------------|-------------|----------|------------|
+//! | Original     | 0           | 45       | 0          |
+//! | Bierhoff \[4\] | 26          | 3        | 75 min     |
+//! | Anek         | 31          | 4        | 3min 47sec |
+//! | Anek Logical | N/A         | N/A      | DNF        |
+//!
+//! Run: `cargo run --release -p bench --bin table2 [-- --small]`
+
+use anek::anek_core::{solve_logical, InferConfig, LogicalOutcome};
+use anek::plural::{check, SpecTable};
+use anek::spec_lang::standard_api;
+use anek::Pipeline;
+use bench::{fmt_duration, row, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let api = standard_api();
+    println!(
+        "Table 2. Results on the {:?}-scale corpus ({} classes, {} methods, {} next() calls).\n",
+        scale, corpus.stats.classes, corpus.stats.methods, corpus.stats.next_calls
+    );
+
+    // ---- Original: no annotations at all ----
+    let original = check(&corpus.units, &api, &SpecTable::unannotated(&corpus.units));
+
+    // ---- Gold (plays Bierhoff's hand annotations; 75 min is the paper's
+    //      reported manual effort) ----
+    let mut gold_table = SpecTable::unannotated(&corpus.units);
+    for (id, spec) in &corpus.gold {
+        gold_table.insert(id.clone(), spec.clone());
+    }
+    let gold = check(&corpus.units, &api, &gold_table);
+
+    // ---- Anek: infer with the modular probabilistic algorithm ----
+    let mut pipeline = Pipeline::new(corpus.units.clone());
+    pipeline.config.max_iters = 3 * corpus.stats.methods;
+    let inference = pipeline.infer();
+    let anek_table = SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
+    let anek = check(&corpus.units, &api, &anek_table);
+    // Count protocol-relevant annotations: non-empty inferred specs on the
+    // iterator-API classes (the registries and utilities the gold set
+    // covers) — the paper's 31 were likewise the iterator-related subset of
+    // what ANEK produced.
+    let protocol_annotations = inference
+        .specs
+        .iter()
+        .filter(|(id, s)| {
+            !s.is_empty() && (id.class.starts_with("Registry") || id.class == "IterUtils")
+        })
+        .count();
+
+    // ---- Anek Logical: hard constraints, whole program, budgeted ----
+    let budget: u64 = match scale {
+        Scale::Paper => 20_000_000,
+        Scale::Small => 200_000,
+    };
+    let start = std::time::Instant::now();
+    let logical = solve_logical(&corpus.units, &api, &InferConfig::default(), budget);
+    let logical_elapsed = start.elapsed();
+    let (logical_ann, logical_warn, logical_time) = match logical.outcome {
+        LogicalOutcome::DidNotFinish => ("N/A".into(), "N/A".into(), "DNF".to_string()),
+        LogicalOutcome::Unsatisfiable => {
+            ("N/A".into(), "N/A".into(), format!("UNSAT ({})", fmt_duration(logical_elapsed)))
+        }
+        LogicalOutcome::Satisfiable { .. } => {
+            ("?".into(), "?".into(), fmt_duration(logical_elapsed))
+        }
+    };
+
+    let w = &[14, 12, 9, 14];
+    row(&["Method", "Annotations", "Warnings", "Time Taken"], w);
+    row(&["-".repeat(14).as_str(), "-".repeat(12).as_str(), "-".repeat(9).as_str(), "-".repeat(14).as_str()], w);
+    row(&["Original", "0", &original.warnings.len().to_string(), "0"], w);
+    row(
+        &[
+            "Gold (hand)",
+            &corpus.gold.len().to_string(),
+            &gold.warnings.len().to_string(),
+            "75min (paper)",
+        ],
+        w,
+    );
+    row(
+        &[
+            "Anek",
+            &protocol_annotations.to_string(),
+            &anek.warnings.len().to_string(),
+            &fmt_duration(inference.elapsed),
+        ],
+        w,
+    );
+    let logical_ann: String = logical_ann;
+    let logical_warn: String = logical_warn;
+    row(&["Anek Logical", &logical_ann, &logical_warn, &logical_time], w);
+
+    println!(
+        "\nLogical mode explored {} steps over {} variables / {} hard constraints;\n\
+         peak decision-stack memory {:.2} GB (limit: 2 GB, the paper's machine — \n\
+         its logical run likewise \"ran out of memory before a fixed point\").",
+        logical.steps,
+        logical.variables,
+        logical.constraints,
+        logical.peak_memory as f64 / 1e9
+    );
+    println!(
+        "Anek performed {} model solves; {} total inferred specs ({} protocol-relevant).",
+        inference.solves,
+        inference.annotation_count(),
+        protocol_annotations
+    );
+    let extra = anek.warnings.len() as i64 - gold.warnings.len() as i64;
+    println!(
+        "Warning delta vs hand annotations: {extra:+} (paper: +1, from ANEK's branch-insensitivity)."
+    );
+}

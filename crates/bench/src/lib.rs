@@ -1,0 +1,80 @@
+//! # bench
+//!
+//! The experiment harness: one binary per table and figure of the paper's
+//! evaluation (§4), plus Criterion micro-benchmarks. Run binaries with
+//! `cargo run --release -p bench --bin <name> [-- --small]`.
+//!
+//! | binary       | regenerates                                        |
+//! |--------------|----------------------------------------------------|
+//! | `table1`     | Table 1 — corpus statistics                        |
+//! | `table2`     | Table 2 — Original / Gold / Anek / Anek-Logical    |
+//! | `table3`     | Table 3 — ANEK vs PLURAL local inference           |
+//! | `table4`     | Table 4 — spec-quality comparison                  |
+//! | `figure3`    | §1's conflicting-evidence walkthrough              |
+//! | `figure4`    | the five permission kinds and legal splits         |
+//! | `figure6`    | DOT of the `copy` method's PFG                     |
+//! | `figure7`    | DOT of the field-access PFG                        |
+//! | `figure8`    | prior distributions from an existing `@Perm`       |
+//! | `sweep_iters`| §3.4's accuracy-vs-iterations trade-off            |
+//! | `figure1`    | the iterator/stream protocol state machines        |
+//! | `ablation_modular` | modular ANEK-INFER vs whole-program `Φ_P`    |
+//! | `ablation_heuristics` | H3 on/off (`full` vs `unique`, §1)        |
+//! | `ablation_branch` | the branch-sensitivity future-work extension  |
+
+#![warn(missing_docs)]
+
+use corpus::generator::{generate, PmdConfig, PmdCorpus};
+
+/// Whether a harness binary runs at paper scale or a fast small scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Table 1 shape: 463 classes / 3,120 methods / 170 `next()` calls.
+    Paper,
+    /// A miniature corpus for quick runs and CI.
+    Small,
+}
+
+impl Scale {
+    /// Parses `--small` from the process arguments (default: paper scale).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--small") {
+            Scale::Small
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The corpus configuration for this scale.
+    pub fn config(self) -> PmdConfig {
+        match self {
+            Scale::Paper => PmdConfig::paper(),
+            Scale::Small => PmdConfig::small(),
+        }
+    }
+
+    /// Generates the corpus for this scale.
+    pub fn corpus(self) -> PmdCorpus {
+        generate(&self.config())
+    }
+}
+
+/// Formats a duration the way the paper does ("3min 47sec" / "22 sec").
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs();
+    if secs >= 60 {
+        format!("{}min {:02}sec", secs / 60, secs % 60)
+    } else if secs >= 1 {
+        format!("{}.{:01}sec", secs, d.subsec_millis() / 100)
+    } else {
+        format!("{}ms", d.as_millis())
+    }
+}
+
+/// Prints a ruled table row.
+pub fn row(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:<w$}  "));
+    }
+    println!("{}", line.trim_end());
+}

@@ -1,0 +1,35 @@
+//! # corpus
+//!
+//! Benchmark programs for the ANEK/PLURAL reproduction (Beckman & Nori,
+//! PLDI 2011):
+//!
+//! * [`figures`] — the paper's running examples (Figures 2, 3, 5, 7) as
+//!   embedded, parseable Java;
+//! * [`regression`] — the small per-rule experiment suite of §4.2 (one case
+//!   per logical/heuristic constraint);
+//! * [`generator`] — the deterministic PMD-stand-in corpus reproducing
+//!   Table 1's shape (classes, methods, `next()` call sites, bug sites),
+//!   plus the gold ("Bierhoff") annotations and ground-truth specs;
+//! * [`table3`] — the 400-line branchy program in modular and inlined forms.
+//!
+//! ## Example
+//!
+//! ```
+//! use corpus::generator::{generate, PmdConfig};
+//!
+//! let corpus = generate(&PmdConfig::small());
+//! assert_eq!(corpus.stats.classes, PmdConfig::small().total_classes);
+//! assert!(!corpus.gold.is_empty()); // the hand-annotation set
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod generator;
+pub mod regression;
+pub mod table3;
+
+pub use figures::{figure2, figure3_unit, figure7_unit, FIGURE3, FIGURE7};
+pub use generator::{generate, CorpusStats, PmdConfig, PmdCorpus};
+pub use regression::{suite, Expectation, RegressionCase};
+pub use table3::{generate as table3_program, Table3Program};

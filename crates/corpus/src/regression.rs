@@ -1,0 +1,270 @@
+//! The small-experiment regression suite (paper §4.2).
+//!
+//! "Each of these benchmarks consisted of one or more classes, with one or
+//! more methods … Each experiment was designed to test some particular ANEK
+//! constraint or feature." The suite doubles as the training set the paper
+//! used to tune inference parameters; the integration tests run inference on
+//! each case and assert its expectation.
+
+use java_syntax::{parse, CompilationUnit};
+
+/// What a regression case expects of the inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// Inference emits, for `method`, a requires atom on `target` of the
+    /// given kind name.
+    RequiresKind {
+        /// `Class.method`.
+        method: &'static str,
+        /// `this`/`result`/param name.
+        target: &'static str,
+        /// Expected permission kind name.
+        kind: &'static str,
+    },
+    /// Inference emits, for `method`, an ensures atom on `target` of the
+    /// given kind name.
+    EnsuresKind {
+        /// `Class.method`.
+        method: &'static str,
+        /// `this`/`result`/param name.
+        target: &'static str,
+        /// Expected permission kind name.
+        kind: &'static str,
+    },
+    /// Inference emits, for `method`, a requires atom on `target` in the
+    /// given state.
+    RequiresState {
+        /// `Class.method`.
+        method: &'static str,
+        /// Target name.
+        target: &'static str,
+        /// Expected abstract state.
+        state: &'static str,
+    },
+    /// After applying inferred specs, PLURAL reports exactly this many
+    /// warnings on the case.
+    WarningsAfterInference(usize),
+    /// The method's receiver precondition marginals exclude the read-only
+    /// kinds (H4/L3 only rule kinds *out*; they do not pick among writers).
+    ReceiverNotReadOnly {
+        /// `Class.method`.
+        method: &'static str,
+    },
+}
+
+/// One regression case.
+#[derive(Debug, Clone)]
+pub struct RegressionCase {
+    /// Short unique name (which rule it targets).
+    pub name: &'static str,
+    /// What the case exercises.
+    pub description: &'static str,
+    /// Java source.
+    pub source: &'static str,
+    /// Expectations checked by the integration tests.
+    pub expectations: Vec<Expectation>,
+}
+
+impl RegressionCase {
+    /// Parses the case's source.
+    pub fn unit(&self) -> CompilationUnit {
+        parse(self.source).unwrap_or_else(|e| panic!("case {} does not parse: {e}", self.name))
+    }
+}
+
+/// The full suite.
+pub fn suite() -> Vec<RegressionCase> {
+    vec![
+        RegressionCase {
+            name: "l1-straight-flow",
+            description: "L1: permission demanded by a callee flows back to the parameter",
+            source: r#"class L1 {
+                void drain(Iterator<Integer> it) {
+                    while (it.hasNext()) { it.next(); }
+                }
+            }"#,
+            expectations: vec![
+                Expectation::RequiresKind { method: "L1.drain", target: "it", kind: "full" },
+                Expectation::WarningsAfterInference(0),
+            ],
+        },
+        RegressionCase {
+            name: "l2-merge-after-call",
+            description: "L2: the retained permission survives a read-only call",
+            source: r#"class L2 {
+                void peek(Iterator<Integer> it) {
+                    it.hasNext();
+                    it.hasNext();
+                    it.next();
+                }
+            }"#,
+            expectations: vec![Expectation::RequiresKind {
+                method: "L2.peek",
+                target: "it",
+                kind: "full",
+            }],
+        },
+        RegressionCase {
+            name: "l3-field-write",
+            description: "L3: a field write makes the receiver a writer",
+            source: r#"class L3 {
+                Object f;
+                void store(Object v) {
+                    this.f = v;
+                }
+            }"#,
+            expectations: vec![Expectation::WarningsAfterInference(0)],
+        },
+        RegressionCase {
+            name: "h1-constructor",
+            description: "H1: constructed objects come back unique",
+            source: r#"class H1 {
+                H1() { }
+                static H1 make() {
+                    return new H1();
+                }
+            }"#,
+            expectations: vec![Expectation::EnsuresKind {
+                method: "H1.make",
+                target: "result",
+                kind: "unique",
+            }],
+        },
+        RegressionCase {
+            name: "h2-pre-post",
+            description: "H2: parameter permissions are returned to the caller",
+            source: r#"class H2 {
+                void read(Iterator<Integer> it) {
+                    it.hasNext();
+                }
+            }"#,
+            expectations: vec![Expectation::EnsuresKind {
+                method: "H2.read",
+                target: "it",
+                kind: "pure",
+            }],
+        },
+        RegressionCase {
+            name: "h3-create-factory",
+            description: "H3: create* methods return unique (the paper's createColIter)",
+            source: r#"class H3 {
+                Collection<Integer> entries;
+                Iterator<Integer> createColIter() {
+                    return entries.iterator();
+                }
+            }"#,
+            expectations: vec![
+                Expectation::EnsuresKind { method: "H3.createColIter", target: "result", kind: "unique" },
+            ],
+        },
+        RegressionCase {
+            name: "h4-setter",
+            description: "H4: set* receivers need a writing permission",
+            source: r#"class H4 {
+                int value;
+                void setValue(int v) {
+                    this.value = v;
+                }
+            }"#,
+            expectations: vec![Expectation::ReceiverNotReadOnly { method: "H4.setValue" }],
+        },
+        RegressionCase {
+            name: "h5-synchronized",
+            description: "H5: synchronized targets are thread-shared (full/share/pure)",
+            source: r#"class H5 {
+                void locked(H5 other) {
+                    synchronized (other) {
+                        other.touch();
+                    }
+                }
+                void touch() { }
+            }"#,
+            expectations: vec![],
+        },
+        RegressionCase {
+            name: "conflict-tolerance",
+            description: "conflicting constraints still yield a spec (the Figure 3 story)",
+            source: r#"class Conflict {
+                Collection<Integer> entries;
+                Iterator<Integer> createIt() {
+                    return entries.iterator();
+                }
+                void goodUse() {
+                    Iterator<Integer> it = createIt();
+                    while (it.hasNext()) { it.next(); }
+                }
+                void goodUse2() {
+                    Iterator<Integer> it = createIt();
+                    while (it.hasNext()) { it.next(); }
+                }
+                void buggyUse() {
+                    createIt().next();
+                }
+            }"#,
+            expectations: vec![
+                Expectation::EnsuresKind { method: "Conflict.createIt", target: "result", kind: "unique" },
+                // The buggy site keeps one warning after inference; good
+                // uses verify.
+                Expectation::WarningsAfterInference(1),
+            ],
+        },
+        RegressionCase {
+            name: "modular-chain",
+            description: "summaries propagate requirements through wrappers",
+            source: r#"class Chain {
+                void inner(Iterator<Integer> it) { it.next(); }
+                void outer(Iterator<Integer> it) { inner(it); }
+            }"#,
+            expectations: vec![
+                Expectation::RequiresState { method: "Chain.inner", target: "it", state: "HASNEXT" },
+                Expectation::RequiresState { method: "Chain.outer", target: "it", state: "HASNEXT" },
+            ],
+        },
+        RegressionCase {
+            name: "stream-protocol",
+            description: "a second protocol (open/close) exercises non-iterator states",
+            source: r#"class Streams {
+                void pump(StreamFactory f) {
+                    Stream s = f.open();
+                    s.read();
+                    s.read();
+                    s.close();
+                }
+            }"#,
+            expectations: vec![Expectation::WarningsAfterInference(0)],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_parse() {
+        for case in suite() {
+            let unit = case.unit();
+            assert!(!unit.types.is_empty(), "{} has no types", case.name);
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_rules() {
+        let names: Vec<&str> = suite().iter().map(|c| c.name).collect();
+        for rule in ["l1", "l2", "l3", "h1", "h2", "h3", "h4", "h5"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(rule)),
+                "no case covers {rule}: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = suite().iter().map(|c| c.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

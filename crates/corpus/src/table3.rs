@@ -1,0 +1,138 @@
+//! The Table 3 micro-benchmark program.
+//!
+//! "We took a small test program crafted for this experiment which contained
+//! numerous short methods and ran ANEK on it to infer method specifications.
+//! Then, in a second run, we inlined each method so that the resulting
+//! program consists of one single large method and ran PLURAL on this
+//! program… The program under inference is small (400 lines) but contains
+//! numerous control flow branches." (§4.2)
+//!
+//! [`generate`] emits the same computation in both forms: `modular` (many
+//! short methods calling each other) and `inlined` (one large method), so
+//! the harness can run ANEK on the former and PLURAL's local fractional
+//! inference on the latter.
+
+use java_syntax::{parse, CompilationUnit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The two forms of the Table 3 program.
+#[derive(Debug, Clone)]
+pub struct Table3Program {
+    /// Many short, branchy methods (ANEK's input).
+    pub modular: CompilationUnit,
+    /// The same work inlined into one large method (PLURAL's input).
+    pub inlined: CompilationUnit,
+    /// Source of the modular form.
+    pub modular_source: String,
+    /// Source of the inlined form.
+    pub inlined_source: String,
+}
+
+/// One inlinable step of work over an iterator.
+fn step_body(out: &mut String, indent: &str, rng: &mut StdRng, i: usize) {
+    let c = rng.gen_range(2..9);
+    let _ = writeln!(out, "{indent}if (it{i}.hasNext()) {{");
+    let _ = writeln!(out, "{indent}    total = total + it{i}.next() * {c};");
+    let _ = writeln!(out, "{indent}}} else {{");
+    let _ = writeln!(out, "{indent}    total = total - {c};");
+    let _ = writeln!(out, "{indent}}}");
+    let _ = writeln!(out, "{indent}while (it{i}.hasNext()) {{");
+    let _ = writeln!(out, "{indent}    int v{i} = it{i}.next();");
+    let _ = writeln!(out, "{indent}    if (v{i} > total) {{");
+    let _ = writeln!(out, "{indent}        total = v{i};");
+    let _ = writeln!(out, "{indent}    }}");
+    let _ = writeln!(out, "{indent}}}");
+}
+
+/// Generates the Table 3 program with roughly `target_lines` lines in the
+/// modular form (the paper used ~400).
+pub fn generate(seed: u64, target_lines: usize) -> Table3Program {
+    // Each step method is ~14 lines; solve for the step count.
+    let steps = (target_lines / 14).max(2);
+
+    // ---- Modular form: one short method per step + a driver ----
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut modular = String::new();
+    let _ = writeln!(modular, "class Pipeline {{");
+    for i in 0..steps {
+        let _ = writeln!(modular, "    int step{i}(Collection<Integer> c, int total) {{");
+        let _ = writeln!(modular, "        Iterator<Integer> it{i} = c.iterator();");
+        step_body(&mut modular, "        ", &mut rng, i);
+        let _ = writeln!(modular, "        return total;");
+        let _ = writeln!(modular, "    }}");
+    }
+    let _ = writeln!(modular, "    int run(Collection<Integer> c) {{");
+    let _ = writeln!(modular, "        int total = 0;");
+    for i in 0..steps {
+        let _ = writeln!(modular, "        total = step{i}(c, total);");
+    }
+    let _ = writeln!(modular, "        return total;");
+    let _ = writeln!(modular, "    }}");
+    let _ = writeln!(modular, "}}");
+
+    // ---- Inlined form: the same work in one large method ----
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inlined = String::new();
+    let _ = writeln!(inlined, "class PipelineInlined {{");
+    let _ = writeln!(inlined, "    int run(Collection<Integer> c) {{");
+    let _ = writeln!(inlined, "        int total = 0;");
+    for i in 0..steps {
+        let _ = writeln!(inlined, "        Iterator<Integer> it{i} = c.iterator();");
+        step_body(&mut inlined, "        ", &mut rng, i);
+    }
+    let _ = writeln!(inlined, "        return total;");
+    let _ = writeln!(inlined, "    }}");
+    let _ = writeln!(inlined, "}}");
+
+    Table3Program {
+        modular: parse(&modular).expect("modular Table 3 program parses"),
+        inlined: parse(&inlined).expect("inlined Table 3 program parses"),
+        modular_source: modular,
+        inlined_source: inlined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::visit::count_calls;
+
+    #[test]
+    fn both_forms_parse_and_cover_the_same_work() {
+        let p = generate(1, 400);
+        // The same number of next() calls in both forms.
+        assert_eq!(count_calls(&p.modular, "next"), count_calls(&p.inlined, "next"));
+        assert!(count_calls(&p.modular, "next") >= 4);
+        // Modular has many methods, inlined has one (plus none extra).
+        let modular_methods = p.modular.methods().count();
+        let inlined_methods = p.inlined.methods().count();
+        assert!(modular_methods > 10);
+        assert_eq!(inlined_methods, 1);
+    }
+
+    #[test]
+    fn modular_form_is_about_the_requested_size() {
+        let p = generate(1, 400);
+        let lines = p.modular_source.lines().count();
+        assert!((300..=560).contains(&lines), "lines = {lines}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(9, 400);
+        let b = generate(9, 400);
+        assert_eq!(a.modular_source, b.modular_source);
+        assert_eq!(a.inlined_source, b.inlined_source);
+    }
+
+    #[test]
+    fn contains_numerous_branches() {
+        // The paper stresses "numerous control flow branches".
+        let p = generate(1, 400);
+        let ifs = p.inlined_source.matches("if (").count();
+        let whiles = p.inlined_source.matches("while (").count();
+        assert!(ifs + whiles > 30, "ifs={ifs} whiles={whiles}");
+    }
+}

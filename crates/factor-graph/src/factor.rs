@@ -1,0 +1,158 @@
+//! Variables and factors over binary (Bernoulli) domains.
+//!
+//! The paper's probabilistic constraints (Eq. 5–6) are "functions having a
+//! small number of variables as arguments with the interval (0, 1] as range".
+//! A [`Factor`] here is exactly that: a tabulated potential over the joint
+//! assignments of its (boolean) scope.
+
+use std::fmt;
+
+/// Identifier of a variable within a [`crate::FactorGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Maximum number of variables a single factor may couple. Potentials are
+/// tabulated, so the table has `2^scope` entries; 16 keeps that at 64Ki.
+pub const MAX_SCOPE: usize = 16;
+
+/// A potential function over the boolean assignments of a variable scope.
+///
+/// `table[i]` is the potential of the assignment whose bit `j` (of `i`)
+/// gives the value of `scope[j]` — i.e. `scope[0]` is the least-significant
+/// bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    scope: Vec<VarId>,
+    table: Vec<f64>,
+}
+
+impl Factor {
+    /// Builds a factor by evaluating `f` on every assignment of `scope`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scope is empty, exceeds [`MAX_SCOPE`], contains
+    /// duplicate variables, or if `f` returns a non-finite or negative
+    /// potential.
+    pub fn from_fn(scope: Vec<VarId>, f: impl Fn(&[bool]) -> f64) -> Factor {
+        assert!(!scope.is_empty(), "factor scope must be non-empty");
+        assert!(scope.len() <= MAX_SCOPE, "factor scope of {} exceeds {MAX_SCOPE}", scope.len());
+        let mut sorted = scope.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), scope.len(), "duplicate variable in factor scope");
+        let n = scope.len();
+        let mut table = Vec::with_capacity(1 << n);
+        let mut assign = vec![false; n];
+        for bits in 0u32..(1 << n) {
+            for (j, a) in assign.iter_mut().enumerate() {
+                *a = bits & (1 << j) != 0;
+            }
+            let v = f(&assign);
+            assert!(v.is_finite() && v >= 0.0, "potential must be finite and non-negative");
+            table.push(v);
+        }
+        Factor { scope, table }
+    }
+
+    /// A soft constraint (paper Eq. 6): potential `h` where `pred` holds and
+    /// `1 - h` where it does not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is outside `(0, 1)` or on the scope conditions of
+    /// [`Factor::from_fn`].
+    pub fn soft(scope: Vec<VarId>, h: f64, pred: impl Fn(&[bool]) -> bool) -> Factor {
+        assert!(h > 0.0 && h < 1.0, "constraint strength must lie strictly in (0, 1)");
+        Factor::from_fn(scope, |a| if pred(a) { h } else { 1.0 - h })
+    }
+
+    /// A unary prior factor: potential `p` for true, `1 - p` for false.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn unary(var: VarId, p: f64) -> Factor {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        Factor { scope: vec![var], table: vec![1.0 - p, p] }
+    }
+
+    /// The variables this factor couples.
+    pub fn scope(&self) -> &[VarId] {
+        &self.scope
+    }
+
+    /// The tabulated potentials (see type-level docs for indexing).
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Evaluates the potential of a full assignment over the factor's scope.
+    pub fn eval(&self, assign: &[bool]) -> f64 {
+        debug_assert_eq!(assign.len(), self.scope.len());
+        let mut idx = 0usize;
+        for (j, &a) in assign.iter().enumerate() {
+            if a {
+                idx |= 1 << j;
+            }
+        }
+        self.table[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_tabulates_in_lsb_order() {
+        let f = Factor::from_fn(vec![VarId(0), VarId(1)], |a| {
+            (a[0] as u8 as f64) + 2.0 * (a[1] as u8 as f64)
+        });
+        // index 0 = (F,F), 1 = (T,F), 2 = (F,T), 3 = (T,T)
+        assert_eq!(f.table(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.eval(&[true, false]), 1.0);
+        assert_eq!(f.eval(&[true, true]), 3.0);
+    }
+
+    #[test]
+    fn soft_equality_matches_eq6() {
+        let h = 0.9;
+        let f = Factor::soft(vec![VarId(0), VarId(1)], h, |a| a[0] == a[1]);
+        assert_eq!(f.eval(&[false, false]), h);
+        assert_eq!(f.eval(&[true, true]), h);
+        assert!((f.eval(&[true, false]) - (1.0 - h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_prior_table() {
+        let f = Factor::unary(VarId(3), 0.9);
+        assert_eq!(f.scope(), &[VarId(3)]);
+        assert!((f.table()[1] - 0.9).abs() < 1e-12);
+        assert!((f.table()[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_scope_panics() {
+        let _ = Factor::from_fn(vec![], |_| 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_scope_panics() {
+        let _ = Factor::from_fn(vec![VarId(0), VarId(0)], |_| 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly in (0, 1)")]
+    fn hard_constraint_strength_rejected() {
+        let _ = Factor::soft(vec![VarId(0)], 1.0, |a| a[0]);
+    }
+}

@@ -1,0 +1,572 @@
+//! The factor graph and its solvers.
+//!
+//! Two solvers are provided:
+//!
+//! * [`FactorGraph::solve`] — the sum-product algorithm on the factor graph
+//!   (loopy belief propagation), the approximate marginal computation the
+//!   paper relies on (§3.4, citing Kschischang et al. \[14\]).
+//! * [`FactorGraph::solve_exact`] — brute-force enumeration of the joint,
+//!   used to validate BP on small graphs and by the "Logical"-style exact
+//!   baselines.
+
+use crate::factor::{Factor, VarId};
+
+/// Options controlling loopy belief propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpOptions {
+    /// Maximum message-passing sweeps.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max-change of any marginal.
+    pub tolerance: f64,
+    /// Damping in `[0, 1)`: new message = (1-d)*computed + d*old.
+    pub damping: f64,
+}
+
+impl Default for BpOptions {
+    fn default() -> BpOptions {
+        BpOptions { max_iterations: 50, tolerance: 1e-6, damping: 0.0 }
+    }
+}
+
+/// The result of marginal inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Marginals {
+    probs: Vec<f64>,
+    /// Number of sweeps actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+impl Marginals {
+    /// `p(X = true)` for a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not from the solved graph.
+    pub fn prob(&self, var: VarId) -> f64 {
+        self.probs[var.0 as usize]
+    }
+
+    /// All marginals, indexed by `VarId`.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+/// A factor graph over Bernoulli variables.
+///
+/// Build it by interleaving [`FactorGraph::add_var`] and
+/// [`FactorGraph::add_factor`], then call one of the solvers.
+#[derive(Debug, Clone, Default)]
+pub struct FactorGraph {
+    names: Vec<String>,
+    factors: Vec<Factor>,
+}
+
+impl FactorGraph {
+    /// An empty graph.
+    pub fn new() -> FactorGraph {
+        FactorGraph::default()
+    }
+
+    /// Adds a variable with a diagnostic name, returning its id. Variables
+    /// start with a uniform (uninformative) prior; add a
+    /// [`Factor::unary`] to encode a prior belief (paper §3.2).
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.into());
+        id
+    }
+
+    /// The diagnostic name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var.0 as usize]
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Adds a factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor references a variable not in this graph.
+    pub fn add_factor(&mut self, factor: Factor) {
+        for v in factor.scope() {
+            assert!(
+                (v.0 as usize) < self.names.len(),
+                "factor references unknown variable {v}"
+            );
+        }
+        self.factors.push(factor);
+    }
+
+    /// The factors added so far.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Sum-product loopy belief propagation.
+    ///
+    /// Returns approximate marginals for every variable. On tree-structured
+    /// graphs the result is exact once converged; on loopy graphs it is the
+    /// standard approximation the paper's `Solve` procedure computes.
+    pub fn solve(&self, opts: &BpOptions) -> Marginals {
+        let n_vars = self.names.len();
+        let _n_factors = self.factors.len();
+
+        // Edge lists: for each factor, the indices of its variables; for
+        // each variable, (factor index, position within factor scope).
+        let mut var_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vars];
+        for (fi, f) in self.factors.iter().enumerate() {
+            for (pos, v) in f.scope().iter().enumerate() {
+                var_edges[v.0 as usize].push((fi, pos));
+            }
+        }
+
+        // Messages are Bernoulli distributions stored as p(true), normalized.
+        // msg_fv[fi][pos]: factor -> variable message.
+        // msg_vf[fi][pos]: variable -> factor message.
+        let mut msg_fv: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+        let mut msg_vf: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+
+        let mut marginals = vec![0.5f64; n_vars];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..opts.max_iterations {
+            iterations = it + 1;
+
+            // Variable -> factor messages: product of incoming factor
+            // messages except the target factor.
+            for (vi, edges) in var_edges.iter().enumerate() {
+                for &(fi, pos) in edges {
+                    let mut p_t = 1.0f64;
+                    let mut p_f = 1.0f64;
+                    for &(ofi, opos) in edges {
+                        if ofi == fi && opos == pos {
+                            continue;
+                        }
+                        let m = msg_fv[ofi][opos];
+                        p_t *= m;
+                        p_f *= 1.0 - m;
+                    }
+                    let z = p_t + p_f;
+                    let new = if z > 0.0 { p_t / z } else { 0.5 };
+                    msg_vf[fi][pos] = damp(msg_vf[fi][pos], new, opts.damping);
+                }
+                let _ = vi;
+            }
+
+            // Factor -> variable messages: marginalize the potential against
+            // the other variables' messages.
+            for (fi, f) in self.factors.iter().enumerate() {
+                let k = f.scope().len();
+                let table = f.table();
+                for pos in 0..k {
+                    let mut sum_t = 0.0f64;
+                    let mut sum_f = 0.0f64;
+                    for (idx, &pot) in table.iter().enumerate() {
+                        if pot == 0.0 {
+                            continue;
+                        }
+                        let mut w = pot;
+                        for (opos, _) in f.scope().iter().enumerate() {
+                            if opos == pos {
+                                continue;
+                            }
+                            let bit = idx & (1 << opos) != 0;
+                            let m = msg_vf[fi][opos];
+                            w *= if bit { m } else { 1.0 - m };
+                        }
+                        if idx & (1 << pos) != 0 {
+                            sum_t += w;
+                        } else {
+                            sum_f += w;
+                        }
+                    }
+                    let z = sum_t + sum_f;
+                    let new = if z > 0.0 { sum_t / z } else { 0.5 };
+                    msg_fv[fi][pos] = damp(msg_fv[fi][pos], new, opts.damping);
+                }
+            }
+
+            // Beliefs and convergence check.
+            let mut max_delta = 0.0f64;
+            for (vi, edges) in var_edges.iter().enumerate() {
+                let mut p_t = 1.0f64;
+                let mut p_f = 1.0f64;
+                for &(fi, pos) in edges {
+                    let m = msg_fv[fi][pos];
+                    p_t *= m;
+                    p_f *= 1.0 - m;
+                }
+                let z = p_t + p_f;
+                let b = if z > 0.0 { p_t / z } else { 0.5 };
+                max_delta = max_delta.max((b - marginals[vi]).abs());
+                marginals[vi] = b;
+            }
+            if max_delta < opts.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        Marginals { probs: marginals, iterations, converged }
+    }
+
+    /// Max-product (MAP) inference: the same message-passing loop with
+    /// `max` in place of `sum`, yielding for each variable the value it
+    /// takes in the (approximately) most likely joint assignment. Useful as
+    /// an alternative extraction rule: instead of thresholding marginals,
+    /// read off the single best specification.
+    pub fn solve_map(&self, opts: &BpOptions) -> Marginals {
+        let n_vars = self.names.len();
+        let mut var_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vars];
+        for (fi, f) in self.factors.iter().enumerate() {
+            for (pos, v) in f.scope().iter().enumerate() {
+                var_edges[v.0 as usize].push((fi, pos));
+            }
+        }
+        let mut msg_fv: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+        let mut msg_vf: Vec<Vec<f64>> =
+            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+        let mut beliefs = vec![0.5f64; n_vars];
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..opts.max_iterations {
+            iterations = it + 1;
+            for edges in var_edges.iter() {
+                for &(fi, pos) in edges {
+                    let mut p_t = 1.0f64;
+                    let mut p_f = 1.0f64;
+                    for &(ofi, opos) in edges {
+                        if ofi == fi && opos == pos {
+                            continue;
+                        }
+                        let m = msg_fv[ofi][opos];
+                        p_t *= m;
+                        p_f *= 1.0 - m;
+                    }
+                    let z = p_t + p_f;
+                    let new = if z > 0.0 { p_t / z } else { 0.5 };
+                    msg_vf[fi][pos] = damp(msg_vf[fi][pos], new, opts.damping);
+                }
+            }
+            for (fi, f) in self.factors.iter().enumerate() {
+                let k = f.scope().len();
+                let table = f.table();
+                for pos in 0..k {
+                    let mut best_t = 0.0f64;
+                    let mut best_f = 0.0f64;
+                    for (idx, &pot) in table.iter().enumerate() {
+                        if pot == 0.0 {
+                            continue;
+                        }
+                        let mut w = pot;
+                        for (opos, _) in f.scope().iter().enumerate() {
+                            if opos == pos {
+                                continue;
+                            }
+                            let bit = idx & (1 << opos) != 0;
+                            let m = msg_vf[fi][opos];
+                            w *= if bit { m } else { 1.0 - m };
+                        }
+                        if idx & (1 << pos) != 0 {
+                            best_t = best_t.max(w);
+                        } else {
+                            best_f = best_f.max(w);
+                        }
+                    }
+                    let z = best_t + best_f;
+                    let new = if z > 0.0 { best_t / z } else { 0.5 };
+                    msg_fv[fi][pos] = damp(msg_fv[fi][pos], new, opts.damping);
+                }
+            }
+            let mut max_delta = 0.0f64;
+            for (vi, edges) in var_edges.iter().enumerate() {
+                let mut p_t = 1.0f64;
+                let mut p_f = 1.0f64;
+                for &(fi, pos) in edges {
+                    let m = msg_fv[fi][pos];
+                    p_t *= m;
+                    p_f *= 1.0 - m;
+                }
+                let z = p_t + p_f;
+                let b = if z > 0.0 { p_t / z } else { 0.5 };
+                max_delta = max_delta.max((b - beliefs[vi]).abs());
+                beliefs[vi] = b;
+            }
+            if max_delta < opts.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        Marginals { probs: beliefs, iterations, converged }
+    }
+
+    /// Exact MAP by enumeration: the single most likely joint assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 variables.
+    pub fn solve_map_exact(&self) -> Vec<bool> {
+        let n = self.names.len();
+        assert!(n <= 24, "exact MAP enumeration limited to 24 variables, got {n}");
+        let mut best = vec![false; n];
+        let mut best_w = -1.0f64;
+        let mut assign = vec![false; n];
+        for bits in 0u64..(1 << n) {
+            for (j, a) in assign.iter_mut().enumerate() {
+                *a = bits & (1 << j) != 0;
+            }
+            let mut w = 1.0f64;
+            for f in &self.factors {
+                let local: Vec<bool> = f.scope().iter().map(|v| assign[v.0 as usize]).collect();
+                w *= f.eval(&local);
+                if w == 0.0 {
+                    break;
+                }
+            }
+            if w > best_w {
+                best_w = w;
+                best = assign.clone();
+            }
+        }
+        best
+    }
+
+    /// Exact marginals by enumerating the full joint (paper Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 variables — enumeration is
+    /// `O(2^n)` and only intended for validation on small graphs.
+    pub fn solve_exact(&self) -> Marginals {
+        let n = self.names.len();
+        assert!(n <= 24, "exact enumeration limited to 24 variables, got {n}");
+        let mut weight_true = vec![0.0f64; n];
+        let mut total = 0.0f64;
+        let mut assign = vec![false; n];
+        for bits in 0u64..(1 << n) {
+            for (j, a) in assign.iter_mut().enumerate() {
+                *a = bits & (1 << j) != 0;
+            }
+            let mut w = 1.0f64;
+            for f in &self.factors {
+                let local: Vec<bool> =
+                    f.scope().iter().map(|v| assign[v.0 as usize]).collect();
+                w *= f.eval(&local);
+                if w == 0.0 {
+                    break;
+                }
+            }
+            if w == 0.0 {
+                continue;
+            }
+            total += w;
+            for (j, &a) in assign.iter().enumerate() {
+                if a {
+                    weight_true[j] += w;
+                }
+            }
+        }
+        let probs = weight_true
+            .iter()
+            .map(|&wt| if total > 0.0 { wt / total } else { 0.5 })
+            .collect();
+        Marginals { probs, iterations: 1, converged: true }
+    }
+}
+
+fn damp(old: f64, new: f64, d: f64) -> f64 {
+    d * old + (1.0 - d) * new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn single_prior_is_returned_exactly() {
+        let mut g = FactorGraph::new();
+        let x = g.add_var("x");
+        g.add_factor(Factor::unary(x, 0.9));
+        let m = g.solve(&BpOptions::default());
+        assert!(close(m.prob(x), 0.9, 1e-9));
+        let e = g.solve_exact();
+        assert!(close(e.prob(x), 0.9, 1e-12));
+    }
+
+    #[test]
+    fn soft_equality_pulls_towards_evidence() {
+        // x has prior 0.9; y tied to x with strength 0.8.
+        let mut g = FactorGraph::new();
+        let x = g.add_var("x");
+        let y = g.add_var("y");
+        g.add_factor(Factor::unary(x, 0.9));
+        g.add_factor(Factor::soft(vec![x, y], 0.8, |a| a[0] == a[1]));
+        let exact = g.solve_exact();
+        let bp = g.solve(&BpOptions::default());
+        // Tree-structured: BP must match enumeration.
+        assert!(close(bp.prob(y), exact.prob(y), 1e-6));
+        assert!(exact.prob(y) > 0.5, "y should lean true: {}", exact.prob(y));
+        assert!(exact.prob(y) < 0.9, "equality is soft");
+    }
+
+    #[test]
+    fn bp_matches_exact_on_chain() {
+        // x0 -(0.9)- x1 -(0.9)- x2 with prior on x0.
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..3).map(|i| g.add_var(format!("x{i}"))).collect();
+        g.add_factor(Factor::unary(xs[0], 0.95));
+        for w in xs.windows(2) {
+            g.add_factor(Factor::soft(vec![w[0], w[1]], 0.9, |a| a[0] == a[1]));
+        }
+        let exact = g.solve_exact();
+        let bp = g.solve(&BpOptions::default());
+        for &x in &xs {
+            assert!(close(bp.prob(x), exact.prob(x), 1e-6), "{x}");
+        }
+        assert!(bp.converged);
+    }
+
+    #[test]
+    fn conflicting_evidence_resolves_to_majority() {
+        // The paper's key scenario (§1): one constraint says HASNEXT, many
+        // say ALIVE. Model one variable pulled both ways.
+        let mut g = FactorGraph::new();
+        let x = g.add_var("state_is_hasnext");
+        g.add_factor(Factor::unary(x, 0.9)); // the buggy call site
+        for _ in 0..4 {
+            g.add_factor(Factor::unary(x, 0.1)); // the consistent sites
+        }
+        let m = g.solve(&BpOptions::default());
+        assert!(m.prob(x) < 0.5, "majority evidence wins: {}", m.prob(x));
+        // Crucially, a solution exists at all — a hard constraint system
+        // would be unsatisfiable here.
+    }
+
+    #[test]
+    fn loopy_graph_stays_bounded_and_close() {
+        // A 4-cycle of soft equalities with one informative prior.
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..4).map(|i| g.add_var(format!("x{i}"))).collect();
+        g.add_factor(Factor::unary(xs[0], 0.9));
+        for i in 0..4 {
+            let a = xs[i];
+            let b = xs[(i + 1) % 4];
+            g.add_factor(Factor::soft(vec![a, b], 0.85, |v| v[0] == v[1]));
+        }
+        let exact = g.solve_exact();
+        let bp = g.solve(&BpOptions { max_iterations: 200, ..BpOptions::default() });
+        for &x in &xs {
+            let (pb, pe) = (bp.prob(x), exact.prob(x));
+            // Loopy BP is known to be overconfident on tight cycles; it must
+            // stay in the right direction and within a coarse band.
+            assert!((pb - pe).abs() < 0.1, "{x}: bp={pb} exact={pe}");
+            assert!(pb > 0.5);
+        }
+    }
+
+    #[test]
+    fn exactly_one_style_factor() {
+        // Soft one-hot over 3 vars plus a strong prior on var 0.
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..3).map(|i| g.add_var(format!("k{i}"))).collect();
+        g.add_factor(Factor::soft(xs.clone(), 0.95, |a| {
+            a.iter().filter(|b| **b).count() == 1
+        }));
+        g.add_factor(Factor::unary(xs[0], 0.9));
+        let m = g.solve_exact();
+        assert!(m.prob(xs[0]) > 0.8);
+        assert!(m.prob(xs[1]) < 0.3);
+        assert!(m.prob(xs[2]) < 0.3);
+    }
+
+    #[test]
+    fn zero_potential_assignments_are_excluded() {
+        let mut g = FactorGraph::new();
+        let x = g.add_var("x");
+        let y = g.add_var("y");
+        // Hard XOR via from_fn (0 potential on violating rows).
+        g.add_factor(Factor::from_fn(vec![x, y], |a| if a[0] != a[1] { 1.0 } else { 0.0 }));
+        g.add_factor(Factor::unary(x, 0.9));
+        let m = g.solve_exact();
+        assert!(close(m.prob(y), 0.1, 1e-9));
+    }
+
+    #[test]
+    fn unconstrained_variable_is_uniform() {
+        let mut g = FactorGraph::new();
+        let x = g.add_var("x");
+        let y = g.add_var("y");
+        g.add_factor(Factor::unary(x, 0.7));
+        g.add_factor(Factor::unary(y, 0.5));
+        let m = g.solve(&BpOptions::default());
+        assert!(close(m.prob(y), 0.5, 1e-9));
+    }
+
+    #[test]
+    fn var_names_are_kept() {
+        let mut g = FactorGraph::new();
+        let x = g.add_var("PRE original unique");
+        assert_eq!(g.var_name(x), "PRE original unique");
+        assert_eq!(g.num_vars(), 1);
+    }
+
+    #[test]
+    fn map_agrees_with_exact_on_chain() {
+        // Distinct link strengths keep the MAP mode unique (a uniform chain
+        // has tied break positions).
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..5).map(|i| g.add_var(format!("x{i}"))).collect();
+        g.add_factor(Factor::unary(xs[0], 0.9));
+        g.add_factor(Factor::unary(xs[4], 0.05));
+        for (w, h) in xs.windows(2).zip([0.9, 0.8, 0.7, 0.6]) {
+            g.add_factor(Factor::soft(vec![w[0], w[1]], h, |a| a[0] == a[1]));
+        }
+        let exact = g.solve_map_exact();
+        let map = g.solve_map(&BpOptions { max_iterations: 100, ..BpOptions::default() });
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(map.prob(x) > 0.5, exact[i], "var {i}: belief {}", map.prob(x));
+        }
+    }
+
+    #[test]
+    fn map_picks_the_consistent_mode() {
+        // Two near-symmetric modes; the prior tips the MAP.
+        let mut g = FactorGraph::new();
+        let a = g.add_var("a");
+        let b = g.add_var("b");
+        g.add_factor(Factor::soft(vec![a, b], 0.95, |v| v[0] == v[1]));
+        g.add_factor(Factor::unary(a, 0.6));
+        let exact = g.solve_map_exact();
+        assert_eq!(exact, vec![true, true]);
+        let map = g.solve_map(&BpOptions::default());
+        assert!(map.prob(a) > 0.5 && map.prob(b) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn foreign_variable_rejected() {
+        let mut g = FactorGraph::new();
+        let _x = g.add_var("x");
+        g.add_factor(Factor::unary(VarId(5), 0.5));
+    }
+}

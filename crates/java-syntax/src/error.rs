@@ -1,0 +1,51 @@
+//! Lexing and parsing errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing Java source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the source the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at a span.
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias used throughout the front end.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e =
+            ParseError::new("unexpected token", Span::new(Pos::new(10, 3, 4), Pos::new(11, 3, 5)));
+        assert_eq!(e.to_string(), "3:4: unexpected token");
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e = ParseError::new("boom", Span::DUMMY);
+        let b: Box<dyn std::error::Error> = Box::new(e);
+        assert!(b.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,493 @@
+//! A hand-written lexer for the Java subset.
+//!
+//! The lexer is a straightforward single-pass scanner producing a `Vec<Token>`.
+//! Line and block comments are skipped; `//` and `/* ... */` nest the way Java
+//! specifies (block comments do not nest).
+
+use crate::error::{ParseError, Result};
+use crate::span::{Pos, Span};
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes an entire source string into tokens, ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings/comments, malformed
+/// numeric literals, or characters outside the subset.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: Pos,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, bytes: src.as_bytes(), pos: Pos::START, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.offset += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, msg: impl Into<String>, start: Pos) -> ParseError {
+        ParseError::new(msg, Span::new(start, self.pos))
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Pos) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_word(start),
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'"' => self.lex_string(start)?,
+                b'\'' => self.lex_char(start)?,
+                _ => self.lex_operator(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(self.error("unterminated block comment", start));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_word(&mut self, start: Pos) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start.offset..self.pos.offset];
+        let kind = match text {
+            "true" => TokenKind::BoolLit(true),
+            "false" => TokenKind::BoolLit(false),
+            "null" => TokenKind::Null,
+            _ => match Keyword::from_str(text) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Ident(text.to_string()),
+            },
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_number(&mut self, start: Pos) -> Result<()> {
+        // Hexadecimal literals: 0x1F, 0XABCDL.
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_hexdigit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if self.pos.offset == digits_start.offset {
+                return Err(self.error("hex literal needs at least one digit", start));
+            }
+            let text = &self.src[digits_start.offset..self.pos.offset];
+            if matches!(self.peek(), Some(b'L') | Some(b'l')) {
+                self.bump();
+            }
+            let value = i64::from_str_radix(text, 16)
+                .map_err(|_| self.error(format!("invalid hex literal `{text}`"), start))?;
+            self.push(TokenKind::IntLit(value), start);
+            return Ok(());
+        }
+        let mut is_double = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !is_double && self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    is_double = true;
+                    self.bump();
+                }
+                b'e' | b'E' if is_double => {
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'L' | b'l' | b'f' | b'F' | b'd' | b'D' => {
+                    // Suffix terminates the literal; treat f/d as double markers.
+                    if matches!(b, b'f' | b'F' | b'd' | b'D') {
+                        is_double = true;
+                    }
+                    self.bump();
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start.offset..self.pos.offset];
+        let kind = if is_double {
+            TokenKind::DoubleLit(text.to_string())
+        } else {
+            let digits = text.trim_end_matches(['L', 'l']);
+            let value: i64 = digits
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer literal `{text}`"), start))?;
+            TokenKind::IntLit(value)
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: Pos) -> Result<()> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => value.push(self.escape(start)?),
+                Some(b'\n') | None => {
+                    return Err(self.error("unterminated string literal", start));
+                }
+                Some(b) => {
+                    // Collect raw bytes; source is valid UTF-8 so multi-byte
+                    // sequences pass through unchanged.
+                    value.push(b as char);
+                }
+            }
+        }
+        self.push(TokenKind::StringLit(value), start);
+        Ok(())
+    }
+
+    fn lex_char(&mut self, start: Pos) -> Result<()> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => self.escape(start)?,
+            Some(b'\'') | None => return Err(self.error("empty character literal", start)),
+            Some(b) => b as char,
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.error("unterminated character literal", start));
+        }
+        self.push(TokenKind::CharLit(c), start);
+        Ok(())
+    }
+
+    fn escape(&mut self, start: Pos) -> Result<char> {
+        match self.bump() {
+            Some(b'n') => Ok('\n'),
+            Some(b't') => Ok('\t'),
+            Some(b'r') => Ok('\r'),
+            Some(b'0') => Ok('\0'),
+            Some(b'\\') => Ok('\\'),
+            Some(b'"') => Ok('"'),
+            Some(b'\'') => Ok('\''),
+            other => Err(self.error(
+                format!("unsupported escape sequence `\\{}`", other.map(|b| b as char).unwrap_or(' ')),
+                start,
+            )),
+        }
+    }
+
+    fn lex_operator(&mut self, start: Pos) -> Result<()> {
+        use TokenKind::*;
+        let b = self.bump().expect("caller checked peek");
+        let two = |l: &Lexer<'_>| l.peek();
+        let kind = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'@' => At,
+            b'?' => Question,
+            b':' => {
+                if two(self) == Some(b':') {
+                    self.bump();
+                    ColonColon
+                } else {
+                    Colon
+                }
+            }
+            b'=' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    NotEq
+                } else {
+                    Bang
+                }
+            }
+            b'<' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'+' => match two(self) {
+                Some(b'+') => {
+                    self.bump();
+                    PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match two(self) {
+                Some(b'-') => {
+                    self.bump();
+                    MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    MinusAssign
+                }
+                _ => Minus,
+            },
+            b'*' => Star,
+            b'/' => Slash,
+            b'%' => Percent,
+            b'&' => {
+                if two(self) == Some(b'&') {
+                    self.bump();
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if two(self) == Some(b'|') {
+                    self.bump();
+                    OrOr
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => Caret,
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char), start));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut toks: Vec<_> = lex(src).unwrap().into_iter().map(|t| t.kind).collect();
+        assert_eq!(toks.pop(), Some(Eof));
+        toks
+    }
+
+    #[test]
+    fn lexes_simple_class_header() {
+        let k = kinds("public class Row {}");
+        assert_eq!(
+            k,
+            vec![
+                Keyword(crate::token::Keyword::Public),
+                Keyword(crate::token::Keyword::Class),
+                Ident("Row".into()),
+                LBrace,
+                RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let k = kinds("a // line\n /* block\n multi */ b");
+        assert_eq!(k, vec![Ident("a".into()), Ident("b".into())]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let e = lex("/* never closed").unwrap_err();
+        assert!(e.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn lexes_literals() {
+        let k = kinds(r#"42 3.14 "hi\n" 'c' true false null 7L"#);
+        assert_eq!(
+            k,
+            vec![
+                IntLit(42),
+                DoubleLit("3.14".into()),
+                StringLit("hi\n".into()),
+                CharLit('c'),
+                BoolLit(true),
+                BoolLit(false),
+                Null,
+                IntLit(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let k = kinds("== != <= >= && || ++ -- += -= ::");
+        assert_eq!(
+            k,
+            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, PlusAssign, MinusAssign, ColonColon]
+        );
+    }
+
+    #[test]
+    fn generics_lex_as_lt_gt() {
+        let k = kinds("Iterator<Integer>");
+        assert_eq!(k, vec![Ident("Iterator".into()), Lt, Ident("Integer".into()), Gt]);
+    }
+
+    #[test]
+    fn annotation_tokens() {
+        let k = kinds("@Perm(requires=\"full(this)\")");
+        assert_eq!(
+            k,
+            vec![
+                At,
+                Ident("Perm".into()),
+                LParen,
+                Ident("requires".into()),
+                Assign,
+                StringLit("full(this)".into()),
+                RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[0].span.start.col, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[1].span.start.col, 3);
+        assert_eq!(toks[1].span.end.col, 5);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"abc\ndef\"").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let e = lex("#").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn empty_input_gives_only_eof() {
+        let toks = lex("").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, Eof);
+    }
+
+    #[test]
+    fn hex_literals() {
+        let k = kinds("0x1F 0XABL 0x0");
+        assert_eq!(k, vec![IntLit(31), IntLit(171), IntLit(0)]);
+        assert!(lex("0x").is_err());
+        assert!(lex("0xZZ").is_err());
+    }
+
+    #[test]
+    fn dollar_idents_allowed() {
+        let k = kinds("a$b _x");
+        assert_eq!(k, vec![Ident("a$b".into()), Ident("_x".into())]);
+    }
+}

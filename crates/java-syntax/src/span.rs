@@ -1,0 +1,127 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics emitted by
+//! the downstream analyses (PLURAL warnings, ANEK inference notes) can point
+//! back into the original Java source.
+
+use std::fmt;
+
+/// A position in a source file: 1-based line and column plus byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// Byte offset from the start of the file.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl Pos {
+    /// The first position in any file.
+    pub const START: Pos = Pos { offset: 0, line: 1, col: 1 };
+
+    /// Creates a position from raw parts.
+    pub fn new(offset: usize, line: u32, col: u32) -> Pos {
+        Pos { offset, line, col }
+    }
+}
+
+impl Default for Pos {
+    fn default() -> Pos {
+        Pos::START
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Start position (inclusive).
+    pub start: Pos,
+    /// End position (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: Pos::START, end: Pos::START };
+
+    /// Creates a span from two positions.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: if self.start <= other.start { self.start } else { other.start },
+            end: if self.end >= other.end { self.end } else { other.end },
+        }
+    }
+
+    /// Extracts the spanned text from `src`.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start.offset..self.end.offset.min(src.len())]
+    }
+
+    /// Whether this is the dummy (zero-width at origin) span.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::DUMMY
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_ordering_is_by_offset_first() {
+        let a = Pos::new(0, 1, 1);
+        let b = Pos::new(5, 1, 6);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(Pos::new(0, 1, 1), Pos::new(3, 1, 4));
+        let b = Span::new(Pos::new(8, 2, 1), Pos::new(9, 2, 2));
+        let j = a.to(b);
+        assert_eq!(j.start, a.start);
+        assert_eq!(j.end, b.end);
+        // Join is commutative.
+        assert_eq!(b.to(a), j);
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let src = "hello world";
+        let s = Span::new(Pos::new(0, 1, 1), Pos::new(5, 1, 6));
+        assert_eq!(s.slice(src), "hello");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pos::new(3, 2, 7).to_string(), "2:7");
+        let s = Span::new(Pos::new(3, 2, 7), Pos::new(4, 2, 8));
+        assert_eq!(s.to_string(), "2:7");
+    }
+
+    #[test]
+    fn dummy_span_detection() {
+        assert!(Span::DUMMY.is_dummy());
+        let s = Span::new(Pos::new(1, 1, 2), Pos::new(2, 1, 3));
+        assert!(!s.is_dummy());
+    }
+}

@@ -1,0 +1,382 @@
+//! Token definitions for the Java subset lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    // Literals
+    /// Integer literal such as `42`.
+    IntLit(i64),
+    /// Floating-point literal such as `3.14`.
+    DoubleLit(String),
+    /// String literal with escape sequences already resolved.
+    StringLit(String),
+    /// Character literal.
+    CharLit(char),
+    /// `true` or `false`.
+    BoolLit(bool),
+    /// `null`.
+    Null,
+
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A reserved keyword.
+    Keyword(Keyword),
+
+    // Punctuation and operators
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `::` (unused by the subset but lexed for error recovery)
+    ColonColon,
+    /// `:`
+    Colon,
+    /// `?`
+    Question,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// End of input.
+    Eof,
+}
+
+/// Java keywords recognized by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Abstract,
+    Assert,
+    Boolean,
+    Break,
+    Byte,
+    Case,
+    Catch,
+    Char,
+    Class,
+    Continue,
+    Default,
+    Do,
+    Double,
+    Else,
+    Extends,
+    Final,
+    Finally,
+    Float,
+    For,
+    If,
+    Implements,
+    Import,
+    Instanceof,
+    Int,
+    Interface,
+    Long,
+    Native,
+    New,
+    Package,
+    Private,
+    Protected,
+    Public,
+    Return,
+    Short,
+    Static,
+    Super,
+    Switch,
+    Synchronized,
+    This,
+    Throw,
+    Throws,
+    Transient,
+    Try,
+    Void,
+    Volatile,
+    While,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source text.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "abstract" => Abstract,
+            "assert" => Assert,
+            "boolean" => Boolean,
+            "break" => Break,
+            "byte" => Byte,
+            "case" => Case,
+            "catch" => Catch,
+            "char" => Char,
+            "class" => Class,
+            "continue" => Continue,
+            "default" => Default,
+            "do" => Do,
+            "double" => Double,
+            "else" => Else,
+            "extends" => Extends,
+            "final" => Final,
+            "finally" => Finally,
+            "float" => Float,
+            "for" => For,
+            "if" => If,
+            "implements" => Implements,
+            "import" => Import,
+            "instanceof" => Instanceof,
+            "int" => Int,
+            "interface" => Interface,
+            "long" => Long,
+            "native" => Native,
+            "new" => New,
+            "package" => Package,
+            "private" => Private,
+            "protected" => Protected,
+            "public" => Public,
+            "return" => Return,
+            "short" => Short,
+            "static" => Static,
+            "super" => Super,
+            "switch" => Switch,
+            "synchronized" => Synchronized,
+            "this" => This,
+            "throw" => Throw,
+            "throws" => Throws,
+            "transient" => Transient,
+            "try" => Try,
+            "void" => Void,
+            "volatile" => Volatile,
+            "while" => While,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source text.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Abstract => "abstract",
+            Assert => "assert",
+            Boolean => "boolean",
+            Break => "break",
+            Byte => "byte",
+            Case => "case",
+            Catch => "catch",
+            Char => "char",
+            Class => "class",
+            Continue => "continue",
+            Default => "default",
+            Do => "do",
+            Double => "double",
+            Else => "else",
+            Extends => "extends",
+            Final => "final",
+            Finally => "finally",
+            Float => "float",
+            For => "for",
+            If => "if",
+            Implements => "implements",
+            Import => "import",
+            Instanceof => "instanceof",
+            Int => "int",
+            Interface => "interface",
+            Long => "long",
+            Native => "native",
+            New => "new",
+            Package => "package",
+            Private => "private",
+            Protected => "protected",
+            Public => "public",
+            Return => "return",
+            Short => "short",
+            Static => "static",
+            Super => "super",
+            Switch => "switch",
+            Synchronized => "synchronized",
+            This => "this",
+            Throw => "throw",
+            Throws => "throws",
+            Transient => "transient",
+            Try => "try",
+            Void => "void",
+            Volatile => "volatile",
+            While => "while",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            IntLit(v) => write!(f, "{v}"),
+            DoubleLit(v) => write!(f, "{v}"),
+            StringLit(v) => write!(f, "{v:?}"),
+            CharLit(c) => write!(f, "'{c}'"),
+            BoolLit(b) => write!(f, "{b}"),
+            Null => f.write_str("null"),
+            Ident(s) => f.write_str(s),
+            Keyword(k) => write!(f, "{k}"),
+            LParen => f.write_str("("),
+            RParen => f.write_str(")"),
+            LBrace => f.write_str("{"),
+            RBrace => f.write_str("}"),
+            LBracket => f.write_str("["),
+            RBracket => f.write_str("]"),
+            Semi => f.write_str(";"),
+            Comma => f.write_str(","),
+            Dot => f.write_str("."),
+            At => f.write_str("@"),
+            ColonColon => f.write_str("::"),
+            Colon => f.write_str(":"),
+            Question => f.write_str("?"),
+            Assign => f.write_str("="),
+            EqEq => f.write_str("=="),
+            NotEq => f.write_str("!="),
+            Lt => f.write_str("<"),
+            Gt => f.write_str(">"),
+            Le => f.write_str("<="),
+            Ge => f.write_str(">="),
+            Plus => f.write_str("+"),
+            Minus => f.write_str("-"),
+            Star => f.write_str("*"),
+            Slash => f.write_str("/"),
+            Percent => f.write_str("%"),
+            Bang => f.write_str("!"),
+            AndAnd => f.write_str("&&"),
+            OrOr => f.write_str("||"),
+            Amp => f.write_str("&"),
+            Pipe => f.write_str("|"),
+            Caret => f.write_str("^"),
+            PlusPlus => f.write_str("++"),
+            MinusMinus => f.write_str("--"),
+            PlusAssign => f.write_str("+="),
+            MinusAssign => f.write_str("-="),
+            Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Token {
+        Token { kind, span }
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_keyword(&self, kw: Keyword) -> bool {
+        matches!(&self.kind, TokenKind::Keyword(k) if *k == kw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Abstract,
+            Keyword::Class,
+            Keyword::Synchronized,
+            Keyword::While,
+            Keyword::Instanceof,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_str("iterator"), None);
+        assert_eq!(Keyword::from_str(""), None);
+        // Contextual words that are not reserved in our subset.
+        assert_eq!(Keyword::from_str("var"), None);
+    }
+
+    #[test]
+    fn token_display_is_sourcelike() {
+        assert_eq!(TokenKind::AndAnd.to_string(), "&&");
+        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "foo");
+        assert_eq!(TokenKind::Keyword(Keyword::Class).to_string(), "class");
+        assert_eq!(TokenKind::IntLit(7).to_string(), "7");
+    }
+
+    #[test]
+    fn is_keyword_checks_kind() {
+        let t = Token::new(TokenKind::Keyword(Keyword::If), Span::DUMMY);
+        assert!(t.is_keyword(Keyword::If));
+        assert!(!t.is_keyword(Keyword::Else));
+    }
+}

@@ -1,0 +1,274 @@
+//! A read-only AST visitor.
+//!
+//! Downstream analyses (call-site collection, synchronized-target discovery,
+//! statistics for Table 1) implement [`Visitor`] and use the `walk_*`
+//! functions for the default traversal order (pre-order, left-to-right).
+
+use crate::ast::*;
+
+/// A visitor over the AST. All hooks default to pure traversal.
+pub trait Visitor {
+    /// Called for every type declaration.
+    fn visit_type_decl(&mut self, t: &TypeDecl) {
+        walk_type_decl(self, t);
+    }
+    /// Called for every method declaration.
+    fn visit_method(&mut self, m: &MethodDecl) {
+        walk_method(self, m);
+    }
+    /// Called for every field declaration.
+    fn visit_field(&mut self, f: &FieldDecl) {
+        walk_field(self, f);
+    }
+    /// Called for every statement.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    /// Called for every expression.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+/// Visits every type in a compilation unit.
+pub fn walk_unit<V: Visitor + ?Sized>(v: &mut V, unit: &CompilationUnit) {
+    for t in &unit.types {
+        v.visit_type_decl(t);
+    }
+}
+
+/// Default traversal of a type declaration.
+pub fn walk_type_decl<V: Visitor + ?Sized>(v: &mut V, t: &TypeDecl) {
+    for m in &t.members {
+        match m {
+            Member::Field(f) => v.visit_field(f),
+            Member::Method(md) => v.visit_method(md),
+        }
+    }
+}
+
+/// Default traversal of a method declaration.
+pub fn walk_method<V: Visitor + ?Sized>(v: &mut V, m: &MethodDecl) {
+    if let Some(b) = &m.body {
+        for s in &b.stmts {
+            v.visit_stmt(s);
+        }
+    }
+}
+
+/// Default traversal of a field declaration.
+pub fn walk_field<V: Visitor + ?Sized>(v: &mut V, f: &FieldDecl) {
+    if let Some(e) = &f.init {
+        v.visit_expr(e);
+    }
+}
+
+/// Default traversal of a statement.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Block(b) => {
+            for s in &b.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::LocalVar { init, .. } => {
+            if let Some(e) = init {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Expr(e) | StmtKind::Throw(e) => v.visit_expr(e),
+        StmtKind::If { cond, then_branch, else_branch } => {
+            v.visit_expr(cond);
+            v.visit_stmt(then_branch);
+            if let Some(e) = else_branch {
+                v.visit_stmt(e);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_stmt(body);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            v.visit_stmt(body);
+            v.visit_expr(cond);
+        }
+        StmtKind::Switch { scrutinee, cases } => {
+            v.visit_expr(scrutinee);
+            for c in cases {
+                for l in c.labels.iter().flatten() {
+                    v.visit_expr(l);
+                }
+                for s in &c.body {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StmtKind::For { init, cond, update, body } => {
+            for s in init {
+                v.visit_stmt(s);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            for e in update {
+                v.visit_expr(e);
+            }
+            v.visit_stmt(body);
+        }
+        StmtKind::ForEach { iterable, body, .. } => {
+            v.visit_expr(iterable);
+            v.visit_stmt(body);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Assert { cond, message } => {
+            v.visit_expr(cond);
+            if let Some(m) = message {
+                v.visit_expr(m);
+            }
+        }
+        StmtKind::Synchronized { target, body } => {
+            v.visit_expr(target);
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Try { body, catches, finally } => {
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+            for c in catches {
+                for s in &c.body.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+            if let Some(f) = finally {
+                for s in &f.stmts {
+                    v.visit_stmt(s);
+                }
+            }
+        }
+        StmtKind::Break | StmtKind::Continue | StmtKind::Empty => {}
+    }
+}
+
+/// Default traversal of an expression.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::Literal(_) | ExprKind::Name(_) | ExprKind::This => {}
+        ExprKind::FieldAccess { receiver, .. } => v.visit_expr(receiver),
+        ExprKind::Call { receiver, args, .. } => {
+            if let Some(r) = receiver {
+                v.visit_expr(r);
+            }
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::New { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Assign { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Postfix { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::InstanceOf { expr, .. } => v.visit_expr(expr),
+        ExprKind::Conditional { cond, then_expr, else_expr } => {
+            v.visit_expr(cond);
+            v.visit_expr(then_expr);
+            v.visit_expr(else_expr);
+        }
+        ExprKind::ArrayAccess { array, index } => {
+            v.visit_expr(array);
+            v.visit_expr(index);
+        }
+    }
+}
+
+/// Counts occurrences of calls to a given method name in a unit.
+///
+/// Used by the Table 1 harness (`Calls to Iterator.next(): 170`).
+pub fn count_calls(unit: &CompilationUnit, method_name: &str) -> usize {
+    struct Counter<'a> {
+        name: &'a str,
+        count: usize,
+    }
+    impl Visitor for Counter<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let ExprKind::Call { name, .. } = &e.kind {
+                if name == self.name {
+                    self.count += 1;
+                }
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = Counter { name: method_name, count: 0 };
+    walk_unit(&mut c, unit);
+    c.count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn counts_nested_calls() {
+        let unit = parse(
+            r#"class C {
+                void m(Iterator<Integer> it) {
+                    while (it.hasNext()) { use(it.next()); }
+                    if (it.hasNext()) { int x = it.next() + it.next(); }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(count_calls(&unit, "next"), 3);
+        assert_eq!(count_calls(&unit, "hasNext"), 2);
+        assert_eq!(count_calls(&unit, "use"), 1);
+        assert_eq!(count_calls(&unit, "absent"), 0);
+    }
+
+    #[test]
+    fn visits_field_initializers_and_synchronized() {
+        let unit = parse(
+            r#"class C {
+                int x = mk();
+                void m(Object l) { synchronized (l) { mk(); } }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(count_calls(&unit, "mk"), 2);
+    }
+
+    #[test]
+    fn visits_for_variants() {
+        let unit = parse(
+            r#"class C {
+                void m(Collection<Integer> c) {
+                    for (int i = seed(); i < lim(); i = step(i)) { body(); }
+                    for (Integer x : c.view()) { body(); }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(count_calls(&unit, "seed"), 1);
+        assert_eq!(count_calls(&unit, "lim"), 1);
+        assert_eq!(count_calls(&unit, "step"), 1);
+        assert_eq!(count_calls(&unit, "body"), 2);
+        assert_eq!(count_calls(&unit, "view"), 1);
+    }
+}

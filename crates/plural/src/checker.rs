@@ -1,0 +1,1066 @@
+//! The modular typestate checker (the paper's PLURAL [3, 5]).
+//!
+//! Programs are checked one method at a time against access-permission
+//! specifications: a flow-sensitive abstract interpretation over the
+//! event-CFG tracks, per tracked object, the held permission kind and the
+//! set of abstract states it may be in. Specifications come from the
+//! annotated library API and from per-method specs (hand-written or
+//! ANEK-inferred). Dynamic state tests (`@TrueIndicates`) refine states
+//! branch-sensitively — the branch sensitivity ANEK itself lacks (§4.2).
+//!
+//! A method boundary with no specification provides only PLURAL's lenient
+//! *default* permission — `share` in an unknown state — so ordinary calls
+//! stay quiet but protocol-relevant calls (`next()` needs `full` in
+//! `HASNEXT`) on unannotated-boundary objects produce warnings. This is
+//! what makes Table 2's "Original: 45 warnings" row, and why inferring
+//! specifications removes warnings.
+
+use crate::spec_table::SpecTable;
+use analysis::cfg::{Cfg, Terminator};
+use analysis::events::{Event, EventKind, Operand, Place};
+use analysis::types::{Callee, MethodId, ProgramIndex, TypeEnv};
+use java_syntax::ast::{CompilationUnit, ExprId};
+use java_syntax::Span;
+use spec_lang::{
+    ApiRegistry, Fraction, MethodSpec, Permission, PermissionKind, SpecTarget, StateRegistry,
+    ALIVE,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why a warning fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarningKind {
+    /// No permission was available for a call that requires one.
+    NoPermission,
+    /// The held permission kind is too weak for the callee's requirement.
+    InsufficientPermission,
+    /// The object may not be in the state the callee requires.
+    WrongState,
+    /// A field write through a read-only receiver permission.
+    IllegalFieldWrite,
+    /// A declared postcondition is not met at method exit.
+    PostconditionViolated,
+}
+
+impl fmt::Display for WarningKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WarningKind::NoPermission => "no permission",
+            WarningKind::InsufficientPermission => "insufficient permission",
+            WarningKind::WrongState => "wrong state",
+            WarningKind::IllegalFieldWrite => "illegal field write",
+            WarningKind::PostconditionViolated => "postcondition violated",
+        })
+    }
+}
+
+/// A checker diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    /// The method the warning is in.
+    pub method: MethodId,
+    /// Source location.
+    pub span: Span,
+    /// Category.
+    pub kind: WarningKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}: {}", self.kind, self.method, self.span, self.message)
+    }
+}
+
+/// The result of checking a program.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// All warnings, in method/program order.
+    pub warnings: Vec<Warning>,
+    /// Number of method bodies checked.
+    pub methods_checked: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl CheckResult {
+    /// Warnings of a given kind.
+    pub fn of_kind(&self, kind: WarningKind) -> impl Iterator<Item = &Warning> {
+        self.warnings.iter().filter(move |w| w.kind == kind)
+    }
+}
+
+/// Object identity inside one method: parameters, or the allocation/call
+/// site that produced the object. Keying tokens by site keeps them stable
+/// across control-flow joins.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Tok {
+    Param(String),
+    Site(ExprId),
+}
+
+/// What the checker knows about one object: a concrete fractional
+/// permission (Boyland-style) plus the set of abstract states the object
+/// may be in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PermVal {
+    perm: Permission,
+    /// Possible abstract states; `None` = unknown (any state).
+    states: Option<BTreeSet<String>>,
+    type_name: Option<String>,
+}
+
+impl PermVal {
+    fn kind(&self) -> PermissionKind {
+        self.perm.kind
+    }
+
+    fn in_state(kind: PermissionKind, state: &str, ty: Option<String>) -> PermVal {
+        // Only `unique` owns the whole object; any weaker permission that
+        // arrived over a method boundary implicitly left fractions with the
+        // caller's other aliases, so claiming fraction 1 would let the
+        // split/merge round trip wrongly reconstitute `unique`.
+        let fraction =
+            if kind == PermissionKind::Unique { Fraction::ONE } else { Fraction::HALF };
+        PermVal {
+            perm: Permission::new(kind, fraction).expect("fraction in (0, 1]"),
+            states: Some(std::iter::once(state.to_string()).collect()),
+            type_name: ty,
+        }
+    }
+
+    /// The default permission at an unannotated method boundary: a `share`
+    /// permission (partial fraction, unknown state).
+    fn boundary_default(ty: Option<String>) -> PermVal {
+        PermVal {
+            perm: Permission::new(PermissionKind::Share, Fraction::HALF)
+                .expect("fraction in (0, 1]"),
+            states: None,
+            type_name: ty,
+        }
+    }
+
+    /// Whether every possible state refines `wanted`.
+    fn state_satisfies(&self, wanted: &str, states: &StateRegistry) -> bool {
+        if wanted == ALIVE {
+            return true;
+        }
+        match &self.states {
+            None => false,
+            Some(set) => {
+                let space = self.type_name.as_deref().and_then(|t| states.get(t));
+                set.iter().all(|s| match space {
+                    Some(space) => space.refines(s, wanted),
+                    None => s == wanted,
+                })
+            }
+        }
+    }
+}
+
+/// Per-point abstract state.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct AbsState {
+    alias: BTreeMap<Place, Tok>,
+    perms: BTreeMap<Tok, PermVal>,
+}
+
+impl AbsState {
+    /// Join of two states (may-analysis over states, must over aliases and
+    /// kinds).
+    fn join(&self, other: &AbsState) -> AbsState {
+        let mut alias = BTreeMap::new();
+        for (p, t) in &self.alias {
+            if other.alias.get(p) == Some(t) {
+                alias.insert(p.clone(), t.clone());
+            }
+        }
+        let mut perms = BTreeMap::new();
+        for (t, a) in &self.perms {
+            if let Some(b) = other.perms.get(t) {
+                // Weaker kind, smaller fraction, union of states: the join
+                // must under-approximate what is certainly held.
+                let kind = if a.kind().strength_rank() >= b.kind().strength_rank() {
+                    a.kind()
+                } else {
+                    b.kind()
+                };
+                let fraction = a.perm.fraction.min(b.perm.fraction);
+                let states = match (&a.states, &b.states) {
+                    (Some(x), Some(y)) => Some(x.union(y).cloned().collect()),
+                    _ => None,
+                };
+                perms.insert(
+                    t.clone(),
+                    PermVal {
+                        perm: Permission::new(kind, fraction)
+                            .expect("joined fraction stays in (0, 1]"),
+                        states,
+                        type_name: a.type_name.clone(),
+                    },
+                );
+            }
+        }
+        AbsState { alias, perms }
+    }
+}
+
+/// Checks every method body of `units` against `specs` (program-method
+/// specifications; API specs come from `api`).
+pub fn check(units: &[CompilationUnit], api: &ApiRegistry, specs: &SpecTable) -> CheckResult {
+    let start = Instant::now();
+    let index = ProgramIndex::build(units.iter());
+    let states = crate::spec_table::merged_states(units, api);
+    let mut warnings = Vec::new();
+    let mut methods_checked = 0usize;
+    for unit in units {
+        for t in &unit.types {
+            for m in t.methods() {
+                if m.body.is_none() {
+                    continue;
+                }
+                methods_checked += 1;
+                let id = MethodId::new(&t.name, &m.name);
+                let mut env = TypeEnv::for_method(&index, api, &t.name, m);
+                let cfg = Cfg::build(m, &mut env);
+                let mut checker = MethodChecker {
+                    id: id.clone(),
+                    api,
+                    specs,
+                    states: &states,
+                    warnings: Vec::new(),
+                };
+                checker.run(&cfg, m, &id);
+                warnings.extend(checker.warnings);
+            }
+        }
+    }
+    CheckResult { warnings, methods_checked, elapsed: start.elapsed() }
+}
+
+struct MethodChecker<'a> {
+    id: MethodId,
+    api: &'a ApiRegistry,
+    specs: &'a SpecTable,
+    states: &'a StateRegistry,
+    warnings: Vec<Warning>,
+}
+
+impl MethodChecker<'_> {
+    fn warn(&mut self, span: Span, kind: WarningKind, message: String) {
+        self.warnings.push(Warning { method: self.id.clone(), span, kind, message });
+    }
+
+    fn callee_spec(&self, callee: &Callee) -> Option<MethodSpec> {
+        match callee {
+            Callee::Api { type_name, method } => {
+                self.api.get(type_name, method).map(|m| m.spec.clone())
+            }
+            Callee::Program(id) => self.specs.get(id).cloned(),
+            Callee::Unknown { .. } => None,
+        }
+    }
+
+    fn run(&mut self, cfg: &Cfg, m: &java_syntax::ast::MethodDecl, id: &MethodId) {
+        // Entry state from the method's own requires clause.
+        let own_spec = self.specs.get(id).cloned().unwrap_or_default();
+        let mut entry = AbsState::default();
+        let bind_param = |entry: &mut AbsState,
+                          name: &str,
+                          ty: Option<String>,
+                          place: Place,
+                          target: &SpecTarget| {
+            let tok = Tok::Param(name.to_string());
+            entry.alias.insert(place, tok.clone());
+            let perm = match own_spec.requires.for_target(target) {
+                Some(atom) => PermVal::in_state(atom.kind, atom.effective_state(), ty),
+                None => PermVal::boundary_default(ty),
+            };
+            entry.perms.insert(tok, perm);
+        };
+        if !m.modifiers.is_static {
+            bind_param(
+                &mut entry,
+                "this",
+                Some(id.class.clone()),
+                Place::This,
+                &SpecTarget::This,
+            );
+        }
+        for p in &m.params {
+            let ty = analysis::ref_type_name(&p.ty);
+            if ty.is_some() {
+                bind_param(
+                    &mut entry,
+                    &p.name,
+                    ty,
+                    Place::Local(p.name.clone()),
+                    &SpecTarget::Param(p.name.clone()),
+                );
+            }
+        }
+
+        // Worklist dataflow to fixpoint.
+        let n = cfg.blocks.len();
+        let mut in_states: Vec<Option<AbsState>> = vec![None; n];
+        in_states[cfg.entry] = Some(entry);
+        let mut work: Vec<usize> = vec![cfg.entry];
+        let mut exit_states: Vec<AbsState> = Vec::new();
+        let mut iterations = 0usize;
+        let cap = n * 64 + 256;
+        // Collect warnings only on the final pass to avoid duplicates:
+        // first run to fixpoint silently, then replay once.
+        while let Some(b) = work.pop() {
+            iterations += 1;
+            if iterations > cap {
+                break;
+            }
+            let Some(state) = in_states[b].clone() else { continue };
+            let (out, _w) = self.exec_block(cfg, b, state, false);
+            match cfg.blocks[b].term.as_ref().expect("sealed") {
+                Terminator::Goto(t) => {
+                    if flow(&mut in_states[*t], &out) {
+                        work.push(*t);
+                    }
+                }
+                Terminator::Branch { test, then_blk, else_blk } => {
+                    let (ts, es) = self.refine(&out, test.as_ref());
+                    if flow(&mut in_states[*then_blk], &ts) {
+                        work.push(*then_blk);
+                    }
+                    if flow(&mut in_states[*else_blk], &es) {
+                        work.push(*else_blk);
+                    }
+                }
+                Terminator::Return(_) | Terminator::Exit => {}
+            }
+        }
+        // Final pass: emit warnings per block once, on the fixpoint input.
+        for b in 0..n {
+            let Some(state) = in_states[b].clone() else { continue };
+            let (out, _) = self.exec_block(cfg, b, state, true);
+            if let Terminator::Return(_) = cfg.blocks[b].term.as_ref().expect("sealed") {
+                exit_states.push(out);
+            }
+        }
+        // Own postcondition check.
+        for (target, place, name) in own_spec
+            .ensures
+            .atoms
+            .iter()
+            .filter_map(|a| match &a.target {
+                SpecTarget::This => Some((a, Place::This, "this".to_string())),
+                SpecTarget::Param(p) => {
+                    Some((a, Place::Local(p.clone()), p.clone()))
+                }
+                SpecTarget::Result => None,
+            })
+        {
+            let _ = place;
+            for exit in &exit_states {
+                let tok = Tok::Param(name.clone());
+                match exit.perms.get(&tok) {
+                    Some(pv)
+                        if pv.kind().satisfies(target.kind)
+                            && pv.state_satisfies(target.effective_state(), self.states) => {}
+                    _ => {
+                        self.warn(
+                            m.span,
+                            WarningKind::PostconditionViolated,
+                            format!(
+                                "postcondition `{target}` of {} may not hold at exit",
+                                self.id
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes a block's events on `state`; returns the out-state. Emits
+    /// warnings only when `emit` is true.
+    fn exec_block(
+        &mut self,
+        cfg: &Cfg,
+        b: usize,
+        mut state: AbsState,
+        emit: bool,
+    ) -> (AbsState, ()) {
+        let events = cfg.blocks[b].events.clone();
+        for ev in &events {
+            self.exec_event(ev, &mut state, emit);
+        }
+        (state, ())
+    }
+
+    fn tok_of(&self, state: &AbsState, op: &Operand) -> Option<Tok> {
+        state.alias.get(&op.place).cloned()
+    }
+
+    fn exec_event(&mut self, ev: &Event, state: &mut AbsState, emit: bool) {
+        match &ev.kind {
+            EventKind::New { type_name, dest, .. } => {
+                let tok = Tok::Site(ev.id);
+                state.perms.insert(
+                    tok.clone(),
+                    PermVal {
+                        perm: Permission::fresh(),
+                        states: Some(std::iter::once(ALIVE.to_string()).collect()),
+                        type_name: type_name.clone(),
+                    },
+                );
+                state.alias.insert(dest.clone(), tok);
+            }
+            EventKind::Call { callee, receiver, args, dest } => {
+                let spec = self.callee_spec(callee);
+                if let Some(spec) = &spec {
+                    // Receiver requirement.
+                    if let Some(recv) = receiver {
+                        self.check_operand(
+                            ev,
+                            state,
+                            recv,
+                            spec,
+                            &SpecTarget::This,
+                            callee,
+                            emit,
+                        );
+                    }
+                    // Named argument requirements.
+                    if let Callee::Program(id) = callee {
+                        for (i, arg) in args.iter().enumerate() {
+                            let Some(arg) = arg else { continue };
+                            let pname = self
+                                .specs
+                                .param_name(id, i)
+                                .unwrap_or_else(|| format!("arg{i}"));
+                            self.check_operand(
+                                ev,
+                                state,
+                                arg,
+                                spec,
+                                &SpecTarget::Param(pname),
+                                callee,
+                                emit,
+                            );
+                        }
+                    }
+                    // Result permission from ensures.
+                    if let Some(dest) = dest {
+                        let tok = Tok::Site(ev.id);
+                        let perm = match spec.ensures.for_target(&SpecTarget::Result) {
+                            Some(atom) => PermVal::in_state(
+                                atom.kind,
+                                atom.effective_state(),
+                                dest.type_name.clone(),
+                            ),
+                            None => PermVal::boundary_default(dest.type_name.clone()),
+                        };
+                        state.perms.insert(tok.clone(), perm);
+                        state.alias.insert(dest.place.clone(), tok);
+                    }
+                } else if let Some(dest) = dest {
+                    // No spec at all: the boundary default applies.
+                    let tok = Tok::Site(ev.id);
+                    state
+                        .perms
+                        .insert(tok.clone(), PermVal::boundary_default(dest.type_name.clone()));
+                    state.alias.insert(dest.place.clone(), tok);
+                }
+            }
+            EventKind::FieldRead { dest, .. } => {
+                // Fields are method-boundary state: without field annotations
+                // (outside the subset) the boundary default applies.
+                let tok = Tok::Site(ev.id);
+                state
+                    .perms
+                    .insert(tok.clone(), PermVal::boundary_default(dest.type_name.clone()));
+                state.alias.insert(dest.place.clone(), tok);
+            }
+            EventKind::FieldWrite { receiver, .. } => {
+                if let Some(tok) = self.tok_of(state, receiver) {
+                    if let Some(pv) = state.perms.get(&tok) {
+                        if !pv.kind().allows_write() && emit {
+                            self.warn(
+                                ev.span,
+                                WarningKind::IllegalFieldWrite,
+                                format!(
+                                    "field write through read-only `{}` permission on `{}`",
+                                    pv.kind(), receiver.place
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::Copy { dest, src } => {
+                match state.alias.get(&src.place).cloned() {
+                    Some(tok) => {
+                        state.alias.insert(dest.clone(), tok);
+                    }
+                    None => {
+                        state.alias.remove(dest);
+                    }
+                }
+            }
+            EventKind::Sync { .. } => {}
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_operand(
+        &mut self,
+        ev: &Event,
+        state: &mut AbsState,
+        op: &Operand,
+        spec: &MethodSpec,
+        target: &SpecTarget,
+        callee: &Callee,
+        emit: bool,
+    ) {
+        let Some(atom) = spec.requires.for_target(target).cloned() else {
+            return;
+        };
+        let tok = self.tok_of(state, op);
+        let Some(tok) = tok else { return };
+        match state.perms.get(&tok) {
+            None => {
+                if emit {
+                    self.warn(
+                        ev.span,
+                        WarningKind::NoPermission,
+                        format!(
+                            "call to {callee} requires `{atom}` but no permission is available for `{}`",
+                            op.place
+                        ),
+                    );
+                }
+            }
+            Some(pv) => {
+                if !pv.kind().satisfies(atom.kind) {
+                    if emit {
+                        self.warn(
+                            ev.span,
+                            WarningKind::InsufficientPermission,
+                            format!(
+                                "call to {callee} requires `{}` but only `{}` is held for `{}`",
+                                atom.kind,
+                                pv.kind(),
+                                op.place
+                            ),
+                        );
+                    }
+                } else if !pv.state_satisfies(atom.effective_state(), self.states) {
+                    if emit {
+                        self.warn(
+                            ev.span,
+                            WarningKind::WrongState,
+                            format!(
+                                "call to {callee} requires `{}` in state {} but `{}` may be in {:?}",
+                                atom.kind,
+                                atom.effective_state(),
+                                op.place,
+                                pv.states
+                                    .clone()
+                                    .map(|s| s.into_iter().collect::<Vec<_>>())
+                                    .unwrap_or_else(|| vec!["<unknown>".into()])
+                            ),
+                        );
+                    }
+                }
+                // Post-call update: lend the required permission through the
+                // Boyland split/merge round trip (the fraction algebra
+                // guarantees the caller gets its strength back), and take
+                // the object's state from the callee's ensures.
+                let ensured = spec.ensures.for_target(target).cloned();
+                if let Some(pv) = state.perms.get_mut(&tok) {
+                    if let Ok((retained, lent)) = pv.perm.split(atom.kind) {
+                        pv.perm = retained
+                            .merge(lent)
+                            .expect("split halves re-merge within the whole");
+                    }
+                    if let Some(ens) = ensured {
+                        pv.states =
+                            Some(std::iter::once(ens.effective_state().to_string()).collect());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Branch refinement from dynamic state tests.
+    fn refine(
+        &self,
+        state: &AbsState,
+        test: Option<&analysis::cfg::BranchTest>,
+    ) -> (AbsState, AbsState) {
+        let mut t = state.clone();
+        let mut e = state.clone();
+        let Some(test) = test else { return (t, e) };
+        let Some(spec) = self.callee_spec(&test.callee) else { return (t, e) };
+        let Some(tok) = state.alias.get(&test.operand.place).cloned() else {
+            return (t, e);
+        };
+        let (true_state, false_state) = if test.negated {
+            (&spec.false_indicates, &spec.true_indicates)
+        } else {
+            (&spec.true_indicates, &spec.false_indicates)
+        };
+        if let Some(s) = true_state {
+            if let Some(pv) = t.perms.get_mut(&tok) {
+                pv.states = Some(std::iter::once(s.clone()).collect());
+            }
+        }
+        if let Some(s) = false_state {
+            if let Some(pv) = e.perms.get_mut(&tok) {
+                pv.states = Some(std::iter::once(s.clone()).collect());
+            }
+        }
+        (t, e)
+    }
+}
+
+/// Joins `new` into the slot; returns true if the slot changed.
+fn flow(slot: &mut Option<AbsState>, new: &AbsState) -> bool {
+    match slot {
+        None => {
+            *slot = Some(new.clone());
+            true
+        }
+        Some(old) => {
+            let joined = old.join(new);
+            if &joined != old {
+                *slot = Some(joined);
+                true
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec_table::SpecTable;
+    use java_syntax::parse;
+    use spec_lang::standard_api;
+
+    fn check_src(src: &str) -> CheckResult {
+        let unit = parse(src).unwrap();
+        let api = standard_api();
+        let specs = SpecTable::from_units(&[unit.clone()]);
+        check(&[unit], &api, &specs)
+    }
+
+    #[test]
+    fn correct_loop_use_verifies_clean() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    while (it.hasNext()) { it.next(); }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+        assert_eq!(r.methods_checked, 1);
+    }
+
+    #[test]
+    fn next_without_hasnext_warns_wrong_state() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    it.next();
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::WrongState);
+    }
+
+    #[test]
+    fn if_guarded_next_is_clean_but_following_next_warns() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    if (it.hasNext()) {
+                        it.next();
+                        it.next();
+                    }
+                }
+            }"#,
+        );
+        // First next() is fine (HASNEXT via the test); the second warns
+        // because next() returns the iterator to ALIVE.
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::WrongState);
+    }
+
+    #[test]
+    fn negated_test_refines_else_branch() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    if (!it.hasNext()) {
+                        int x = 0;
+                    } else {
+                        it.next();
+                    }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn unannotated_helper_boundary_warns_no_permission() {
+        // The Table 2 "Original" scenario: an iterator crossing an
+        // unannotated method boundary has no permission at the use site.
+        let r = check_src(
+            r#"class Row {
+                Collection<Integer> entries;
+                Iterator<Integer> createColIter() { return entries.iterator(); }
+            }
+            class App {
+                void use(Row r) {
+                    Iterator<Integer> it = r.createColIter();
+                    while (it.hasNext()) { it.next(); }
+                }
+            }"#,
+        );
+        assert!(
+            r.warnings.iter().any(|w| w.kind == WarningKind::InsufficientPermission),
+            "{:?}",
+            r.warnings
+        );
+        // The boundary default is `share`, so only the protocol-relevant
+        // `next()` warns — `hasNext()` (pure) stays quiet.
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn annotated_helper_boundary_is_clean() {
+        let r = check_src(
+            r#"class Row {
+                Collection<Integer> entries;
+                @Perm(ensures = "unique(result) in ALIVE")
+                Iterator<Integer> createColIter() { return entries.iterator(); }
+            }
+            class App {
+                void use(Row r) {
+                    Iterator<Integer> it = r.createColIter();
+                    while (it.hasNext()) { it.next(); }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn annotated_param_requirement_enforced_at_caller() {
+        let r = check_src(
+            r#"class App {
+                @Perm(requires = "full(it) in HASNEXT")
+                void step(Iterator<Integer> it) { it.next(); }
+                void good(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    if (it.hasNext()) { step(it); }
+                }
+                void bad(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    step(it);
+                }
+            }"#,
+        );
+        // Only `bad` should warn (wrong state on the `it` argument).
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].method, MethodId::new("App", "bad"));
+    }
+
+    #[test]
+    fn loop_reaches_fixpoint_and_stays_clean() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c, boolean cond) {
+                    Iterator<Integer> it = c.iterator();
+                    while (it.hasNext()) {
+                        if (cond) { it.next(); } else { it.next(); }
+                    }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn stream_protocol_close_then_read_warns() {
+        let r = check_src(
+            r#"class App {
+                void m(StreamFactory f) {
+                    Stream s = f.open();
+                    s.read();
+                    s.close();
+                    s.read();
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::WrongState);
+    }
+
+    #[test]
+    fn postcondition_violation_detected() {
+        let r = check_src(
+            r#"class App {
+                @Perm(requires = "full(s) in OPEN", ensures = "full(s) in OPEN")
+                void keepOpen(Stream s) {
+                    s.close();
+                }
+            }"#,
+        );
+        assert!(
+            r.warnings.iter().any(|w| w.kind == WarningKind::PostconditionViolated),
+            "{:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn close_in_finally_verifies() {
+        // The classic typestate idiom: the stream is closed on every path.
+        let r = check_src(
+            r#"class App {
+                void ship(StreamFactory f) {
+                    Stream s = f.open();
+                    try {
+                        s.read();
+                        s.read();
+                    } finally {
+                        s.close();
+                    }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn read_after_try_close_warns() {
+        let r = check_src(
+            r#"class App {
+                void bad(StreamFactory f) {
+                    Stream s = f.open();
+                    try {
+                        s.read();
+                    } finally {
+                        s.close();
+                    }
+                    s.read();
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::WrongState);
+    }
+
+    #[test]
+    fn catch_path_joins_conservatively() {
+        // The catch handler starts from try-entry state; using the stream
+        // there is fine while it is still OPEN.
+        let r = check_src(
+            r#"class App {
+                void recover(StreamFactory f) {
+                    Stream s = f.open();
+                    try {
+                        s.read();
+                    } catch (IOException e) {
+                        s.read();
+                    }
+                    s.close();
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn do_while_first_iteration_checked() {
+        // A do-while calls next() before any hasNext() — the first
+        // iteration is unguarded and must warn.
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c) {
+                    Iterator<Integer> it = c.iterator();
+                    do {
+                        it.next();
+                    } while (it.hasNext());
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::WrongState);
+    }
+
+    #[test]
+    fn switch_paths_join_conservatively() {
+        // One switch arm closes the stream; after the join the state is
+        // {OPEN, CLOSED} and a read may fail.
+        let r = check_src(
+            r#"class App {
+                void m(StreamFactory f, int x) {
+                    Stream s = f.open();
+                    switch (x) {
+                        case 1:
+                            s.close();
+                            break;
+                        default:
+                            s.read();
+                    }
+                    s.read();
+                }
+            }"#,
+        );
+        assert!(
+            r.warnings.iter().any(|w| w.kind == WarningKind::WrongState),
+            "read after possibly-closed must warn: {:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn nested_loops_and_branches_terminate_and_verify() {
+        let r = check_src(
+            r#"class App {
+                void m(Collection<Integer> c, boolean flag) {
+                    for (int i = 0; i < 10; i++) {
+                        Iterator<Integer> it = c.iterator();
+                        while (it.hasNext()) {
+                            if (flag) {
+                                it.next();
+                            } else {
+                                do {
+                                    it.next();
+                                } while (it.hasNext());
+                            }
+                        }
+                    }
+                }
+            }"#,
+        );
+        // The do-while's first next() is guarded by the enclosing while's
+        // hasNext(), so everything verifies.
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn try_inside_loop_reopens_each_iteration() {
+        let r = check_src(
+            r#"class App {
+                void m(StreamFactory f, int n) {
+                    for (int i = 0; i < n; i++) {
+                        Stream s = f.open();
+                        try {
+                            s.read();
+                        } finally {
+                            s.close();
+                        }
+                    }
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn switch_fallthrough_sees_earlier_case_effects() {
+        // case 1 closes and falls through into case 2's read: must warn.
+        let r = check_src(
+            r#"class App {
+                void m(StreamFactory f, int x) {
+                    Stream s = f.open();
+                    switch (x) {
+                        case 1:
+                            s.close();
+                        case 2:
+                            s.read();
+                            break;
+                        default:
+                            s.close();
+                    }
+                }
+            }"#,
+        );
+        assert!(
+            r.warnings.iter().any(|w| w.kind == WarningKind::WrongState),
+            "fallthrough read-after-close must warn: {:?}",
+            r.warnings
+        );
+    }
+
+    #[test]
+    fn fresh_object_survives_borrow_round_trip() {
+        // A fresh (unique) stream lent as `full` to read() must come back
+        // unique via fraction merging — a later callee demanding `unique`
+        // would otherwise fail.
+        let r = check_src(
+            r#"class App {
+                @Perm(requires = "unique(s) in OPEN")
+                void consume(Stream s) { s.read(); }
+                void m(StreamFactory f) {
+                    Stream s = f.open();
+                    s.read();
+                    consume(s);
+                }
+            }"#,
+        );
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn boundary_share_never_promotes_to_unique() {
+        // A boundary-default share must not sneak up to unique through the
+        // split/merge round trip.
+        let r = check_src(
+            r#"class App {
+                @Perm(requires = "unique(s) in OPEN")
+                void consume(Stream s) { s.read(); }
+                void m(Stream s) {
+                    s.read();
+                    consume(s);
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
+        // s.read(): share satisfies full? no -> insufficient; consume: needs
+        // unique -> insufficient.
+        assert!(r
+            .warnings
+            .iter()
+            .all(|w| w.kind == WarningKind::InsufficientPermission));
+    }
+
+    #[test]
+    fn field_write_through_pure_warns() {
+        let r = check_src(
+            r#"class Row {
+                Collection<Integer> entries;
+                @Perm(requires = "pure(this)")
+                void sneaky(Collection<Integer> c) {
+                    this.entries = c;
+                }
+            }"#,
+        );
+        assert_eq!(r.warnings.len(), 1, "{:?}", r.warnings);
+        assert_eq!(r.warnings[0].kind, WarningKind::IllegalFieldWrite);
+    }
+}

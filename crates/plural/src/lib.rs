@@ -1,0 +1,40 @@
+//! # plural
+//!
+//! The PLURAL modular typestate checker (Bierhoff & Aldrich \[5\]) that the
+//! reproduced paper (Beckman & Nori, PLDI 2011) targets: given
+//! access-permission specifications — hand-written or ANEK-inferred —
+//! [`check`] verifies each method body in isolation and reports protocol
+//! warnings. Also included: PLURAL's local fractional-permission inference
+//! by Gaussian elimination ([`local_infer()`](local_infer::local_infer)), the Table 3 baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use plural::{check, SpecTable};
+//! use spec_lang::standard_api;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let unit = java_syntax::parse(
+//!     "class App { void m(Collection<Integer> c) { c.iterator().next(); } }",
+//! )?;
+//! let api = standard_api();
+//! let specs = SpecTable::from_units(std::slice::from_ref(&unit));
+//! let result = check(&[unit], &api, &specs);
+//! assert_eq!(result.warnings.len(), 1); // next() without hasNext()
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod linalg;
+pub mod local_infer;
+pub mod sparse;
+pub mod spec_table;
+
+pub use checker::{check, CheckResult, Warning, WarningKind};
+pub use linalg::{solve, Matrix, Solution};
+pub use local_infer::{local_infer, local_infer_pfg, LocalInference};
+pub use sparse::{solve_sparse, SignedFrac, SparseRow, SparseSolution};
+pub use spec_table::{merged_states, SpecTable};

@@ -1,0 +1,179 @@
+//! Program-method specification tables.
+//!
+//! The checker consults a [`SpecTable`] for the specification of every
+//! program method: hand-written annotations parsed from source, optionally
+//! overlaid with ANEK-inferred specifications (the paper's workflow — infer,
+//! apply, then check with PLURAL).
+
+use analysis::types::MethodId;
+use java_syntax::ast::CompilationUnit;
+use spec_lang::{spec_of_method, ApiRegistry, MethodSpec, StateRegistry, StateSpace};
+use std::collections::BTreeMap;
+
+/// Specifications and signatures for program methods.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTable {
+    specs: BTreeMap<MethodId, MethodSpec>,
+    params: BTreeMap<MethodId, Vec<String>>,
+}
+
+impl SpecTable {
+    /// An empty table (every method unspecified) that still knows parameter
+    /// names — the Table 2 "Original" configuration.
+    pub fn unannotated(units: &[CompilationUnit]) -> SpecTable {
+        let mut t = SpecTable::default();
+        t.collect_params(units);
+        t
+    }
+
+    /// Builds the table from source annotations.
+    pub fn from_units(units: &[CompilationUnit]) -> SpecTable {
+        let mut t = SpecTable::default();
+        t.collect_params(units);
+        for unit in units {
+            for ty in &unit.types {
+                for m in ty.methods() {
+                    if let Ok(spec) = spec_of_method(m) {
+                        if !spec.is_empty() {
+                            t.specs.insert(MethodId::new(&ty.name, &m.name), spec);
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    fn collect_params(&mut self, units: &[CompilationUnit]) {
+        for unit in units {
+            for ty in &unit.types {
+                for m in ty.methods() {
+                    self.params.insert(
+                        MethodId::new(&ty.name, &m.name),
+                        m.params.iter().map(|p| p.name.clone()).collect(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Overlays inferred specifications: a non-empty inferred spec replaces
+    /// the entry of any method that had no hand-written one.
+    pub fn overlay_inferred(mut self, inferred: &BTreeMap<MethodId, MethodSpec>) -> SpecTable {
+        for (id, spec) in inferred {
+            if spec.is_empty() {
+                continue;
+            }
+            self.specs.entry(id.clone()).or_insert_with(|| spec.clone());
+        }
+        self
+    }
+
+    /// Inserts or replaces a spec.
+    pub fn insert(&mut self, id: MethodId, spec: MethodSpec) {
+        self.specs.insert(id, spec);
+    }
+
+    /// The specification of a method, if any.
+    pub fn get(&self, id: &MethodId) -> Option<&MethodSpec> {
+        self.specs.get(id)
+    }
+
+    /// Number of specified methods.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether no method is specified.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The name of the `i`-th parameter of a method.
+    pub fn param_name(&self, id: &MethodId, i: usize) -> Option<String> {
+        self.params.get(id).and_then(|ps| ps.get(i).cloned())
+    }
+
+    /// Iterates over all (method, spec) entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&MethodId, &MethodSpec)> {
+        self.specs.iter()
+    }
+}
+
+/// Merges API state spaces with program-declared `@States("A, B")`
+/// annotations (kept independent of `anek-core`, which has its own copy).
+pub fn merged_states(units: &[CompilationUnit], api: &ApiRegistry) -> StateRegistry {
+    let mut reg = api.states.clone();
+    for unit in units {
+        for t in &unit.types {
+            for ann in &t.annotations {
+                if ann.name.simple() == "States" {
+                    if let Some(list) = ann.single_string() {
+                        reg.insert(StateSpace::parse_decl(&t.name, list));
+                    }
+                }
+            }
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+    use spec_lang::parse_clause;
+
+    const SRC: &str = r#"class Row {
+        @Perm(ensures = "unique(result) in ALIVE")
+        Iterator<Integer> createColIter() { return null; }
+        void add(int v, Row other) { }
+    }"#;
+
+    #[test]
+    fn collects_annotations_and_params() {
+        let unit = parse(SRC).unwrap();
+        let t = SpecTable::from_units(&[unit]);
+        assert_eq!(t.len(), 1);
+        let spec = t.get(&MethodId::new("Row", "createColIter")).unwrap();
+        assert!(!spec.ensures.is_empty());
+        assert_eq!(t.param_name(&MethodId::new("Row", "add"), 1).as_deref(), Some("other"));
+        assert_eq!(t.param_name(&MethodId::new("Row", "add"), 5), None);
+    }
+
+    #[test]
+    fn unannotated_table_is_empty_but_knows_params() {
+        let unit = parse(SRC).unwrap();
+        let t = SpecTable::unannotated(&[unit]);
+        assert!(t.is_empty());
+        assert!(t.param_name(&MethodId::new("Row", "add"), 0).is_some());
+    }
+
+    #[test]
+    fn overlay_does_not_clobber_hand_written() {
+        let unit = parse(SRC).unwrap();
+        let t = SpecTable::from_units(&[unit]);
+        let mut inferred = BTreeMap::new();
+        inferred.insert(
+            MethodId::new("Row", "createColIter"),
+            MethodSpec {
+                ensures: parse_clause("pure(result)").unwrap(),
+                ..MethodSpec::default()
+            },
+        );
+        inferred.insert(
+            MethodId::new("Row", "add"),
+            MethodSpec {
+                requires: parse_clause("share(this)").unwrap(),
+                ..MethodSpec::default()
+            },
+        );
+        let merged = t.overlay_inferred(&inferred);
+        // Hand-written wins for createColIter…
+        let kept = merged.get(&MethodId::new("Row", "createColIter")).unwrap();
+        assert_eq!(kept.ensures.to_string(), "unique(result) in ALIVE");
+        // …inferred fills the gap for add.
+        assert!(merged.get(&MethodId::new("Row", "add")).is_some());
+        assert_eq!(merged.len(), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Exact rational arithmetic for fractional permissions.
+//!
+//! Boyland-style fractional permissions \[7\] associate each permission with a
+//! rational fraction of the whole object so that weaker permissions can later
+//! be merged back into stronger ones. `num-rational` is not in the approved
+//! offline dependency set, so this is a small exact implementation over
+//! `i64` with overflow-checked operations.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// An exact non-negative rational number, always kept in lowest terms with a
+/// positive denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fraction {
+    num: i64,
+    den: i64,
+}
+
+/// Error produced by fraction arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FractionError {
+    /// Denominator of zero.
+    ZeroDenominator,
+    /// Numerator/denominator exceeded `i64` range during normalization.
+    Overflow,
+    /// A subtraction went below zero (permissions cannot be negative).
+    Negative,
+}
+
+impl fmt::Display for FractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FractionError::ZeroDenominator => f.write_str("fraction denominator is zero"),
+            FractionError::Overflow => f.write_str("fraction arithmetic overflowed"),
+            FractionError::Negative => f.write_str("fraction result would be negative"),
+        }
+    }
+}
+
+impl std::error::Error for FractionError {}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Fraction {
+    /// The zero fraction (no permission).
+    pub const ZERO: Fraction = Fraction { num: 0, den: 1 };
+    /// The whole permission.
+    pub const ONE: Fraction = Fraction { num: 1, den: 1 };
+    /// One half.
+    pub const HALF: Fraction = Fraction { num: 1, den: 2 };
+
+    /// Creates a fraction `num/den` reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FractionError::ZeroDenominator`] if `den == 0` and
+    /// [`FractionError::Negative`] if the value is below zero.
+    pub fn new(num: i64, den: i64) -> Result<Fraction, FractionError> {
+        if den == 0 {
+            return Err(FractionError::ZeroDenominator);
+        }
+        let (mut num, mut den) = if den < 0 { (-num, -den) } else { (num, den) };
+        if num < 0 {
+            return Err(FractionError::Negative);
+        }
+        let g = gcd(num, den);
+        if g > 1 {
+            num /= g;
+            den /= g;
+        }
+        Ok(Fraction { num, den })
+    }
+
+    /// The numerator (after reduction).
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    /// The denominator (after reduction, always positive).
+    pub fn denom(&self) -> i64 {
+        self.den
+    }
+
+    /// Whether this fraction is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this fraction is exactly one (a whole permission).
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FractionError::Overflow`] when intermediate products exceed
+    /// `i64`.
+    pub fn checked_add(self, rhs: Fraction) -> Result<Fraction, FractionError> {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .ok_or(FractionError::Overflow)?;
+        let den = self.den.checked_mul(rhs.den).ok_or(FractionError::Overflow)?;
+        Fraction::new(num, den)
+    }
+
+    /// Checked subtraction; errors if the result would be negative.
+    ///
+    /// # Errors
+    ///
+    /// [`FractionError::Negative`] if `rhs > self`, [`FractionError::Overflow`]
+    /// on `i64` overflow.
+    pub fn checked_sub(self, rhs: Fraction) -> Result<Fraction, FractionError> {
+        let num = self
+            .num
+            .checked_mul(rhs.den)
+            .and_then(|a| rhs.num.checked_mul(self.den).and_then(|b| a.checked_sub(b)))
+            .ok_or(FractionError::Overflow)?;
+        if num < 0 {
+            return Err(FractionError::Negative);
+        }
+        let den = self.den.checked_mul(rhs.den).ok_or(FractionError::Overflow)?;
+        Fraction::new(num, den)
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// [`FractionError::Overflow`] on `i64` overflow.
+    pub fn checked_mul(self, rhs: Fraction) -> Result<Fraction, FractionError> {
+        // Cross-reduce first to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2).ok_or(FractionError::Overflow)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1).ok_or(FractionError::Overflow)?;
+        Fraction::new(num, den)
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// [`FractionError::ZeroDenominator`] when dividing by zero,
+    /// [`FractionError::Overflow`] on `i64` overflow.
+    pub fn checked_div(self, rhs: Fraction) -> Result<Fraction, FractionError> {
+        if rhs.is_zero() {
+            return Err(FractionError::ZeroDenominator);
+        }
+        self.checked_mul(Fraction { num: rhs.den, den: rhs.num })
+    }
+
+    /// Splits this fraction evenly into `n` parts.
+    ///
+    /// # Errors
+    ///
+    /// [`FractionError::ZeroDenominator`] if `n == 0`,
+    /// [`FractionError::Overflow`] on `i64` overflow.
+    pub fn split(self, n: u32) -> Result<Fraction, FractionError> {
+        if n == 0 {
+            return Err(FractionError::ZeroDenominator);
+        }
+        self.checked_div(Fraction::new(n as i64, 1).expect("n >= 1"))
+    }
+
+    /// Half of this fraction.
+    pub fn halve(self) -> Fraction {
+        self.split(2).expect("halving cannot fail for reduced fractions")
+    }
+}
+
+impl Default for Fraction {
+    fn default() -> Fraction {
+        Fraction::ZERO
+    }
+}
+
+impl PartialOrd for Fraction {
+    fn partial_cmp(&self, other: &Fraction) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fraction {
+    fn cmp(&self, other: &Fraction) -> Ordering {
+        // Compare via i128 to avoid overflow.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+// Panicking operator impls for ergonomic use in tests and internal code that
+// has already validated ranges. Checked variants above are the public
+// contract for untrusted inputs.
+
+impl Add for Fraction {
+    type Output = Fraction;
+    /// # Panics
+    /// Panics on overflow; use [`Fraction::checked_add`] for fallible addition.
+    fn add(self, rhs: Fraction) -> Fraction {
+        self.checked_add(rhs).expect("fraction addition overflowed")
+    }
+}
+
+impl Sub for Fraction {
+    type Output = Fraction;
+    /// # Panics
+    /// Panics on overflow/negative; use [`Fraction::checked_sub`].
+    fn sub(self, rhs: Fraction) -> Fraction {
+        self.checked_sub(rhs).expect("fraction subtraction failed")
+    }
+}
+
+impl Mul for Fraction {
+    type Output = Fraction;
+    /// # Panics
+    /// Panics on overflow; use [`Fraction::checked_mul`].
+    fn mul(self, rhs: Fraction) -> Fraction {
+        self.checked_mul(rhs).expect("fraction multiplication overflowed")
+    }
+}
+
+impl Div for Fraction {
+    type Output = Fraction;
+    /// # Panics
+    /// Panics on division by zero or overflow; use [`Fraction::checked_div`].
+    fn div(self, rhs: Fraction) -> Fraction {
+        self.checked_div(rhs).expect("fraction division failed")
+    }
+}
+
+impl From<u32> for Fraction {
+    fn from(v: u32) -> Fraction {
+        Fraction { num: v as i64, den: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reduces_and_fixes_sign() {
+        let f = Fraction::new(2, 4).unwrap();
+        assert_eq!((f.numer(), f.denom()), (1, 2));
+        let g = Fraction::new(3, -6);
+        assert_eq!(g, Err(FractionError::Negative));
+        let z = Fraction::new(0, 5).unwrap();
+        assert!(z.is_zero());
+        assert_eq!(z.denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Fraction::new(1, 0), Err(FractionError::ZeroDenominator));
+    }
+
+    #[test]
+    fn arithmetic_laws() {
+        let a = Fraction::new(1, 3).unwrap();
+        let b = Fraction::new(1, 6).unwrap();
+        assert_eq!(a + b, Fraction::HALF);
+        assert_eq!(Fraction::ONE - Fraction::HALF, Fraction::HALF);
+        assert_eq!(a * b, Fraction::new(1, 18).unwrap());
+        assert_eq!(a / b, Fraction::new(2, 1).unwrap());
+    }
+
+    #[test]
+    fn subtraction_below_zero_errors() {
+        assert_eq!(Fraction::HALF.checked_sub(Fraction::ONE), Err(FractionError::Negative));
+    }
+
+    #[test]
+    fn split_and_merge_round_trip() {
+        let whole = Fraction::ONE;
+        let part = whole.split(4).unwrap();
+        assert_eq!(part, Fraction::new(1, 4).unwrap());
+        let merged = part + part + part + part;
+        assert!(merged.is_one());
+    }
+
+    #[test]
+    fn halve_always_succeeds() {
+        let mut f = Fraction::ONE;
+        for _ in 0..20 {
+            f = f.halve();
+        }
+        assert_eq!(f, Fraction::new(1, 1 << 20).unwrap());
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = Fraction::new(1, 3).unwrap();
+        let b = Fraction::new(2, 5).unwrap();
+        assert!(a < b);
+        assert!(Fraction::ZERO < a);
+        assert!(b < Fraction::ONE);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Fraction::new(i64::MAX - 1, 1).unwrap();
+        assert_eq!(big.checked_add(big), Err(FractionError::Overflow));
+        assert_eq!(big.checked_mul(big), Err(FractionError::Overflow));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Fraction::HALF.to_string(), "1/2");
+        assert_eq!(Fraction::ONE.to_string(), "1");
+        assert_eq!(Fraction::ZERO.to_string(), "0");
+    }
+}

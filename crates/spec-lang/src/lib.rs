@@ -1,0 +1,44 @@
+//! # spec-lang
+//!
+//! The access-permission specification language of the ANEK/PLURAL
+//! reproduction (Beckman & Nori, PLDI 2011): the five permission kinds and
+//! their splitting algebra (paper Figure 4), Boyland-style fractions,
+//! abstract state spaces rooted at `ALIVE`, and the `@Perm`/`@Spec`
+//! annotation mini-language with `@TrueIndicates`/`@FalseIndicates` state
+//! tests (paper Figures 2 and 8).
+//!
+//! ## Example
+//!
+//! ```
+//! use spec_lang::{parse_clause, PermissionKind, SpecTarget};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clause = parse_clause("full(this) in HASNEXT")?;
+//! let atom = clause.for_target(&SpecTarget::This).expect("has a `this` atom");
+//! assert_eq!(atom.kind, PermissionKind::Full);
+//!
+//! // `unique` can be split into a writer plus readers, but never two writers:
+//! assert!(PermissionKind::Unique.can_split_into(&[PermissionKind::Full, PermissionKind::Pure]));
+//! assert!(!PermissionKind::Unique.can_split_into(&[PermissionKind::Full, PermissionKind::Full]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fraction;
+pub mod perm;
+pub mod permission;
+pub mod spec;
+pub mod state;
+pub mod stdlib;
+
+pub use fraction::{Fraction, FractionError};
+pub use perm::{PermError, Permission};
+pub use permission::PermissionKind;
+pub use spec::{
+    parse_clause, spec_of_method, spec_to_annotations, MethodSpec, PermAtom, PermClause,
+    SpecParseError, SpecTarget,
+};
+pub use state::{StateRegistry, StateSpace, ALIVE};
+pub use stdlib::{figure2_java_source, standard_api, ApiMethod, ApiRegistry};

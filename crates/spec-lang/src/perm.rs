@@ -1,0 +1,280 @@
+//! Concrete permission values: a kind paired with a Boyland fraction.
+//!
+//! PLURAL tracks not just which *kind* of permission a reference holds but
+//! how much of it, so that weaker permissions can later be merged back into
+//! stronger ones ("permissions are associated with fractional values which
+//! allow multiple weaker permissions to be combined into stronger ones in a
+//! process known as merging", paper §2, citing Boyland \[7\]).
+//!
+//! The laws implemented here:
+//!
+//! * a fresh object carries `unique` with fraction 1;
+//! * splitting divides the fraction between the retained and lent parts and
+//!   weakens kinds along the legal-split relation (Figure 4 / Eq. 2);
+//! * merging two permissions of the same kind adds their fractions;
+//! * a `full`/`share`/`immutable`/`pure` permission whose fraction reaches 1
+//!   can be *promoted* back to `unique` — all aliases have been collected.
+
+use crate::fraction::{Fraction, FractionError};
+use crate::permission::PermissionKind;
+use std::fmt;
+
+/// A concrete permission value held by one reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permission {
+    /// The aliasing kind.
+    pub kind: PermissionKind,
+    /// How much of the object's permission this reference holds, in `(0, 1]`.
+    pub fraction: Fraction,
+}
+
+/// Errors from permission algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The requested split is not in the legal-split relation.
+    IllegalSplit {
+        /// Holder's kind.
+        from: PermissionKind,
+        /// Requested kind.
+        to: PermissionKind,
+    },
+    /// Merging permissions of different kinds.
+    KindMismatch {
+        /// First kind.
+        a: PermissionKind,
+        /// Second kind.
+        b: PermissionKind,
+    },
+    /// Fraction arithmetic failed (overflow, or total exceeding one).
+    Fraction(FractionError),
+    /// The merged fraction exceeded the whole.
+    OverUnity,
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::IllegalSplit { from, to } => {
+                write!(f, "cannot split `{from}` into `{to}`")
+            }
+            PermError::KindMismatch { a, b } => {
+                write!(f, "cannot merge `{a}` with `{b}`")
+            }
+            PermError::Fraction(e) => write!(f, "fraction error: {e}"),
+            PermError::OverUnity => f.write_str("merged permission exceeds the whole object"),
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+impl From<FractionError> for PermError {
+    fn from(e: FractionError) -> PermError {
+        PermError::Fraction(e)
+    }
+}
+
+impl Permission {
+    /// The permission of a freshly constructed object.
+    pub fn fresh() -> Permission {
+        Permission { kind: PermissionKind::Unique, fraction: Fraction::ONE }
+    }
+
+    /// Creates a permission value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermError::OverUnity`] if the fraction exceeds one, and
+    /// [`PermError::Fraction`] if it is zero.
+    pub fn new(kind: PermissionKind, fraction: Fraction) -> Result<Permission, PermError> {
+        if fraction > Fraction::ONE {
+            return Err(PermError::OverUnity);
+        }
+        if fraction.is_zero() {
+            return Err(PermError::Fraction(FractionError::ZeroDenominator));
+        }
+        Ok(Permission { kind, fraction })
+    }
+
+    /// Splits off a permission of kind `to`, halving the held fraction:
+    /// the lent half carries kind `to`, the retained half keeps the
+    /// strongest kind that may legally coexist with `to`.
+    ///
+    /// Returns `(retained, lent)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PermError::IllegalSplit`] when `to` is not a legal weakening of the
+    /// held kind, or when nothing can be retained alongside it — `unique`
+    /// asserts the absence of other aliases, so it can only be *transferred*
+    /// whole, never split off.
+    pub fn split(self, to: PermissionKind) -> Result<(Permission, Permission), PermError> {
+        if !self.kind.can_weaken_to(to) {
+            return Err(PermError::IllegalSplit { from: self.kind, to });
+        }
+        // The retained kind must coexist with the lent one: keep the
+        // strongest kind that forms a legal split pair.
+        let Some(retained_kind) = PermissionKind::ALL
+            .into_iter()
+            .find(|k| self.kind.can_split_into(&[to, *k]))
+        else {
+            return Err(PermError::IllegalSplit { from: self.kind, to });
+        };
+        let half = self.fraction.halve();
+        let lent = Permission { kind: to, fraction: half };
+        let retained = Permission { kind: retained_kind, fraction: half };
+        Ok((retained, lent))
+    }
+
+    /// Merges a permission back in (the post-call merge): fractions add and
+    /// the stronger kind of the two survives when one side's aliases are
+    /// thereby collected.
+    ///
+    /// # Errors
+    ///
+    /// [`PermError::OverUnity`] if the fractions sum above one,
+    /// [`PermError::Fraction`] on arithmetic failure.
+    pub fn merge(self, other: Permission) -> Result<Permission, PermError> {
+        let total = self.fraction.checked_add(other.fraction)?;
+        if total > Fraction::ONE {
+            return Err(PermError::OverUnity);
+        }
+        // The stronger kind wins the merge (the weaker was split from it).
+        let kind = if self.kind.strength_rank() <= other.kind.strength_rank() {
+            self.kind
+        } else {
+            other.kind
+        };
+        let merged = Permission { kind, fraction: total };
+        Ok(merged.promote())
+    }
+
+    /// Promotion: holding the *whole* fraction means no other aliases
+    /// remain, so the permission strengthens to `unique`.
+    pub fn promote(self) -> Permission {
+        if self.fraction.is_one() {
+            Permission { kind: PermissionKind::Unique, fraction: self.fraction }
+        } else {
+            self
+        }
+    }
+
+    /// Whether this permission satisfies a callee requirement of `required`.
+    pub fn satisfies(self, required: PermissionKind) -> bool {
+        self.kind.satisfies(required)
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind, self.fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PermissionKind::*;
+
+    #[test]
+    fn fresh_is_whole_unique() {
+        let p = Permission::fresh();
+        assert_eq!(p.kind, Unique);
+        assert!(p.fraction.is_one());
+        assert_eq!(p.to_string(), "unique(1)");
+    }
+
+    #[test]
+    fn split_unique_into_full_keeps_coexisting_remainder() {
+        let (retained, lent) = Permission::fresh().split(Full).unwrap();
+        assert_eq!(lent.kind, Full);
+        assert_eq!(lent.fraction, Fraction::HALF);
+        // full coexists only with read-only aliases.
+        assert!(!retained.kind.allows_write(), "retained {retained}");
+        assert_eq!(retained.fraction, Fraction::HALF);
+    }
+
+    #[test]
+    fn split_unique_into_share_retains_share() {
+        let (retained, lent) = Permission::fresh().split(Share).unwrap();
+        assert_eq!(lent.kind, Share);
+        // unique -> share + share is legal, so the strongest coexisting
+        // retained kind that can pair with share is share itself... per the
+        // strongest-first scan it may also legally be `full`? full+share is
+        // not a legal pair, so share must be chosen.
+        assert!(Unique.can_split_into(&[Share, retained.kind]));
+    }
+
+    #[test]
+    fn unique_cannot_be_split_off() {
+        // unique asserts no other aliases: lending it while retaining
+        // anything would contradict it.
+        let whole = Permission::fresh();
+        assert_eq!(
+            whole.split(Unique),
+            Err(PermError::IllegalSplit { from: Unique, to: Unique })
+        );
+    }
+
+    #[test]
+    fn illegal_splits_are_rejected() {
+        let pure = Permission::new(Pure, Fraction::HALF).unwrap();
+        assert_eq!(
+            pure.split(Full),
+            Err(PermError::IllegalSplit { from: Pure, to: Full })
+        );
+        let imm = Permission::new(Immutable, Fraction::HALF).unwrap();
+        assert!(imm.split(Share).is_err());
+    }
+
+    #[test]
+    fn split_then_merge_restores_unique() {
+        let whole = Permission::fresh();
+        let (retained, lent) = whole.split(Pure).unwrap();
+        let back = retained.merge(lent).unwrap();
+        assert_eq!(back.kind, Unique, "promotion on whole fraction");
+        assert!(back.fraction.is_one());
+    }
+
+    #[test]
+    fn deep_split_chain_round_trips() {
+        let whole = Permission::fresh();
+        let (r1, l1) = whole.split(Pure).unwrap();
+        let (r2, l2) = r1.split(Pure).unwrap();
+        let merged = r2.merge(l2).unwrap().merge(l1).unwrap();
+        assert_eq!(merged.kind, Unique);
+        assert!(merged.fraction.is_one());
+    }
+
+    #[test]
+    fn merge_rejects_over_unity() {
+        let a = Permission::new(Share, Fraction::ONE).unwrap();
+        let b = Permission::new(Share, Fraction::HALF).unwrap();
+        assert_eq!(a.merge(b), Err(PermError::OverUnity));
+    }
+
+    #[test]
+    fn partial_merge_does_not_promote() {
+        let quarter = Fraction::new(1, 4).unwrap();
+        let a = Permission::new(Pure, quarter).unwrap();
+        let b = Permission::new(Pure, quarter).unwrap();
+        let m = a.merge(b).unwrap();
+        assert_eq!(m.kind, Pure);
+        assert_eq!(m.fraction, Fraction::HALF);
+    }
+
+    #[test]
+    fn zero_and_over_unity_constructions_rejected() {
+        assert!(Permission::new(Pure, Fraction::ZERO).is_err());
+        let excess = Fraction::new(3, 2).unwrap();
+        assert_eq!(Permission::new(Pure, excess), Err(PermError::OverUnity));
+    }
+
+    #[test]
+    fn satisfies_uses_kind_lattice() {
+        let full = Permission::new(Full, Fraction::HALF).unwrap();
+        assert!(full.satisfies(Pure));
+        assert!(full.satisfies(Full));
+        assert!(!full.satisfies(Unique));
+    }
+}

@@ -1,0 +1,285 @@
+//! The five access-permission kinds and their algebra (paper Figure 4).
+//!
+//! | kind        | this ref   | other aliases |
+//! |-------------|------------|---------------|
+//! | `unique`    | read/write | none exist    |
+//! | `full`      | read/write | read-only     |
+//! | `share`     | read/write | read/write    |
+//! | `immutable` | read-only  | read-only     |
+//! | `pure`      | read-only  | read/write    |
+//!
+//! Splitting (paper constraint L1, Eq. 2): a permission at a node may be
+//! split across outgoing edges into weaker permissions; at most one of the
+//! resulting permissions may be `unique` or `full` (the exclusive-writer
+//! rule).
+
+use std::fmt;
+
+/// One of the five PLURAL access-permission kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PermissionKind {
+    /// Exclusive read/write; no other aliases exist.
+    Unique,
+    /// Exclusive write; other aliases may read.
+    Full,
+    /// Read/write shared with other read/write aliases.
+    Share,
+    /// Read-only, and all other aliases are read-only too.
+    Immutable,
+    /// Read-only; other aliases may read and write.
+    Pure,
+}
+
+impl PermissionKind {
+    /// All five kinds, strongest first (the order used when extracting the
+    /// most desirable specification from marginals).
+    pub const ALL: [PermissionKind; 5] = [
+        PermissionKind::Unique,
+        PermissionKind::Full,
+        PermissionKind::Immutable,
+        PermissionKind::Share,
+        PermissionKind::Pure,
+    ];
+
+    /// Whether a holder of this permission may write through it.
+    pub fn allows_write(self) -> bool {
+        matches!(self, PermissionKind::Unique | PermissionKind::Full | PermissionKind::Share)
+    }
+
+    /// Whether other aliases may exist while this permission is held.
+    pub fn allows_other_aliases(self) -> bool {
+        self != PermissionKind::Unique
+    }
+
+    /// Whether other aliases may *write* while this permission is held.
+    pub fn allows_other_writers(self) -> bool {
+        matches!(self, PermissionKind::Share | PermissionKind::Pure)
+    }
+
+    /// Whether this kind may indicate a thread-shared object (heuristic H5:
+    /// targets of `synchronized` blocks are `full`, `share` or `pure`).
+    pub fn is_thread_shareable(self) -> bool {
+        matches!(self, PermissionKind::Full | PermissionKind::Share | PermissionKind::Pure)
+    }
+
+    /// The set of kinds each outgoing edge may carry when a node holding
+    /// `self` is split (paper Eq. 2, per-edge clause):
+    ///
+    /// * `unique → {unique, full, immutable, share, pure}`
+    /// * `full → {full, immutable, share, pure}`
+    /// * `immutable → {immutable, pure}` — an immutable permission can never
+    ///   give rise to a writing alias (`share` would), so the subset here is
+    ///   deliberately tighter than the OCR'd formula and matches Fig. 4.
+    /// * `share → {share, pure}`
+    /// * `pure → {pure}`
+    pub fn splittable_into(self) -> &'static [PermissionKind] {
+        use PermissionKind::*;
+        match self {
+            Unique => &[Unique, Full, Immutable, Share, Pure],
+            Full => &[Full, Immutable, Share, Pure],
+            Immutable => &[Immutable, Pure],
+            Share => &[Share, Pure],
+            Pure => &[Pure],
+        }
+    }
+
+    /// Whether a single edge carrying `to` is a legal weakening of `self`.
+    pub fn can_weaken_to(self, to: PermissionKind) -> bool {
+        self.splittable_into().contains(&to)
+    }
+
+    /// Whether a permission of kind `self` satisfies a requirement of kind
+    /// `required` (a stronger permission satisfies a weaker requirement):
+    /// `unique` satisfies everything it can weaken to, etc.
+    pub fn satisfies(self, required: PermissionKind) -> bool {
+        self == required || self.can_weaken_to(required)
+    }
+
+    /// Validates a complete split of one permission into several (paper
+    /// Eq. 2): every part must be a legal weakening, and at most one part may
+    /// be an exclusive-writer (`unique`/`full`) permission — and if any part
+    /// is `unique`, it must be the *only* part.
+    pub fn can_split_into(self, parts: &[PermissionKind]) -> bool {
+        use PermissionKind::*;
+        if parts.is_empty() {
+            return false;
+        }
+        if !parts.iter().all(|p| self.satisfies(*p)) {
+            return false;
+        }
+        let uniques = parts.iter().filter(|p| **p == Unique).count();
+        let fulls = parts.iter().filter(|p| **p == Full).count();
+        if uniques > 0 {
+            // unique asserts no other aliases at all.
+            return parts.len() == 1;
+        }
+        if fulls > 1 {
+            return false;
+        }
+        if fulls == 1 {
+            // full coexists only with read-only aliases.
+            return parts.iter().all(|p| matches!(p, Full | Pure | Immutable));
+        }
+        // immutable cannot coexist with writers.
+        let imms = parts.iter().filter(|p| **p == Immutable).count();
+        let writers = parts.iter().filter(|p| p.allows_write()).count();
+        if imms > 0 && writers > 0 {
+            return false;
+        }
+        true
+    }
+
+    /// The kind spelled the way the annotation language spells it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PermissionKind::Unique => "unique",
+            PermissionKind::Full => "full",
+            PermissionKind::Share => "share",
+            PermissionKind::Immutable => "immutable",
+            PermissionKind::Pure => "pure",
+        }
+    }
+
+    /// Parses a kind from annotation text.
+    pub fn from_str_opt(s: &str) -> Option<PermissionKind> {
+        Some(match s {
+            "unique" => PermissionKind::Unique,
+            "full" => PermissionKind::Full,
+            "share" => PermissionKind::Share,
+            "immutable" => PermissionKind::Immutable,
+            "pure" => PermissionKind::Pure,
+            _ => return None,
+        })
+    }
+
+    /// Strength rank, lower is stronger (`unique` = 0 ... `pure` = 4). The
+    /// extraction step prefers lower ranks: "`unique` is the best choice
+    /// whenever possible because it gives the strongest guarantees" (§1).
+    pub fn strength_rank(self) -> u8 {
+        match self {
+            PermissionKind::Unique => 0,
+            PermissionKind::Full => 1,
+            PermissionKind::Immutable => 2,
+            PermissionKind::Share => 3,
+            PermissionKind::Pure => 4,
+        }
+    }
+}
+
+impl fmt::Display for PermissionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PermissionKind::*;
+
+    #[test]
+    fn figure4_capability_table() {
+        // (kind, this-writes, others-exist, others-write)
+        let table = [
+            (Unique, true, false, false),
+            (Full, true, true, false),
+            (Share, true, true, true),
+            (Immutable, false, true, false),
+            (Pure, false, true, true),
+        ];
+        for (k, w, oe, ow) in table {
+            assert_eq!(k.allows_write(), w, "{k} write");
+            assert_eq!(k.allows_other_aliases(), oe, "{k} aliases");
+            assert_eq!(k.allows_other_writers(), ow, "{k} other writers");
+        }
+    }
+
+    #[test]
+    fn unique_splits_into_two_shares() {
+        assert!(Unique.can_split_into(&[Share, Share]));
+        assert!(Unique.can_split_into(&[Immutable, Immutable]));
+        assert!(Unique.can_split_into(&[Pure, Pure, Pure]));
+    }
+
+    #[test]
+    fn unique_splits_into_full_plus_pures() {
+        assert!(Unique.can_split_into(&[Full, Pure]));
+        assert!(Unique.can_split_into(&[Full, Pure, Pure, Pure]));
+        assert!(Unique.can_split_into(&[Full, Immutable]));
+    }
+
+    #[test]
+    fn unique_cannot_split_into_two_exclusives() {
+        assert!(!Unique.can_split_into(&[Full, Full]));
+        assert!(!Unique.can_split_into(&[Unique, Unique]));
+        assert!(!Unique.can_split_into(&[Unique, Pure]));
+    }
+
+    #[test]
+    fn full_cannot_produce_unique() {
+        assert!(!Full.can_split_into(&[Unique]));
+        assert!(Full.can_split_into(&[Full, Pure]));
+        assert!(Full.can_split_into(&[Share, Share]));
+    }
+
+    #[test]
+    fn immutable_never_yields_writers() {
+        assert!(!Immutable.can_split_into(&[Share, Pure]));
+        assert!(Immutable.can_split_into(&[Immutable, Immutable]));
+        assert!(Immutable.can_split_into(&[Pure]));
+        assert!(!Immutable.can_split_into(&[Full]));
+    }
+
+    #[test]
+    fn share_and_pure_bottom_out() {
+        assert!(Share.can_split_into(&[Share, Pure]));
+        assert!(!Share.can_split_into(&[Full]));
+        assert!(Pure.can_split_into(&[Pure, Pure]));
+        assert!(!Pure.can_split_into(&[Share]));
+    }
+
+    #[test]
+    fn immutable_and_writer_conflict() {
+        assert!(!Unique.can_split_into(&[Immutable, Share]));
+        assert!(!Unique.can_split_into(&[Share, Immutable]));
+    }
+
+    #[test]
+    fn satisfies_is_reflexive_and_downward() {
+        for k in PermissionKind::ALL {
+            assert!(k.satisfies(k), "{k}");
+            assert!(k.satisfies(Pure), "{k} should satisfy pure");
+        }
+        assert!(Unique.satisfies(Full));
+        assert!(!Full.satisfies(Unique));
+        assert!(!Pure.satisfies(Share));
+    }
+
+    #[test]
+    fn empty_split_is_illegal() {
+        assert!(!Unique.can_split_into(&[]));
+    }
+
+    #[test]
+    fn round_trip_names() {
+        for k in PermissionKind::ALL {
+            assert_eq!(PermissionKind::from_str_opt(k.as_str()), Some(k));
+        }
+        assert_eq!(PermissionKind::from_str_opt("none"), None);
+    }
+
+    #[test]
+    fn strength_order_matches_paper_preference() {
+        assert!(Unique.strength_rank() < Full.strength_rank());
+        assert!(Full.strength_rank() < Immutable.strength_rank());
+        assert!(Immutable.strength_rank() < Share.strength_rank());
+        assert!(Share.strength_rank() < Pure.strength_rank());
+    }
+
+    #[test]
+    fn thread_shareable_kinds_are_h5_set() {
+        let shareable: Vec<_> =
+            PermissionKind::ALL.into_iter().filter(|k| k.is_thread_shareable()).collect();
+        assert_eq!(shareable, vec![Full, Share, Pure]);
+    }
+}

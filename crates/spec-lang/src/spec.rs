@@ -1,0 +1,413 @@
+//! The access-permission specification language.
+//!
+//! Specifications are written in method annotations (paper Figures 2 and 8):
+//!
+//! ```java
+//! @Perm(requires = "full(this) in HASNEXT", ensures = "full(this) in ALIVE")
+//! T next();
+//!
+//! @Perm(requires = "pure(this) in ALIVE", ensures = "pure(this)")
+//! @TrueIndicates("HASNEXT")
+//! @FalseIndicates("END")
+//! boolean hasNext();
+//! ```
+//!
+//! `@Spec` is accepted as a synonym for `@Perm` (the paper uses both
+//! spellings). A clause is a `,`- or `*`-separated conjunction of atoms
+//! `kind(target) [in STATE]` where `target` is `this`, `result`, or a
+//! parameter name.
+
+use crate::permission::PermissionKind;
+use crate::state::ALIVE;
+use java_syntax::ast::{Annotation, AnnotationArgs, Lit, MethodDecl};
+use java_syntax::Span;
+use std::fmt;
+
+/// What a permission atom refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecTarget {
+    /// The method receiver.
+    This,
+    /// The return value (only meaningful in `ensures`).
+    Result,
+    /// A named formal parameter.
+    Param(String),
+}
+
+impl fmt::Display for SpecTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecTarget::This => f.write_str("this"),
+            SpecTarget::Result => f.write_str("result"),
+            SpecTarget::Param(name) => f.write_str(name),
+        }
+    }
+}
+
+/// One permission atom: `full(this) in HASNEXT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermAtom {
+    /// The permission kind.
+    pub kind: PermissionKind,
+    /// What it applies to.
+    pub target: SpecTarget,
+    /// Required/ensured abstract state; `None` means no state constraint
+    /// (equivalent to `ALIVE`).
+    pub state: Option<String>,
+}
+
+impl PermAtom {
+    /// Creates an atom with no state constraint.
+    pub fn new(kind: PermissionKind, target: SpecTarget) -> PermAtom {
+        PermAtom { kind, target, state: None }
+    }
+
+    /// Creates an atom with a state constraint.
+    pub fn in_state(kind: PermissionKind, target: SpecTarget, state: impl Into<String>) -> PermAtom {
+        PermAtom { kind, target, state: Some(state.into()) }
+    }
+
+    /// The effective state: the explicit one, or [`ALIVE`].
+    pub fn effective_state(&self) -> &str {
+        self.state.as_deref().unwrap_or(ALIVE)
+    }
+}
+
+impl fmt::Display for PermAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind, self.target)?;
+        if let Some(s) = &self.state {
+            write!(f, " in {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A conjunction of permission atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PermClause {
+    /// Atoms in declaration order.
+    pub atoms: Vec<PermAtom>,
+}
+
+impl PermClause {
+    /// The empty clause (no permissions mentioned).
+    pub fn empty() -> PermClause {
+        PermClause::default()
+    }
+
+    /// A clause with a single atom.
+    pub fn single(atom: PermAtom) -> PermClause {
+        PermClause { atoms: vec![atom] }
+    }
+
+    /// Looks up the atom for a target, if present.
+    pub fn for_target(&self, target: &SpecTarget) -> Option<&PermAtom> {
+        self.atoms.iter().find(|a| &a.target == target)
+    }
+
+    /// Whether no atoms are present.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+impl fmt::Display for PermClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete method specification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MethodSpec {
+    /// Precondition permissions.
+    pub requires: PermClause,
+    /// Postcondition permissions.
+    pub ensures: PermClause,
+    /// Dynamic state test: state indicated when the boolean result is true.
+    pub true_indicates: Option<String>,
+    /// Dynamic state test: state indicated when the boolean result is false.
+    pub false_indicates: Option<String>,
+}
+
+impl MethodSpec {
+    /// Whether the spec carries any information at all.
+    pub fn is_empty(&self) -> bool {
+        self.requires.is_empty()
+            && self.ensures.is_empty()
+            && self.true_indicates.is_none()
+            && self.false_indicates.is_none()
+    }
+
+    /// Whether this is a dynamic state-test spec (`@TrueIndicates` /
+    /// `@FalseIndicates` present).
+    pub fn is_state_test(&self) -> bool {
+        self.true_indicates.is_some() || self.false_indicates.is_some()
+    }
+}
+
+/// An error from parsing the specification mini-language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecParseError {
+    fn new(msg: impl Into<String>) -> SpecParseError {
+        SpecParseError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid permission spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+/// Parses a clause string such as `"full(this) in HASNEXT, pure(other)"`.
+///
+/// # Errors
+///
+/// Returns [`SpecParseError`] on unknown permission kinds or malformed atoms.
+pub fn parse_clause(text: &str) -> Result<PermClause, SpecParseError> {
+    let mut atoms = Vec::new();
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Ok(PermClause::empty());
+    }
+    for part in split_atoms(trimmed) {
+        atoms.push(parse_atom(part.trim())?);
+    }
+    Ok(PermClause { atoms })
+}
+
+/// Splits on `,` and `*` at top level (no nesting in this mini-language).
+fn split_atoms(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c| c == ',' || c == '*').filter(|s| !s.trim().is_empty())
+}
+
+fn parse_atom(text: &str) -> Result<PermAtom, SpecParseError> {
+    let open = text
+        .find('(')
+        .ok_or_else(|| SpecParseError::new(format!("missing `(` in `{text}`")))?;
+    let close = text
+        .find(')')
+        .ok_or_else(|| SpecParseError::new(format!("missing `)` in `{text}`")))?;
+    if close < open {
+        return Err(SpecParseError::new(format!("mismatched parentheses in `{text}`")));
+    }
+    let kind_txt = text[..open].trim();
+    let kind = PermissionKind::from_str_opt(kind_txt)
+        .ok_or_else(|| SpecParseError::new(format!("unknown permission kind `{kind_txt}`")))?;
+    let target_txt = text[open + 1..close].trim();
+    if target_txt.is_empty() {
+        return Err(SpecParseError::new(format!("empty target in `{text}`")));
+    }
+    let target = match target_txt {
+        "this" => SpecTarget::This,
+        "result" => SpecTarget::Result,
+        name => SpecTarget::Param(name.to_string()),
+    };
+    let rest = text[close + 1..].trim();
+    let state = if rest.is_empty() {
+        None
+    } else if let Some(state) = rest.strip_prefix("in ") {
+        let state = state.trim();
+        if state.is_empty() {
+            return Err(SpecParseError::new(format!("empty state in `{text}`")));
+        }
+        Some(state.to_string())
+    } else {
+        return Err(SpecParseError::new(format!("expected `in STATE`, found `{rest}`")));
+    };
+    Ok(PermAtom { kind, target, state })
+}
+
+/// Extracts the [`MethodSpec`] from a method's annotations.
+///
+/// Looks for `@Perm`/`@Spec` with `requires`/`ensures` string elements and
+/// `@TrueIndicates`/`@FalseIndicates` marker annotations.
+///
+/// # Errors
+///
+/// Returns [`SpecParseError`] if a clause string fails to parse.
+pub fn spec_of_method(method: &MethodDecl) -> Result<MethodSpec, SpecParseError> {
+    let mut spec = MethodSpec::default();
+    for ann in &method.annotations {
+        match ann.name.simple() {
+            "Perm" | "Spec" => {
+                if let Some(req) = ann.string_element("requires") {
+                    spec.requires = parse_clause(req)?;
+                }
+                if let Some(ens) = ann.string_element("ensures") {
+                    spec.ensures = parse_clause(ens)?;
+                }
+            }
+            "TrueIndicates" => {
+                spec.true_indicates = ann.single_string().map(str::to_string);
+            }
+            "FalseIndicates" => {
+                spec.false_indicates = ann.single_string().map(str::to_string);
+            }
+            _ => {}
+        }
+    }
+    Ok(spec)
+}
+
+/// Renders a [`MethodSpec`] back into annotation AST nodes, ready to be
+/// attached to a [`MethodDecl`] by the spec applier.
+pub fn spec_to_annotations(spec: &MethodSpec) -> Vec<Annotation> {
+    let mut anns = Vec::new();
+    if !spec.requires.is_empty() || !spec.ensures.is_empty() {
+        let mut pairs = Vec::new();
+        if !spec.requires.is_empty() {
+            pairs.push(("requires".to_string(), Lit::Str(spec.requires.to_string())));
+        }
+        if !spec.ensures.is_empty() {
+            pairs.push(("ensures".to_string(), Lit::Str(spec.ensures.to_string())));
+        }
+        anns.push(Annotation {
+            name: "Perm".into(),
+            args: AnnotationArgs::Pairs(pairs),
+            span: Span::DUMMY,
+        });
+    }
+    if let Some(s) = &spec.true_indicates {
+        anns.push(Annotation {
+            name: "TrueIndicates".into(),
+            args: AnnotationArgs::Single(Lit::Str(s.clone())),
+            span: Span::DUMMY,
+        });
+    }
+    if let Some(s) = &spec.false_indicates {
+        anns.push(Annotation {
+            name: "FalseIndicates".into(),
+            args: AnnotationArgs::Single(Lit::Str(s.clone())),
+            span: Span::DUMMY,
+        });
+    }
+    anns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+
+    #[test]
+    fn parses_single_atom_with_state() {
+        let c = parse_clause("full(this) in HASNEXT").unwrap();
+        assert_eq!(c.atoms.len(), 1);
+        let a = &c.atoms[0];
+        assert_eq!(a.kind, PermissionKind::Full);
+        assert_eq!(a.target, SpecTarget::This);
+        assert_eq!(a.state.as_deref(), Some("HASNEXT"));
+        assert_eq!(a.effective_state(), "HASNEXT");
+    }
+
+    #[test]
+    fn parses_atom_without_state() {
+        let c = parse_clause("pure(this)").unwrap();
+        assert_eq!(c.atoms[0].state, None);
+        assert_eq!(c.atoms[0].effective_state(), ALIVE);
+    }
+
+    #[test]
+    fn parses_result_and_param_targets() {
+        let c = parse_clause("unique(result) in ALIVE, share(other)").unwrap();
+        assert_eq!(c.atoms[0].target, SpecTarget::Result);
+        assert_eq!(c.atoms[1].target, SpecTarget::Param("other".into()));
+    }
+
+    #[test]
+    fn star_separator_accepted() {
+        let c = parse_clause("full(this) * pure(that)").unwrap();
+        assert_eq!(c.atoms.len(), 2);
+    }
+
+    #[test]
+    fn empty_clause_is_ok() {
+        assert!(parse_clause("").unwrap().is_empty());
+        assert!(parse_clause("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_kind_and_malformed() {
+        assert!(parse_clause("total(this)").is_err());
+        assert!(parse_clause("full this").is_err());
+        assert!(parse_clause("full()").is_err());
+        assert!(parse_clause("full(this) at HASNEXT").is_err());
+        assert!(parse_clause("full(this) in ").is_err());
+    }
+
+    #[test]
+    fn clause_round_trips_through_display() {
+        for text in
+            ["full(this) in HASNEXT", "pure(this)", "unique(result) in ALIVE, share(x)"]
+        {
+            let c = parse_clause(text).unwrap();
+            let reparsed = parse_clause(&c.to_string()).unwrap();
+            assert_eq!(c, reparsed);
+        }
+    }
+
+    #[test]
+    fn extracts_spec_from_figure2_method() {
+        let unit = parse(
+            r#"interface Iterator<T> {
+                @Spec(requires="full(this) in HASNEXT", ensures="full(this) in ALIVE")
+                T next();
+                @Perm(requires="pure(this) in ALIVE", ensures="pure(this)")
+                @TrueIndicates("HASNEXT")
+                @FalseIndicates("END")
+                boolean hasNext();
+            }"#,
+        )
+        .unwrap();
+        let it = unit.type_named("Iterator").unwrap();
+        let next = spec_of_method(it.method_named("next").unwrap()).unwrap();
+        assert_eq!(next.requires.for_target(&SpecTarget::This).unwrap().kind, PermissionKind::Full);
+        assert_eq!(
+            next.requires.for_target(&SpecTarget::This).unwrap().state.as_deref(),
+            Some("HASNEXT")
+        );
+        assert!(!next.is_state_test());
+
+        let has_next = spec_of_method(it.method_named("hasNext").unwrap()).unwrap();
+        assert_eq!(has_next.true_indicates.as_deref(), Some("HASNEXT"));
+        assert_eq!(has_next.false_indicates.as_deref(), Some("END"));
+        assert!(has_next.is_state_test());
+    }
+
+    #[test]
+    fn unannotated_method_gives_empty_spec() {
+        let unit = parse("class C { void m() {} }").unwrap();
+        let m = unit.type_named("C").unwrap().method_named("m").unwrap();
+        assert!(spec_of_method(m).unwrap().is_empty());
+    }
+
+    #[test]
+    fn annotations_round_trip() {
+        let spec = MethodSpec {
+            requires: parse_clause("full(this) in HASNEXT").unwrap(),
+            ensures: parse_clause("full(this) in ALIVE").unwrap(),
+            true_indicates: Some("HASNEXT".into()),
+            false_indicates: None,
+        };
+        let anns = spec_to_annotations(&spec);
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].string_element("requires"), Some("full(this) in HASNEXT"));
+        assert_eq!(anns[1].single_string(), Some("HASNEXT"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Built-in annotated API models.
+//!
+//! The paper's workflow assumes "developers of libraries and frameworks
+//! provide PLURAL annotations along with their APIs" (§2.1). This module
+//! provides those API-side artifacts: the iterator protocol of Figures 1–2,
+//! a stream protocol used by the extra examples, and an [`ApiRegistry`]
+//! the analyses consult when a call site resolves to library code.
+
+use crate::spec::{parse_clause, MethodSpec};
+use crate::state::{StateRegistry, StateSpace};
+use std::collections::BTreeMap;
+
+/// A specification-carrying library method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiMethod {
+    /// Declaring type (simple name).
+    pub type_name: String,
+    /// Method name.
+    pub method_name: String,
+    /// Simple name of the return type, `None` for `void`/primitives.
+    pub return_type: Option<String>,
+    /// The developer-provided specification.
+    pub spec: MethodSpec,
+}
+
+/// Registry of annotated library APIs plus their state spaces.
+#[derive(Debug, Clone, Default)]
+pub struct ApiRegistry {
+    methods: BTreeMap<(String, String), ApiMethod>,
+    /// State spaces declared by the APIs.
+    pub states: StateRegistry,
+}
+
+impl ApiRegistry {
+    /// An empty registry.
+    pub fn new() -> ApiRegistry {
+        ApiRegistry::default()
+    }
+
+    /// Adds a method model.
+    pub fn insert(&mut self, method: ApiMethod) {
+        self.methods
+            .insert((method.type_name.clone(), method.method_name.clone()), method);
+    }
+
+    /// Looks up a method by declaring type and name.
+    pub fn get(&self, type_name: &str, method_name: &str) -> Option<&ApiMethod> {
+        self.methods.get(&(type_name.to_string(), method_name.to_string()))
+    }
+
+    /// Looks up by method name alone, if unambiguous across all types.
+    /// (Used as a fallback when receiver types cannot be resolved.)
+    pub fn get_by_name(&self, method_name: &str) -> Option<&ApiMethod> {
+        let mut found = None;
+        for ((_, m), api) in &self.methods {
+            if m == method_name {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(api);
+            }
+        }
+        found
+    }
+
+    /// Iterates over all registered methods.
+    pub fn iter(&self) -> impl Iterator<Item = &ApiMethod> {
+        self.methods.values()
+    }
+}
+
+fn must(clause: &str) -> crate::spec::PermClause {
+    parse_clause(clause).expect("stdlib clauses are well-formed")
+}
+
+/// The standard registry used throughout the reproduction: the iterator
+/// protocol (paper Figures 1–2) and a stream protocol for the extra
+/// examples.
+pub fn standard_api() -> ApiRegistry {
+    let mut reg = ApiRegistry::new();
+
+    // Figure 1: the iterator protocol — states HASNEXT and END under ALIVE.
+    reg.states.insert(StateSpace::flat("Iterator", ["HASNEXT", "END"]));
+
+    // Figure 2: interface Iterator<T>.
+    reg.insert(ApiMethod {
+        type_name: "Iterator".into(),
+        method_name: "next".into(),
+        return_type: Some("Object".into()),
+        spec: MethodSpec {
+            requires: must("full(this) in HASNEXT"),
+            ensures: must("full(this) in ALIVE"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+    reg.insert(ApiMethod {
+        type_name: "Iterator".into(),
+        method_name: "hasNext".into(),
+        return_type: None,
+        spec: MethodSpec {
+            requires: must("pure(this) in ALIVE"),
+            ensures: must("pure(this)"),
+            true_indicates: Some("HASNEXT".into()),
+            false_indicates: Some("END".into()),
+        },
+    });
+
+    // Figure 2: interface Collection<T> — iterator() returns a unique ALIVE
+    // iterator.
+    reg.insert(ApiMethod {
+        type_name: "Collection".into(),
+        method_name: "iterator".into(),
+        return_type: Some("Iterator".into()),
+        spec: MethodSpec {
+            requires: must("pure(this)"),
+            ensures: must("pure(this), unique(result) in ALIVE"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+    reg.insert(ApiMethod {
+        type_name: "Collection".into(),
+        method_name: "add".into(),
+        return_type: None,
+        spec: MethodSpec {
+            requires: must("share(this)"),
+            ensures: must("share(this)"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+    reg.insert(ApiMethod {
+        type_name: "Collection".into(),
+        method_name: "size".into(),
+        return_type: None,
+        spec: MethodSpec {
+            requires: must("pure(this)"),
+            ensures: must("pure(this)"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+
+    // A stream protocol (open/closed) for the domain examples: exercising a
+    // second protocol ensures nothing in the pipeline is iterator-specific.
+    reg.states.insert(StateSpace::flat("Stream", ["OPEN", "CLOSED"]));
+    reg.insert(ApiMethod {
+        type_name: "Stream".into(),
+        method_name: "read".into(),
+        return_type: None,
+        spec: MethodSpec {
+            requires: must("full(this) in OPEN"),
+            ensures: must("full(this) in OPEN"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+    reg.insert(ApiMethod {
+        type_name: "Stream".into(),
+        method_name: "close".into(),
+        return_type: None,
+        spec: MethodSpec {
+            requires: must("full(this) in OPEN"),
+            ensures: must("full(this) in CLOSED"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+    reg.insert(ApiMethod {
+        type_name: "StreamFactory".into(),
+        method_name: "open".into(),
+        return_type: Some("Stream".into()),
+        spec: MethodSpec {
+            requires: must(""),
+            ensures: must("unique(result) in OPEN"),
+            true_indicates: None,
+            false_indicates: None,
+        },
+    });
+
+    reg
+}
+
+/// Java source for the annotated iterator API (paper Figure 2), parseable by
+/// `java-syntax`. Examples and tests embed this to demonstrate the full
+/// pipeline on the paper's own running example.
+pub fn figure2_java_source() -> &'static str {
+    r#"interface Iterator<T> {
+    @Spec(requires = "full(this) in HASNEXT", ensures = "full(this) in ALIVE")
+    T next();
+
+    @Spec(requires = "pure(this) in ALIVE", ensures = "pure(this)")
+    @TrueIndicates("HASNEXT")
+    @FalseIndicates("END")
+    boolean hasNext();
+}
+
+interface Collection<T> {
+    @Spec(requires = "pure(this)", ensures = "pure(this), unique(result) in ALIVE")
+    Iterator<T> iterator();
+
+    @Spec(requires = "share(this)", ensures = "share(this)")
+    void add(T item);
+}
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::PermissionKind;
+    use crate::spec::SpecTarget;
+
+    #[test]
+    fn standard_api_has_iterator_protocol() {
+        let api = standard_api();
+        let next = api.get("Iterator", "next").unwrap();
+        let req = next.spec.requires.for_target(&SpecTarget::This).unwrap();
+        assert_eq!(req.kind, PermissionKind::Full);
+        assert_eq!(req.state.as_deref(), Some("HASNEXT"));
+
+        let has_next = api.get("Iterator", "hasNext").unwrap();
+        assert_eq!(has_next.spec.true_indicates.as_deref(), Some("HASNEXT"));
+
+        let iter = api.get("Collection", "iterator").unwrap();
+        let ens = iter.spec.ensures.for_target(&SpecTarget::Result).unwrap();
+        assert_eq!(ens.kind, PermissionKind::Unique);
+        assert_eq!(iter.return_type.as_deref(), Some("Iterator"));
+    }
+
+    #[test]
+    fn iterator_state_space_registered() {
+        let api = standard_api();
+        let space = api.states.get("Iterator").unwrap();
+        assert!(space.contains("HASNEXT"));
+        assert!(space.contains("END"));
+    }
+
+    #[test]
+    fn get_by_name_disambiguates() {
+        let api = standard_api();
+        assert!(api.get_by_name("next").is_some());
+        assert!(api.get_by_name("iterator").is_some());
+        assert!(api.get_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn figure2_source_parses_and_matches_registry() {
+        let unit = java_syntax::parse(figure2_java_source()).unwrap();
+        let it = unit.type_named("Iterator").unwrap();
+        let parsed = crate::spec::spec_of_method(it.method_named("next").unwrap()).unwrap();
+        let api = standard_api();
+        assert_eq!(parsed.requires, api.get("Iterator", "next").unwrap().spec.requires);
+        assert_eq!(parsed.ensures, api.get("Iterator", "next").unwrap().spec.ensures);
+    }
+
+    #[test]
+    fn stream_protocol_present() {
+        let api = standard_api();
+        let close = api.get("Stream", "close").unwrap();
+        assert_eq!(
+            close.spec.ensures.for_target(&SpecTarget::This).unwrap().state.as_deref(),
+            Some("CLOSED")
+        );
+    }
+}

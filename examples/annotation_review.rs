@@ -1,0 +1,44 @@
+//! Reviewing inferred annotations by confidence.
+//!
+//! ANEK's probabilistic summaries come with marginals, so every extracted
+//! specification carries a confidence score (the weakest chosen atom's
+//! marginal). A reviewer can start from the least certain specs — exactly
+//! where conflicting evidence (i.e. likely bugs) lives.
+//!
+//! Run with `cargo run --release --example annotation_review`.
+
+use anek::Pipeline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 3's spreadsheet: the conflicting testParseCSV drags down
+    // confidence on the specs its evidence touches.
+    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3])?;
+    let inference = pipeline.infer();
+
+    let mut ranked: Vec<_> = inference
+        .specs
+        .iter()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(id, s)| (inference.confidence.get(id).copied().unwrap_or(1.0), id, s))
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite confidence"));
+
+    println!("Inferred specifications, least confident first:\n");
+    for (conf, id, spec) in &ranked {
+        println!("  [{conf:.2}] {id}");
+        if !spec.requires.is_empty() {
+            println!("         requires {}", spec.requires);
+        }
+        if !spec.ensures.is_empty() {
+            println!("         ensures  {}", spec.ensures);
+        }
+    }
+
+    let (least, most) = (ranked.first().expect("specs"), ranked.last().expect("specs"));
+    println!(
+        "\nLeast certain: {} ({:.2}); most certain: {} ({:.2}).",
+        least.1, least.0, most.1, most.0
+    );
+    assert!(least.0 <= most.0);
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Resource management with try/finally — the classic typestate idiom.
+//!
+//! Streams must be closed exactly once on every path; the pipeline infers
+//! the open/close protocol specs for helper methods and PLURAL verifies the
+//! close-in-finally pattern while catching a double-close.
+//!
+//! Run with `cargo run --release --example resource_pipeline`.
+
+use anek::Pipeline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let client = r#"
+        class Etl {
+            int records;
+
+            void ingest(StreamFactory f) {
+                Stream s = f.open();
+                try {
+                    s.read();
+                    s.read();
+                } finally {
+                    s.close();
+                }
+            }
+
+            void ingestAll(StreamFactory f, int n) {
+                for (int i = 0; i < n; i++) {
+                    Stream s = f.open();
+                    try {
+                        s.read();
+                    } finally {
+                        s.close();
+                    }
+                }
+            }
+
+            void doubleClose(StreamFactory f) {
+                Stream s = f.open();
+                try {
+                    s.read();
+                } finally {
+                    s.close();
+                }
+                s.close();
+            }
+        }
+    "#;
+
+    let pipeline = Pipeline::from_sources(&[client])?;
+    let report = pipeline.run();
+
+    println!("== Verification of the try/finally resource pattern ==");
+    println!("  warnings: {}", report.warnings_after.warnings.len());
+    for w in &report.warnings_after.warnings {
+        println!("    {w}");
+    }
+
+    let ok = |m: &str| {
+        report
+            .warnings_after
+            .warnings
+            .iter()
+            .all(|w| w.method.method != m)
+    };
+    assert!(ok("ingest"), "close-in-finally should verify");
+    assert!(ok("ingestAll"), "per-iteration open/close should verify");
+    assert!(!ok("doubleClose"), "the double close must be reported");
+    println!(
+        "\ningest and ingestAll verify; doubleClose's second close() is caught \
+         (CLOSED does not satisfy `full(this) in OPEN`)."
+    );
+    Ok(())
+}

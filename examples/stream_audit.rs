@@ -1,0 +1,71 @@
+//! Auditing a second protocol: streams with an OPEN/CLOSED typestate.
+//!
+//! Nothing in the pipeline is iterator-specific — this example runs the same
+//! inference and checking over the `Stream` protocol from the API model
+//! (open → read* → close) and demonstrates that a use-after-close bug
+//! survives inference and is reported by PLURAL.
+//!
+//! Run with `cargo run --example stream_audit`.
+
+use anek::Pipeline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let client = r#"
+        class LogShipper {
+            int shipped;
+
+            void shipAll(StreamFactory f) {
+                Stream s = f.open();
+                s.read();
+                s.read();
+                s.close();
+            }
+
+            void pump(Stream s) {
+                s.read();
+                s.read();
+            }
+
+            void shipTwice(StreamFactory f) {
+                Stream s = f.open();
+                pump(s);
+                s.close();
+                s.read();
+            }
+        }
+    "#;
+
+    let pipeline = Pipeline::from_sources(&[client])?;
+    let report = pipeline.run();
+
+    println!("== Inferred stream specifications ==");
+    for (method, spec) in &report.inference.specs {
+        if !spec.is_empty() {
+            println!("  {method}: requires [{}] ensures [{}]", spec.requires, spec.ensures);
+        }
+    }
+
+    println!("\n== PLURAL audit ==");
+    for w in &report.warnings_after.warnings {
+        println!("  {w}");
+    }
+
+    // pump() should have inherited "full(s) in OPEN" from its reads…
+    let pump = &report.inference.specs[&anek::analysis::MethodId::new("LogShipper", "pump")];
+    assert!(
+        !pump.requires.is_empty(),
+        "pump should require an open stream, got nothing"
+    );
+    // …and the read-after-close in shipTwice must be reported.
+    assert!(
+        report
+            .warnings_after
+            .warnings
+            .iter()
+            .any(|w| w.method.method == "shipTwice"),
+        "use-after-close must be caught: {:?}",
+        report.warnings_after.warnings
+    );
+    println!("\nuse-after-close in shipTwice detected; shipAll verifies cleanly.");
+    Ok(())
+}

@@ -1,0 +1,181 @@
+//! Integration tests: the full parse → PFG → infer → apply → check pipeline
+//! on the paper's figures and the regression suite.
+
+use anek::analysis::MethodId;
+use anek::corpus::{suite, Expectation};
+use anek::plural::SpecTable;
+use anek::spec_lang::{PermissionKind, SpecTarget, ALIVE};
+use anek::Pipeline;
+
+#[test]
+fn figure3_full_pipeline() {
+    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3]).expect("figure 3 parses");
+    let report = pipeline.run();
+
+    // The conflicting-constraint resolution of §1: createColIter returns a
+    // unique iterator, and ALIVE beats HASNEXT.
+    let id = MethodId::new("Row", "createColIter");
+    let spec = &report.inference.specs[&id];
+    let atom = spec.ensures.for_target(&SpecTarget::Result).expect("result spec inferred");
+    assert_eq!(atom.kind, PermissionKind::Unique);
+    assert_eq!(atom.state.as_deref().unwrap_or(ALIVE), ALIVE);
+
+    // Inference must reduce warnings; what remains points at testParseCSV.
+    assert!(report.warnings_after.warnings.len() < report.warnings_before.warnings.len());
+    assert!(report
+        .warnings_after
+        .warnings
+        .iter()
+        .all(|w| w.method.method == "testParseCSV"));
+    // Exactly the two bare next() calls.
+    assert_eq!(report.warnings_after.warnings.len(), 2, "{:?}", report.warnings_after.warnings);
+
+    // The annotated source is valid Java that reparses with the same spec.
+    let reparsed = anek::java_syntax::parse(&report.annotated_source).expect("annotated reparses");
+    let row = reparsed.type_named("Row").expect("Row survives");
+    let m = row.method_named("createColIter").expect("method survives");
+    let round = anek::spec_lang::spec_of_method(m).expect("annotation parses");
+    assert!(!round.ensures.is_empty());
+}
+
+#[test]
+fn figure7_field_pipeline_runs() {
+    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE7]).expect("figure 7 parses");
+    let report = pipeline.run();
+    // accessFields writes o.f — the receiver must not be inferred read-only.
+    let spec = &report.inference.specs[&MethodId::new("C", "accessFields")];
+    if let Some(atom) = spec.requires.for_target(&SpecTarget::Param("o".into())) {
+        assert!(atom.kind.allows_write(), "L3 demands a writer, got {}", atom.kind);
+    }
+}
+
+#[test]
+fn regression_suite_expectations_hold() {
+    for case in suite() {
+        let pipeline = Pipeline::from_sources(&[case.source])
+            .unwrap_or_else(|e| panic!("case {}: {e}", case.name));
+        let report = pipeline.run();
+        for exp in &case.expectations {
+            match exp {
+                Expectation::RequiresKind { method, target, kind } => {
+                    let (atom, id) = find_atom(&report, method, target, true);
+                    let got = atom.unwrap_or_else(|| {
+                        panic!("case {}: no requires atom for {target} on {id}", case.name)
+                    });
+                    assert!(
+                        got.kind.satisfies(PermissionKind::from_str_opt(kind).unwrap()),
+                        "case {}: {id} requires {target}: expected >= {kind}, got {}",
+                        case.name,
+                        got.kind
+                    );
+                }
+                Expectation::EnsuresKind { method, target, kind } => {
+                    let (atom, id) = find_atom(&report, method, target, false);
+                    let got = atom.unwrap_or_else(|| {
+                        panic!("case {}: no ensures atom for {target} on {id}", case.name)
+                    });
+                    assert!(
+                        got.kind.satisfies(PermissionKind::from_str_opt(kind).unwrap()),
+                        "case {}: {id} ensures {target}: expected >= {kind}, got {}",
+                        case.name,
+                        got.kind
+                    );
+                }
+                Expectation::RequiresState { method, target, state } => {
+                    let (atom, id) = find_atom(&report, method, target, true);
+                    let got = atom.unwrap_or_else(|| {
+                        panic!("case {}: no requires atom for {target} on {id}", case.name)
+                    });
+                    assert_eq!(
+                        got.state.as_deref().unwrap_or(ALIVE),
+                        *state,
+                        "case {}: {id} requires {target} in wrong state",
+                        case.name
+                    );
+                }
+                Expectation::WarningsAfterInference(n) => {
+                    assert_eq!(
+                        report.warnings_after.warnings.len(),
+                        *n,
+                        "case {}: {:?}",
+                        case.name,
+                        report.warnings_after.warnings
+                    );
+                }
+                Expectation::ReceiverNotReadOnly { method } => {
+                    let (class, name) = method.split_once('.').expect("Class.method");
+                    let id = MethodId::new(class, name);
+                    let summary = &report.inference.summaries[&id];
+                    let (pre, _) = summary.param("this").expect("receiver slot");
+                    let read_only = pre
+                        .kind(PermissionKind::Pure)
+                        .max(pre.kind(PermissionKind::Immutable));
+                    let writer = pre
+                        .kind(PermissionKind::Unique)
+                        .max(pre.kind(PermissionKind::Full))
+                        .max(pre.kind(PermissionKind::Share));
+                    assert!(
+                        writer > read_only && read_only < 0.35,
+                        "case {}: read-only kinds should be ruled out: writer={writer:.3} read_only={read_only:.3}",
+                        case.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn find_atom<'a>(
+    report: &'a anek::PipelineReport,
+    method: &str,
+    target: &str,
+    requires: bool,
+) -> (Option<&'a anek::spec_lang::PermAtom>, MethodId) {
+    let (class, name) = method.split_once('.').expect("Class.method");
+    let id = MethodId::new(class, name);
+    let spec = report.inference.specs.get(&id).unwrap_or_else(|| panic!("no spec for {id}"));
+    let t = match target {
+        "this" => SpecTarget::This,
+        "result" => SpecTarget::Result,
+        p => SpecTarget::Param(p.to_string()),
+    };
+    let clause = if requires { &spec.requires } else { &spec.ensures };
+    (clause.for_target(&t), id)
+}
+
+#[test]
+fn overlaying_gold_specs_checks_clean_on_helpers() {
+    // Gold annotations on Figure 3's createColIter make the good uses
+    // verify while testParseCSV still warns (the Bierhoff configuration).
+    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).unwrap();
+    let api = anek::spec_lang::standard_api();
+    let mut specs = SpecTable::unannotated(std::slice::from_ref(&unit));
+    specs.insert(
+        MethodId::new("Row", "createColIter"),
+        anek::spec_lang::MethodSpec {
+            ensures: anek::spec_lang::parse_clause("unique(result) in ALIVE").unwrap(),
+            ..Default::default()
+        },
+    );
+    let result = anek::plural::check(std::slice::from_ref(&unit), &api, &specs);
+    assert_eq!(result.warnings.len(), 2, "{:?}", result.warnings);
+    assert!(result.warnings.iter().all(|w| w.method.method == "testParseCSV"));
+}
+
+#[test]
+fn inference_then_check_is_deterministic() {
+    let run = || {
+        let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3]).unwrap();
+        let report = pipeline.run();
+        (
+            report.inference.specs.clone(),
+            report.warnings_after.warnings.len(),
+            report.annotated_source,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}

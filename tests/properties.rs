@@ -1,0 +1,151 @@
+//! Cross-crate property-based tests (proptest).
+
+use anek::factor_graph::{BpOptions, Factor, FactorGraph};
+use anek::spec_lang::Permission;
+use anek::java_syntax::{parse, print_unit};
+use anek::spec_lang::{parse_clause, Fraction, PermissionKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fraction arithmetic: (a + b) - b == a for in-range rationals.
+    #[test]
+    fn fraction_add_sub_round_trip(an in 0i64..500, ad in 1i64..500, bn in 0i64..500, bd in 1i64..500) {
+        let a = Fraction::new(an, ad).unwrap();
+        let b = Fraction::new(bn, bd).unwrap();
+        let sum = a.checked_add(b).unwrap();
+        prop_assert_eq!(sum.checked_sub(b).unwrap(), a);
+    }
+
+    /// Splitting a fraction into n parts and re-merging restores it.
+    #[test]
+    fn fraction_split_merge(n in 1u32..12, num in 1i64..100, den in 1i64..100) {
+        let f = Fraction::new(num, den).unwrap();
+        let part = f.split(n).unwrap();
+        let mut acc = Fraction::ZERO;
+        for _ in 0..n {
+            acc = acc.checked_add(part).unwrap();
+        }
+        prop_assert_eq!(acc, f);
+    }
+
+    /// Permission splitting is downward-closed: any legal split's parts are
+    /// individually satisfied by the parent.
+    #[test]
+    fn split_parts_are_satisfied(parent in 0usize..5, a in 0usize..5, b in 0usize..5) {
+        let parent = PermissionKind::ALL[parent];
+        let a = PermissionKind::ALL[a];
+        let b = PermissionKind::ALL[b];
+        if parent.can_split_into(&[a, b]) {
+            prop_assert!(parent.satisfies(a));
+            prop_assert!(parent.satisfies(b));
+            // And never two exclusive writers.
+            let writers = [a, b]
+                .iter()
+                .filter(|k| matches!(k, PermissionKind::Unique | PermissionKind::Full))
+                .count();
+            prop_assert!(writers <= 1);
+        }
+    }
+
+    /// Spec clauses survive a print/parse round trip.
+    #[test]
+    fn clause_round_trip(kind in 0usize..5, target in prop::sample::select(vec!["this", "result", "x", "other"]),
+                         state in prop::sample::select(vec![None, Some("HASNEXT"), Some("OPEN"), Some("ALIVE")])) {
+        let k = PermissionKind::ALL[kind];
+        let text = match state {
+            Some(s) => format!("{k}({target}) in {s}"),
+            None => format!("{k}({target})"),
+        };
+        let clause = parse_clause(&text).unwrap();
+        let reparsed = parse_clause(&clause.to_string()).unwrap();
+        prop_assert_eq!(clause, reparsed);
+    }
+
+    /// BP marginals agree with exact enumeration on random small tree-ish
+    /// factor graphs.
+    #[test]
+    fn bp_close_to_exact_on_random_chains(
+        priors in prop::collection::vec(0.05f64..0.95, 2..6),
+        strengths in prop::collection::vec(0.55f64..0.95, 1..5),
+    ) {
+        let mut g = FactorGraph::new();
+        let vars: Vec<_> = (0..priors.len()).map(|i| g.add_var(format!("v{i}"))).collect();
+        for (v, p) in vars.iter().zip(&priors) {
+            g.add_factor(Factor::unary(*v, *p));
+        }
+        // Chain couplings (tree structure => BP is exact at convergence).
+        for (w, h) in vars.windows(2).zip(strengths.iter().cycle()) {
+            g.add_factor(Factor::soft(vec![w[0], w[1]], *h, |a| a[0] == a[1]));
+        }
+        let exact = g.solve_exact();
+        let bp = g.solve(&BpOptions { max_iterations: 200, tolerance: 1e-9, damping: 0.0 });
+        for &v in &vars {
+            prop_assert!((bp.prob(v) - exact.prob(v)).abs() < 1e-4,
+                "var {v}: bp={} exact={}", bp.prob(v), exact.prob(v));
+        }
+    }
+
+    /// Random legal split sequences re-merge to the original permission.
+    #[test]
+    fn permission_split_merge_round_trip(choices in prop::collection::vec(0usize..5, 1..6)) {
+        let original = Permission::fresh();
+        let mut held = original;
+        let mut lent = Vec::new();
+        for c in choices {
+            let to = PermissionKind::ALL[c];
+            if let Ok((retained, l)) = held.split(to) {
+                held = retained;
+                lent.push(l);
+            }
+        }
+        // Merge everything back, in reverse order.
+        for l in lent.into_iter().rev() {
+            held = held.merge(l).expect("re-merging lent halves stays within the whole");
+        }
+        prop_assert_eq!(held.kind, original.kind, "unique is reconstituted");
+        prop_assert!(held.fraction.is_one());
+    }
+
+    /// Splitting never manufactures strength: the lent part is always
+    /// satisfied by the original kind, and the retained part coexists.
+    #[test]
+    fn split_is_sound(kind in 0usize..5, to in 0usize..5) {
+        let k = PermissionKind::ALL[kind];
+        let to = PermissionKind::ALL[to];
+        if let Ok(p) = Permission::new(k, anek::spec_lang::Fraction::ONE) {
+            if let Ok((retained, lent)) = p.split(to) {
+                prop_assert!(k.satisfies(lent.kind));
+                prop_assert!(k.can_split_into(&[lent.kind, retained.kind]),
+                    "{k} -> [{}, {}]", lent.kind, retained.kind);
+            }
+        }
+    }
+
+    /// Printed programs re-parse (generator-shaped random programs).
+    #[test]
+    fn printer_parser_round_trip(n_methods in 1usize..5, consts in prop::collection::vec(1i64..100, 5)) {
+        let mut src = String::from("class P {\n    int field;\n");
+        for i in 0..n_methods {
+            let c = consts[i % consts.len()];
+            src.push_str(&format!(
+                "    int m{i}(int x) {{\n        int r = x * {c};\n        if (r > {c}) {{ r = r - 1; }}\n        return r;\n    }}\n"
+            ));
+        }
+        src.push('}');
+        let unit = parse(&src).unwrap();
+        let printed = print_unit(&unit);
+        let reparsed = parse(&printed).unwrap();
+        // Printing the reparsed AST is a fixpoint.
+        prop_assert_eq!(print_unit(&reparsed), printed);
+    }
+}
+
+#[test]
+fn corpus_generation_is_a_function_of_seed() {
+    use anek::corpus::generator::{generate, PmdConfig};
+    let a = generate(&PmdConfig::small());
+    let b = generate(&PmdConfig::small());
+    assert_eq!(a.source, b.source);
+}
