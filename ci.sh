@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Run from the repo root:
+#
+#   ./ci.sh            # full gate
+#   ./ci.sh --fast     # skip the release build + corpus self-check
+#
+# Steps: formatting, clippy (warnings are errors), release build, the full
+# test suite, and an `anek lint` self-check that regenerates the seeded
+# PMD-shaped corpus and verifies the linter reports exactly the 3 planted
+# protocol bugs (and nothing else).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release --workspace
+fi
+
+step "cargo test"
+cargo test -q --workspace
+
+if [[ $fast -eq 0 ]]; then
+  step "anek lint self-check on the seeded corpus"
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  ./target/release/anek corpus "$tmp" 2>/dev/null
+  # The seed-42 paper corpus plants exactly 3 next()-without-hasNext() bugs;
+  # the deterministic lint must find exactly those, as errors, and no more.
+  if out="$(./target/release/anek lint "$tmp"/*.java 2>&1)"; then
+    echo "expected anek lint to exit non-zero on the planted bugs" >&2
+    exit 1
+  fi
+  errors="$(grep -c '^error\[PROT001\]' <<<"$out" || true)"
+  total="$(grep -c '^error\|^warning' <<<"$out" || true)"
+  if [[ "$errors" != 3 || "$total" != 3 ]]; then
+    echo "lint self-check failed: expected exactly 3 PROT001 errors, got $errors (total findings: $total)" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "lint self-check ok: exactly 3 PROT001 errors on the planted sites"
+fi
+
+step "all green"

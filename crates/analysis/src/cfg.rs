@@ -121,10 +121,7 @@ impl Cfg {
     /// Number of two-way branches (Table 3 reports a program with "numerous
     /// control flow branches").
     pub fn branch_count(&self) -> usize {
-        self.blocks
-            .iter()
-            .filter(|b| matches!(b.term, Some(Terminator::Branch { .. })))
-            .count()
+        self.blocks.iter().filter(|b| matches!(b.term, Some(Terminator::Branch { .. }))).count()
     }
 
     /// All events of all reachable blocks, in block DFS order.
@@ -229,7 +226,10 @@ impl Builder {
                 let test = self.eval_cond(head, cond, env);
                 let body_blk = self.new_block(body.span);
                 let exit_blk = self.new_block(s.span);
-                self.seal(head, Terminator::Branch { test, then_blk: body_blk, else_blk: exit_blk });
+                self.seal(
+                    head,
+                    Terminator::Branch { test, then_blk: body_blk, else_blk: exit_blk },
+                );
                 self.breaks.push(exit_blk);
                 self.continues.push(head);
                 let body_end = self.stmt(body_blk, body, env);
@@ -266,8 +266,7 @@ impl Builder {
                 self.blocks[cur].events.extend(events);
                 let join = self.new_block(s.span);
                 // Pre-create one entry block per case for fallthrough wiring.
-                let entries: Vec<BlockId> =
-                    cases.iter().map(|_| self.new_block(s.span)).collect();
+                let entries: Vec<BlockId> = cases.iter().map(|_| self.new_block(s.span)).collect();
                 // Dispatch chain: an opaque branch per case (semantics of
                 // label matching are not tracked).
                 let mut dispatch = cur;
@@ -321,7 +320,10 @@ impl Builder {
                 };
                 let body_blk = self.new_block(body.span);
                 let exit_blk = self.new_block(s.span);
-                self.seal(head, Terminator::Branch { test, then_blk: body_blk, else_blk: exit_blk });
+                self.seal(
+                    head,
+                    Terminator::Branch { test, then_blk: body_blk, else_blk: exit_blk },
+                );
                 // `continue` in a for loop jumps to the update step; model the
                 // update as a dedicated block.
                 let update_blk = self.new_block(s.span);
@@ -348,7 +350,10 @@ impl Builder {
                 self.seal(cur, Terminator::Goto(head));
                 let body_blk = self.new_block(body.span);
                 let exit_blk = self.new_block(s.span);
-                self.seal(head, Terminator::Branch { test: None, then_blk: body_blk, else_blk: exit_blk });
+                self.seal(
+                    head,
+                    Terminator::Branch { test: None, then_blk: body_blk, else_blk: exit_blk },
+                );
                 self.breaks.push(exit_blk);
                 self.continues.push(head);
                 let body_end = self.stmt(body_blk, body, env);
@@ -411,18 +416,11 @@ impl Builder {
                     let mut dispatch = cur;
                     for (i, c) in catches.iter().enumerate() {
                         let catch_blk = self.new_block(c.body.span);
-                        let next = if i + 1 == catches.len() {
-                            body_blk
-                        } else {
-                            self.new_block(s.span)
-                        };
+                        let next =
+                            if i + 1 == catches.len() { body_blk } else { self.new_block(s.span) };
                         self.seal(
                             dispatch,
-                            Terminator::Branch {
-                                test: None,
-                                then_blk: catch_blk,
-                                else_blk: next,
-                            },
+                            Terminator::Branch { test: None, then_blk: catch_blk, else_blk: next },
                         );
                         let mut env_catch = env.clone();
                         env_catch.bind_local(&c.name, &c.ty);
@@ -544,7 +542,9 @@ mod tests {
 
     #[test]
     fn if_else_creates_diamond() {
-        let cfg = cfg_of("void m(Row r, boolean c) { if (c) { r.add(1); } else { r.add(2); } r.add(3); }");
+        let cfg = cfg_of(
+            "void m(Row r, boolean c) { if (c) { r.add(1); } else { r.add(2); } r.add(3); }",
+        );
         assert_eq!(cfg.branch_count(), 1);
         // entry branches to two blocks that converge on a join.
         let succs = cfg.successors(cfg.entry);
@@ -636,8 +636,7 @@ mod tests {
             }"#,
         );
         // All blocks reachable; specifically the post-loop block.
-        let total_events: usize =
-            cfg.reachable().iter().map(|&b| cfg.blocks[b].events.len()).sum();
+        let total_events: usize = cfg.reachable().iter().map(|&b| cfg.blocks[b].events.len()).sum();
         assert_eq!(total_events, 2, "both add() calls reachable");
         assert_eq!(cfg.branch_count(), 2);
     }
@@ -657,10 +656,8 @@ mod tests {
     #[test]
     fn synchronized_emits_sync_event() {
         let cfg = cfg_of("void m(Row r) { synchronized (r) { r.add(1); } }");
-        let has_sync = cfg.blocks[cfg.entry]
-            .events
-            .iter()
-            .any(|e| matches!(&e.kind, EventKind::Sync { .. }));
+        let has_sync =
+            cfg.blocks[cfg.entry].events.iter().any(|e| matches!(&e.kind, EventKind::Sync { .. }));
         assert!(has_sync);
     }
 
@@ -708,8 +705,7 @@ mod tests {
             }"#,
         );
         // All four add() calls are reachable.
-        let total: usize =
-            cfg.reachable().iter().map(|&b| cfg.blocks[b].events.len()).sum();
+        let total: usize = cfg.reachable().iter().map(|&b| cfg.blocks[b].events.len()).sum();
         assert_eq!(total, 4);
         assert!(cfg.branch_count() >= 2, "case dispatch branches");
     }

@@ -120,16 +120,13 @@ pub enum EventKind {
 pub fn flatten_expr(expr: &Expr, env: &TypeEnv<'_>, sink: &mut Vec<Event>) -> Option<Operand> {
     match &expr.kind {
         ExprKind::Literal(_) => None,
-        ExprKind::This => {
-            Some(Operand { place: Place::This, type_name: Some(env.class.clone()) })
-        }
+        ExprKind::This => Some(Operand { place: Place::This, type_name: Some(env.class.clone()) }),
         ExprKind::Name(n) => {
             if env.is_local(n) {
                 Some(Operand { place: Place::Local(n.clone()), type_name: env.local_type(n) })
             } else {
                 // Implicit `this.field` read: produces a fresh permission.
-                let recv =
-                    Operand { place: Place::This, type_name: Some(env.class.clone()) };
+                let recv = Operand { place: Place::This, type_name: Some(env.class.clone()) };
                 field_read(expr, env, recv, n, sink)
             }
         }
@@ -146,10 +143,7 @@ pub fn flatten_expr(expr: &Expr, env: &TypeEnv<'_>, sink: &mut Vec<Event>) -> Op
                     let callee = env.resolve(None, name);
                     match &callee {
                         Callee::Program(_id) => {
-                            Some(Operand {
-                                place: Place::This,
-                                type_name: Some(env.class.clone()),
-                            })
+                            Some(Operand { place: Place::This, type_name: Some(env.class.clone()) })
                         }
                         _ => None,
                     }
@@ -171,10 +165,7 @@ pub fn flatten_expr(expr: &Expr, env: &TypeEnv<'_>, sink: &mut Vec<Event>) -> Op
                 _ => recv_op,
             };
             let ret_ty = env.infer(expr);
-            let dest = ret_ty.map(|t| Operand {
-                place: Place::Temp(expr.id),
-                type_name: Some(t),
-            });
+            let dest = ret_ty.map(|t| Operand { place: Place::Temp(expr.id), type_name: Some(t) });
             sink.push(Event {
                 id: expr.id,
                 span: expr.span,
@@ -229,8 +220,7 @@ pub fn flatten_expr(expr: &Expr, env: &TypeEnv<'_>, sink: &mut Vec<Event>) -> Op
                 }
                 ExprKind::Name(n) => {
                     // Implicit `this.n = rhs`.
-                    let recv =
-                        Operand { place: Place::This, type_name: Some(env.class.clone()) };
+                    let recv = Operand { place: Place::This, type_name: Some(env.class.clone()) };
                     let src = flatten_expr(rhs, env, sink);
                     sink.push(Event {
                         id: expr.id,
@@ -309,10 +299,7 @@ fn field_read(
     field: &str,
     sink: &mut Vec<Event>,
 ) -> Option<Operand> {
-    let field_ty = recv
-        .type_name
-        .as_deref()
-        .and_then(|t| env.index().field_type(t, field));
+    let field_ty = recv.type_name.as_deref().and_then(|t| env.index().field_type(t, field));
     field_ty.as_ref()?;
     let dest = Operand { place: Place::Temp(expr.id), type_name: field_ty };
     sink.push(Event {
@@ -376,7 +363,12 @@ mod tests {
         let evs = events_in("void m(Row r) { r.createColIter().next(); }");
         assert_eq!(evs.len(), 2);
         match &evs[0].kind {
-            EventKind::Call { callee: Callee::Program(id), receiver: Some(r), dest: Some(d), .. } => {
+            EventKind::Call {
+                callee: Callee::Program(id),
+                receiver: Some(r),
+                dest: Some(d),
+                ..
+            } => {
                 assert_eq!(*id, MethodId::new("Row", "createColIter"));
                 assert_eq!(r.place, Place::Local("r".into()));
                 assert_eq!(d.type_name.as_deref(), Some("Iterator"));
@@ -384,7 +376,11 @@ mod tests {
             other => panic!("first event wrong: {other:?}"),
         }
         match &evs[1].kind {
-            EventKind::Call { callee: Callee::Api { type_name, method }, receiver: Some(r), .. } => {
+            EventKind::Call {
+                callee: Callee::Api { type_name, method },
+                receiver: Some(r),
+                ..
+            } => {
                 assert_eq!(type_name, "Iterator");
                 assert_eq!(method, "next");
                 assert!(matches!(r.place, Place::Temp(_)));

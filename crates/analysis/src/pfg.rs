@@ -166,12 +166,7 @@ pub struct Pfg {
 impl Pfg {
     /// Builds the PFG for `method` of `class` (branch-insensitive, as in
     /// the paper).
-    pub fn build(
-        index: &ProgramIndex,
-        api: &ApiRegistry,
-        class: &str,
-        method: &MethodDecl,
-    ) -> Pfg {
+    pub fn build(index: &ProgramIndex, api: &ApiRegistry, class: &str, method: &MethodDecl) -> Pfg {
         Pfg::build_with_refinement(index, api, class, method, false)
     }
 
@@ -245,17 +240,35 @@ impl Pfg {
                 PfgNodeKind::FieldRead { .. } | PfgNodeKind::FieldWrite { .. } => "box",
                 _ => "ellipse",
             };
-            let _ = writeln!(s, "  n{} [label=\"{}\", shape={}];", n.id, label, shape);
+            let _ = writeln!(s, "  n{} [label=\"{}\", shape={}];", n.id, dot_escape(&label), shape);
             if let Some(r) = n.receiver_link {
                 let _ = writeln!(s, "  n{} -> n{} [style=dotted];", n.id, r);
             }
         }
-        for (a, b) in &self.edges {
+        // Emit edges in sorted order so the dump is independent of build
+        // order (nodes already are: they are emitted by ascending id).
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        for (a, b) in &edges {
             let _ = writeln!(s, "  n{a} -> n{b};");
         }
         s.push_str("}\n");
         s
     }
+}
+
+/// Escapes a node label for a double-quoted DOT string (`"` and `\`).
+fn dot_escape(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Flow state at a program point: where each object's permission currently
@@ -329,12 +342,7 @@ impl<'a> Builder<'a> {
             method.return_type.as_ref().and_then(crate::types::ref_type_name)
         };
         if let Some(ty) = ret_ty {
-            let id = b.push_node(
-                PfgNodeKind::ResultPost,
-                Some(ty.clone()),
-                method.span,
-                None,
-            );
+            let id = b.push_node(PfgNodeKind::ResultPost, Some(ty.clone()), method.span, None);
             b.result = Some((ty, id));
         }
         b
@@ -504,11 +512,8 @@ impl<'a> Builder<'a> {
                 // Parameter permissions flow into their post nodes.
                 let params = self.params.clone();
                 for p in &params {
-                    let place = if p.name == "this" {
-                        Place::This
-                    } else {
-                        Place::Local(p.name.clone())
-                    };
+                    let place =
+                        if p.name == "this" { Place::This } else { Place::Local(p.name.clone()) };
                     if let Some(tok) = state.alias.resolve(&place) {
                         if let Some(&node) = state.node_of.get(&tok) {
                             if node != p.post {
@@ -524,25 +529,15 @@ impl<'a> Builder<'a> {
 
     /// Inserts a pass-through refinement node for the tested operand (only
     /// when the branch-sensitivity extension is enabled).
-    fn refine(
-        &mut self,
-        mut state: FlowState,
-        op: &Operand,
-        st: &str,
-        span: Span,
-    ) -> FlowState {
+    fn refine(&mut self, mut state: FlowState, op: &Operand, st: &str, span: Span) -> FlowState {
         if !self.enable_refine {
             return state;
         }
         if let Some(tok) = state.alias.resolve(&op.place) {
             if let Some(&cur) = state.node_of.get(&tok) {
                 let ty = state.type_of.get(&tok).cloned().flatten();
-                let node = self.push_node(
-                    PfgNodeKind::Refine { state: st.to_string() },
-                    ty,
-                    span,
-                    None,
-                );
+                let node =
+                    self.push_node(PfgNodeKind::Refine { state: st.to_string() }, ty, span, None);
                 self.edge(cur, node);
                 state.node_of.insert(tok, node);
             }
@@ -569,10 +564,21 @@ impl<'a> Builder<'a> {
                     .filter_map(|(i, a)| a.clone().map(|a| (i, a)))
                     .collect();
                 for (i, arg) in &call_args {
-                    self.pass_through_call(arg, callee.clone(), CallRole::Arg(*i), ev.id, ev.span, state);
+                    self.pass_through_call(
+                        arg,
+                        callee.clone(),
+                        CallRole::Arg(*i),
+                        ev.id,
+                        ev.span,
+                        state,
+                    );
                 }
-                let node =
-                    self.push_node(PfgNodeKind::New { callee: callee.clone() }, type_name.clone(), ev.span, None);
+                let node = self.push_node(
+                    PfgNodeKind::New { callee: callee.clone() },
+                    type_name.clone(),
+                    ev.span,
+                    None,
+                );
                 let tok = self.tokens.fresh();
                 state.node_of.insert(tok, node);
                 state.type_of.insert(tok, type_name.clone());
@@ -642,8 +648,7 @@ impl<'a> Builder<'a> {
                             let ty = state.type_of.get(&tok).cloned().flatten();
                             let split =
                                 self.push_node(PfgNodeKind::Split, ty.clone(), ev.span, None);
-                            let retained =
-                                self.push_node(PfgNodeKind::Merge, ty, ev.span, None);
+                            let retained = self.push_node(PfgNodeKind::Merge, ty, ev.span, None);
                             self.edge(cur, split);
                             self.edge(split, write);
                             self.edge(split, retained);
@@ -750,8 +755,7 @@ mod tests {
         // PRE/POST for `this` and `original`.
         assert_eq!(count_kind(&pfg, |k| matches!(k, PfgNodeKind::ParamPre { .. })), 2);
         assert_eq!(count_kind(&pfg, |k| matches!(k, PfgNodeKind::ParamPost { .. })), 2);
-        let original =
-            pfg.params.iter().find(|p| p.name == "original").expect("original param");
+        let original = pfg.params.iter().find(|p| p.name == "original").expect("original param");
         assert_eq!(original.type_name, "Row");
         // PRE original feeds a split (the createColIter call).
         let split = pfg.outgoing(original.pre);
@@ -761,7 +765,9 @@ mod tests {
         let out = pfg.outgoing(split[0]);
         assert_eq!(out.len(), 2);
         let kinds: Vec<_> = out.iter().map(|&n| &pfg.nodes[n].kind).collect();
-        assert!(kinds.iter().any(|k| matches!(k, PfgNodeKind::CallPre { role: CallRole::Receiver, .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PfgNodeKind::CallPre { role: CallRole::Receiver, .. })));
         assert!(kinds.iter().any(|k| matches!(k, PfgNodeKind::Merge)));
         // Result flows somewhere into ResultPost.
         let (_, result_post) = pfg.result.clone().expect("Row return");

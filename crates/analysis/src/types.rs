@@ -186,12 +186,7 @@ impl ProgramIndex {
     /// Resolves a call with receiver type `recv_ty` and method name `name`
     /// against the program first, then the API registry, then by unqualified
     /// program-wide search.
-    pub fn resolve_call(
-        &self,
-        api: &ApiRegistry,
-        recv_ty: Option<&str>,
-        name: &str,
-    ) -> Callee {
+    pub fn resolve_call(&self, api: &ApiRegistry, recv_ty: Option<&str>, name: &str) -> Callee {
         if let Some(ty) = recv_ty {
             if let Some(m) = self.method_in(ty, name) {
                 return Callee::Program(m.id.clone());
@@ -290,10 +285,9 @@ impl<'a> TypeEnv<'a> {
                     Callee::Program(id) => {
                         self.index.method(&id).and_then(|m| m.return_type.clone())
                     }
-                    Callee::Api { type_name, method } => self
-                        .api
-                        .get(&type_name, &method)
-                        .and_then(|m| m.return_type.clone()),
+                    Callee::Api { type_name, method } => {
+                        self.api.get(&type_name, &method).and_then(|m| m.return_type.clone())
+                    }
                     Callee::Unknown { .. } => None,
                 }
             }

@@ -75,8 +75,7 @@ fn atom_at_least(a: &PermAtom, b: &PermAtom) -> bool {
 }
 
 fn clause_eq(a: &PermClause, b: &PermClause) -> bool {
-    a.atoms.len() == b.atoms.len()
-        && a.atoms.iter().all(|x| b.atoms.iter().any(|y| atom_eq(x, y)))
+    a.atoms.len() == b.atoms.len() && a.atoms.iter().all(|x| b.atoms.iter().any(|y| atom_eq(x, y)))
 }
 
 /// Every atom demanded by `weak` is covered by an at-least-as-strong atom

@@ -24,12 +24,9 @@ pub struct SlotVars {
 impl SlotVars {
     /// Allocates fresh variables in `g` for a slot.
     pub fn alloc(g: &mut FactorGraph, label: &str, states: &[String]) -> SlotVars {
-        let kinds = PermissionKind::ALL
-            .map(|k| g.add_var(format!("{label}:{k}")));
-        let states = states
-            .iter()
-            .map(|s| (s.clone(), g.add_var(format!("{label}:{s}"))))
-            .collect();
+        let kinds = PermissionKind::ALL.map(|k| g.add_var(format!("{label}:{k}")));
+        let states =
+            states.iter().map(|s| (s.clone(), g.add_var(format!("{label}:{s}")))).collect();
         SlotVars { kinds, states }
     }
 
@@ -48,9 +45,8 @@ impl SlotVars {
     /// states both slots share).
     fn paired<'a>(&'a self, other: &'a SlotVars) -> impl Iterator<Item = (VarId, VarId)> + 'a {
         let kinds = self.kinds.iter().copied().zip(other.kinds.iter().copied());
-        let states = self.states.iter().filter_map(move |(name, v)| {
-            other.state(name).map(|o| (*v, o))
-        });
+        let states =
+            self.states.iter().filter_map(move |(name, v)| other.state(name).map(|o| (*v, o)));
         kinds.chain(states)
     }
 }
@@ -96,7 +92,7 @@ pub fn l1_split(g: &mut FactorGraph, node: &SlotVars, edges: &[&SlotVars], h: f6
                 let edge_ok = PermissionKind::ALL
                     .iter()
                     .enumerate()
-                    .any(|(j, ek)| a[5 + j] && nk.can_weaken_to(*ek) || a[5 + j] && nk == ek);
+                    .any(|(j, ek)| a[5 + j] && (nk.can_weaken_to(*ek) || nk == ek));
                 if !edge_ok && a[5..10].iter().any(|b| *b) {
                     return false;
                 }
@@ -183,9 +179,7 @@ fn l2_kinds_one_of(
     let kind_sel = add_selectors(g, edges.len(), h, "selK");
     for (i, e) in edges.iter().enumerate() {
         for (nv, ev) in node.kinds.iter().zip(e.kinds.iter()) {
-            g.add_factor(Factor::soft(vec![kind_sel[i], *nv, *ev], h, |a| {
-                !a[0] || a[1] == a[2]
-            }));
+            g.add_factor(Factor::soft(vec![kind_sel[i], *nv, *ev], h, |a| !a[0] || a[1] == a[2]));
         }
     }
     kind_sel
@@ -207,9 +201,7 @@ fn l2_states_one_of(g: &mut FactorGraph, node: &SlotVars, edges: &[&SlotVars], h
         for name in &shared {
             let nv = node.state(name).expect("shared state");
             let ev = e.state(name).expect("shared state");
-            g.add_factor(Factor::soft(vec![state_sel[i], nv, ev], h, |a| {
-                !a[0] || a[1] == a[2]
-            }));
+            g.add_factor(Factor::soft(vec![state_sel[i], nv, ev], h, |a| !a[0] || a[1] == a[2]));
         }
     }
 }
@@ -217,12 +209,9 @@ fn l2_states_one_of(g: &mut FactorGraph, node: &SlotVars, edges: &[&SlotVars], h
 /// Allocates `m` selector variables with a soft exactly-one factor.
 fn add_selectors(g: &mut FactorGraph, m: usize, h: f64, tag: &str) -> Vec<VarId> {
     let base = g.num_vars();
-    let sels: Vec<VarId> =
-        (0..m).map(|i| g.add_var(format!("{tag}{base}_{i}"))).collect();
+    let sels: Vec<VarId> = (0..m).map(|i| g.add_var(format!("{tag}{base}_{i}"))).collect();
     if m > 1 {
-        g.add_factor(Factor::soft(sels.clone(), h, |a| {
-            a.iter().filter(|b| **b).count() == 1
-        }));
+        g.add_factor(Factor::soft(sels.clone(), h, |a| a.iter().filter(|b| **b).count() == 1));
     } else if let Some(&s) = sels.first() {
         g.add_factor(Factor::unary(s, 0.95));
     }
@@ -288,11 +277,7 @@ mod tests {
     use factor_graph::BpOptions;
 
     fn alloc(g: &mut FactorGraph, label: &str) -> SlotVars {
-        SlotVars::alloc(
-            g,
-            label,
-            &["ALIVE".to_string(), "HASNEXT".to_string(), "END".to_string()],
-        )
+        SlotVars::alloc(g, label, &["ALIVE".to_string(), "HASNEXT".to_string(), "END".to_string()])
     }
 
     #[test]
@@ -331,9 +316,8 @@ mod tests {
         }
         let m = g.solve(&BpOptions { max_iterations: 100, ..BpOptions::default() });
         // e2 must not also be an exclusive writer.
-        let p_e2_writer = m
-            .prob(e2.kind(PermissionKind::Unique))
-            .max(m.prob(e2.kind(PermissionKind::Full)));
+        let p_e2_writer =
+            m.prob(e2.kind(PermissionKind::Unique)).max(m.prob(e2.kind(PermissionKind::Full)));
         assert!(p_e2_writer < 0.5, "retained edge must not be a second writer: {p_e2_writer}");
     }
 
@@ -361,9 +345,7 @@ mod tests {
         // Selector-based L2 dilutes single-hop evidence (the selector is
         // itself uncertain); the node must still clearly lean share.
         assert!(m.prob(n.kind(PermissionKind::Share)) > 0.6);
-        assert!(
-            m.prob(n.kind(PermissionKind::Share)) > m.prob(n.kind(PermissionKind::Unique))
-        );
+        assert!(m.prob(n.kind(PermissionKind::Share)) > m.prob(n.kind(PermissionKind::Unique)));
     }
 
     #[test]

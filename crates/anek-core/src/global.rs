@@ -105,10 +105,13 @@ pub fn infer_global(
                 Some(CallRole::Arg(i)) => {
                     let pname = index.method(&callee).and_then(|m| m.params.get(i).cloned());
                     pname.and_then(|(n, _)| {
-                        cpfg.params
-                            .iter()
-                            .find(|p| p.name == n)
-                            .map(|p| if is_pre { p.pre } else { p.post })
+                        cpfg.params.iter().find(|p| p.name == n).map(|p| {
+                            if is_pre {
+                                p.pre
+                            } else {
+                                p.post
+                            }
+                        })
                     })
                 }
             };
@@ -128,8 +131,7 @@ pub fn infer_global(
     for (id, (pfg, node_vars)) in &per_method {
         let read_slot = |node: usize, marginals: &Marginals| -> SlotProbs {
             let vars = &node_vars[node];
-            let mut slot =
-                SlotProbs::uniform(ctx.states_of(pfg.nodes[node].type_name.as_deref()));
+            let mut slot = SlotProbs::uniform(ctx.states_of(pfg.nodes[node].type_name.as_deref()));
             for k in PermissionKind::ALL {
                 slot.set_kind(k, marginals.prob(vars.kind(k)));
             }
@@ -154,14 +156,7 @@ pub fn infer_global(
         summaries.insert(id.clone(), summary);
     }
 
-    InferResult {
-        specs,
-        summaries,
-        confidence,
-        solves: 1,
-        elapsed: start.elapsed(),
-        pre_annotated,
-    }
+    InferResult { specs, summaries, confidence, solves: 1, elapsed: start.elapsed(), pre_annotated }
 }
 
 #[cfg(test)]
@@ -202,7 +197,10 @@ mod tests {
         )
         .unwrap();
         let api = standard_api();
-        let cfg = InferConfig { bp: factor_graph::BpOptions { max_iterations: 80, ..cfg_bp() }, ..InferConfig::default() };
+        let cfg = InferConfig {
+            bp: factor_graph::BpOptions { max_iterations: 80, ..cfg_bp() },
+            ..InferConfig::default()
+        };
         let global = infer_global(std::slice::from_ref(&unit), &api, &cfg);
         let s = &global.summaries[&MethodId::new("App", "level2")];
         let (pre, _) = s.param("it").unwrap();

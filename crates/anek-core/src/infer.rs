@@ -15,8 +15,7 @@ use analysis::types::{Callee, MethodId, ProgramIndex};
 use java_syntax::ast::CompilationUnit;
 use java_syntax::ExprId;
 use spec_lang::{
-    spec_of_method, ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry,
-    StateSpace,
+    spec_of_method, ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry, StateSpace,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -98,18 +97,9 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                 if !spec.is_empty() {
                     pre_annotated.insert(id.clone());
                 }
-                let pfg = Pfg::build_with_refinement(
-                    &index,
-                    api,
-                    &t.name,
-                    m,
-                    cfg.branch_sensitive,
-                );
+                let pfg = Pfg::build_with_refinement(&index, api, &t.name, m, cfg.branch_sensitive);
                 order.push(id.clone());
-                methods.insert(
-                    id,
-                    MethodUnit { pfg, spec, is_constructor: m.is_constructor() },
-                );
+                methods.insert(id, MethodUnit { pfg, spec, is_constructor: m.is_constructor() });
             }
         }
     }
@@ -150,10 +140,8 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         queued.remove(&id);
         let mu = &methods[&id];
         solves += 1;
-        let own_evidence: Vec<CallerEvidence> = evidence
-            .get(&id)
-            .map(|m| m.values().cloned().collect())
-            .unwrap_or_default();
+        let own_evidence: Vec<CallerEvidence> =
+            evidence.get(&id).map(|m| m.values().cloned().collect()).unwrap_or_default();
         let model = MethodModel::build_with_evidence(
             ctx,
             mu.pfg.clone(),
@@ -236,11 +224,8 @@ fn initial_summary(ctx: ModelCtx<'_>, mu: &MethodUnit, cfg: &InferConfig) -> Met
         .params
         .iter()
         .map(|p| {
-            let target = if p.name == "this" {
-                SpecTarget::This
-            } else {
-                SpecTarget::Param(p.name.clone())
-            };
+            let target =
+                if p.name == "this" { SpecTarget::This } else { SpecTarget::Param(p.name.clone()) };
             (
                 p.name.clone(),
                 slot_for(&p.type_name, mu.spec.requires.for_target(&target)),
@@ -304,10 +289,7 @@ mod tests {
         let result = run(FIG3);
         let id = MethodId::new("Row", "createColIter");
         let spec = &result.specs[&id];
-        let atom = spec
-            .ensures
-            .for_target(&SpecTarget::Result)
-            .expect("result spec inferred");
+        let atom = spec.ensures.for_target(&SpecTarget::Result).expect("result spec inferred");
         assert_eq!(atom.kind, PermissionKind::Unique, "H3: create* returns unique");
         let state = atom.state.as_deref().unwrap_or(spec_lang::ALIVE);
         assert_eq!(state, spec_lang::ALIVE, "majority evidence selects ALIVE over HASNEXT");
@@ -336,11 +318,7 @@ mod tests {
         let spec = &result.specs[&MethodId::new("App", "drain")];
         let atom = spec.requires.for_target(&SpecTarget::Param("it".into()));
         let atom = atom.expect("it gets a precondition");
-        assert!(
-            atom.kind.allows_write(),
-            "next() needs a writing permission, got {}",
-            atom.kind
-        );
+        assert!(atom.kind.allows_write(), "next() needs a writing permission, got {}", atom.kind);
     }
 
     #[test]
@@ -390,7 +368,7 @@ mod tests {
         let unit = parse(src).unwrap();
         let api = standard_api();
         let cheap = infer(
-            &[unit.clone()],
+            std::slice::from_ref(&unit),
             &api,
             &InferConfig { max_iters: 3, ..InferConfig::default() },
         );
@@ -398,11 +376,8 @@ mod tests {
         let full = infer(&[unit], &api, &InferConfig::default());
         assert!(full.solves >= 3, "re-analysis should occur: {}", full.solves);
         // The trade-off the paper describes: more iterations, better specs.
-        let a_pre_full = full.summaries[&MethodId::new("App", "a")]
-            .param("it")
-            .unwrap()
-            .0
-            .state("HASNEXT");
+        let a_pre_full =
+            full.summaries[&MethodId::new("App", "a")].param("it").unwrap().0.state("HASNEXT");
         assert!(a_pre_full > 0.5, "with enough iterations a() learns HASNEXT: {a_pre_full:.3}");
     }
 
@@ -437,16 +412,14 @@ mod tests {
         let api = standard_api();
         let id = MethodId::new("Registry", "createReadyIter");
 
-        let plain = infer(&[unit.clone()], &api, &InferConfig::default());
-        let plain_atom =
-            plain.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
+        let plain = infer(std::slice::from_ref(&unit), &api, &InferConfig::default());
+        let plain_atom = plain.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
         assert_eq!(plain_atom.kind, PermissionKind::Unique);
         assert_eq!(plain_atom.state.as_deref().unwrap_or(spec_lang::ALIVE), spec_lang::ALIVE);
 
         let ext_cfg = InferConfig { branch_sensitive: true, ..InferConfig::default() };
         let ext = infer(&[unit], &api, &ext_cfg);
-        let ext_atom =
-            ext.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
+        let ext_atom = ext.specs[&id].ensures.for_target(&SpecTarget::Result).cloned().unwrap();
         assert_eq!(ext_atom.kind, PermissionKind::Unique);
         assert_eq!(
             ext_atom.state.as_deref(),

@@ -165,9 +165,10 @@ pub fn solve_logical(
                             if !a[ki] {
                                 continue;
                             }
-                            let ok = PermissionKind::ALL.iter().enumerate().any(|(kj, ek)| {
-                                a[5 + kj] && nk.can_weaken_to(*ek)
-                            });
+                            let ok = PermissionKind::ALL
+                                .iter()
+                                .enumerate()
+                                .any(|(kj, ek)| a[5 + kj] && nk.can_weaken_to(*ek));
                             if !ok {
                                 return 0.0;
                             }
@@ -228,11 +229,7 @@ pub fn solve_logical(
                 };
                 let kind_sel = mk_selectors(&mut g, &mut hard);
                 for (si, &ei) in ins.iter().enumerate() {
-                    for (a, b) in node_vars[n.id]
-                        .kinds
-                        .iter()
-                        .zip(edge_vars[ei].kinds.iter())
-                    {
+                    for (a, b) in node_vars[n.id].kinds.iter().zip(edge_vars[ei].kinds.iter()) {
                         hard.push(Factor::from_fn(vec![kind_sel[si], *a, *b], |v| {
                             if !v[0] || v[1] == v[2] {
                                 1.0
@@ -290,18 +287,16 @@ pub fn solve_logical(
                         node_vars[recv].kind(PermissionKind::Immutable),
                         node_vars[recv].kind(PermissionKind::Pure),
                     ];
-                    hard.push(Factor::from_fn(scope, |a| {
-                        if a[0] || a[1] {
-                            0.0
-                        } else {
-                            1.0
-                        }
-                    }));
+                    hard.push(Factor::from_fn(scope, |a| if a[0] || a[1] { 0.0 } else { 1.0 }));
                 }
             }
             // API call-site facts are hard unit clauses.
-            if let PfgNodeKind::CallPre { callee: Callee::Api { type_name, method }, role, .. }
-            | PfgNodeKind::CallPost { callee: Callee::Api { type_name, method }, role, .. } = &n.kind
+            if let PfgNodeKind::CallPre {
+                callee: Callee::Api { type_name, method }, role, ..
+            }
+            | PfgNodeKind::CallPost {
+                callee: Callee::Api { type_name, method }, role, ..
+            } = &n.kind
             {
                 if *role == CallRole::Receiver {
                     if let Some(api_m) = api.get(type_name, method) {
@@ -314,7 +309,9 @@ pub fn solve_logical(
                     }
                 }
             }
-            if let PfgNodeKind::CallResult { callee: Callee::Api { type_name, method }, .. } = &n.kind {
+            if let PfgNodeKind::CallResult { callee: Callee::Api { type_name, method }, .. } =
+                &n.kind
+            {
                 if let Some(api_m) = api.get(type_name, method) {
                     if let Some(atom) = api_m.spec.ensures.for_target(&SpecTarget::Result) {
                         push_unit_atoms(&mut hard, &node_vars[n.id], atom);
@@ -355,10 +352,13 @@ pub fn solve_logical(
                         None => continue,
                     },
                 };
-                cpfg.params
-                    .iter()
-                    .find(|p| p.name == pname)
-                    .map(|p| if is_pre { p.pre } else { p.post })
+                cpfg.params.iter().find(|p| p.name == pname).map(|p| {
+                    if is_pre {
+                        p.pre
+                    } else {
+                        p.post
+                    }
+                })
             };
             let Some(tn) = target_node else { continue };
             for (a, b) in pair_vars(&node_vars[n.id], &cnode_vars[tn]) {
@@ -408,7 +408,7 @@ pub fn solve_logical(
         outcome,
         variables,
         constraints,
-        steps: STEPS.with(|s| s.get()),
+        steps: STEPS.with(std::cell::Cell::get),
         peak_memory,
         elapsed: start.elapsed(),
     }
@@ -432,13 +432,16 @@ fn eq_factor(a: VarId, b: VarId) -> Factor {
 fn push_unit_atoms(hard: &mut Vec<Factor>, slot: &SlotVars, atom: &spec_lang::PermAtom) {
     for k in PermissionKind::ALL {
         let want = k == atom.kind;
-        hard.push(Factor::from_fn(vec![slot.kind(k)], move |a| {
-            if a[0] == want {
-                1.0
-            } else {
-                0.0
-            }
-        }));
+        hard.push(Factor::from_fn(
+            vec![slot.kind(k)],
+            move |a| {
+                if a[0] == want {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        ));
     }
     // `in ALIVE` is the root of the state hierarchy and constrains nothing;
     // a non-root state forbids every state that does not refine it (flat

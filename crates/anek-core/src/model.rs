@@ -136,7 +136,6 @@ impl MethodModel {
         MethodModel { pfg, graph: g, node_vars, edge_vars }
     }
 
-
     /// Reads, from solved marginals, the evidence each *program* call site
     /// provides about its callee — keyed by callee, one entry per site.
     pub fn read_call_evidence(
@@ -198,6 +197,48 @@ impl MethodModel {
         out
     }
 
+    /// Structural well-formedness of the model: the slot tables must stay
+    /// parallel to the PFG and every slot variable must exist in the factor
+    /// graph. Returns human-readable problems, empty when the model is
+    /// sound. The lint crate's IR verifier surfaces these as `IR003`
+    /// diagnostics at pipeline stage boundaries.
+    pub fn check_well_formed(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.node_vars.len() != self.pfg.nodes.len() {
+            problems.push(format!(
+                "node_vars has {} entries for {} PFG nodes",
+                self.node_vars.len(),
+                self.pfg.nodes.len()
+            ));
+        }
+        if self.edge_vars.len() != self.pfg.edges.len() {
+            problems.push(format!(
+                "edge_vars has {} entries for {} PFG edges",
+                self.edge_vars.len(),
+                self.pfg.edges.len()
+            ));
+        }
+        let nvars = self.graph.num_vars();
+        let mut check_slot = |what: &str, i: usize, slot: &SlotVars| {
+            for v in slot.kinds.iter().chain(slot.states.iter().map(|(_, v)| v)) {
+                if v.0 as usize >= nvars {
+                    problems.push(format!(
+                        "{what} {i}: slot variable {} out of bounds ({nvars} graph vars)",
+                        v.0
+                    ));
+                    return;
+                }
+            }
+        };
+        for (i, slot) in self.node_vars.iter().enumerate() {
+            check_slot("node", i, slot);
+        }
+        for (i, slot) in self.edge_vars.iter().enumerate() {
+            check_slot("edge", i, slot);
+        }
+        problems
+    }
+
     /// Solves the model and reads the method summary off the pre/post/result
     /// nodes (Figure 9's `Solve` + `UPDATESUMMARY` read-out).
     pub fn solve(&self, ctx: ModelCtx<'_>, cfg: &InferConfig) -> MethodSummary {
@@ -209,9 +250,8 @@ impl MethodModel {
     pub fn read_summary(&self, ctx: ModelCtx<'_>, marginals: &Marginals) -> MethodSummary {
         let read_slot = |node: NodeId| -> SlotProbs {
             let vars = &self.node_vars[node];
-            let mut slot = SlotProbs::uniform(
-                ctx.states_of(self.pfg.nodes[node].type_name.as_deref()),
-            );
+            let mut slot =
+                SlotProbs::uniform(ctx.states_of(self.pfg.nodes[node].type_name.as_deref()));
             for k in PermissionKind::ALL {
                 slot.set_kind(k, marginals.prob(vars.kind(k)));
             }
@@ -249,239 +289,219 @@ pub(crate) fn emit_method(
     cfg: &InferConfig,
     apply_summaries: bool,
 ) -> (Vec<SlotVars>, Vec<SlotVars>) {
+    // ---- Variables (§3.2) ----
+    let node_vars: Vec<SlotVars> = pfg
+        .nodes
+        .iter()
+        .map(|n| {
+            let states = ctx.states_of(n.type_name.as_deref());
+            SlotVars::alloc(g, &format!("{}:n{}", pfg.method, n.id), &states)
+        })
+        .collect();
+    let edge_vars: Vec<SlotVars> = pfg
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, (a, _))| {
+            let states = ctx.states_of(pfg.nodes[*a].type_name.as_deref());
+            SlotVars::alloc(g, &format!("{}:e{i}", pfg.method, i = i), &states)
+        })
+        .collect();
 
+    for slot in node_vars.iter().chain(edge_vars.iter()) {
+        constraints::exactly_one(g, slot, cfg.h_exactly_one);
+    }
 
+    // Edge lookup: node -> outgoing/incoming edge indices.
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); pfg.nodes.len()];
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); pfg.nodes.len()];
+    for (i, (a, b)) in pfg.edges.iter().enumerate() {
+        out_edges[*a].push(i);
+        in_edges[*b].push(i);
+    }
 
-        // ---- Variables (§3.2) ----
-        let node_vars: Vec<SlotVars> = pfg
-            .nodes
-            .iter()
-            .map(|n| {
-                let states = ctx.states_of(n.type_name.as_deref());
-                SlotVars::alloc(g, &format!("{}:n{}", pfg.method, n.id), &states)
-            })
-            .collect();
-        let edge_vars: Vec<SlotVars> = pfg
-            .edges
+    // ---- L1: outgoing (Eq. 1 and 2) ----
+    for n in &pfg.nodes {
+        let outs = &out_edges[n.id];
+        if outs.is_empty() {
+            continue;
+        }
+        if pfg.is_split(n.id) && outs.len() > 1 {
+            let edges: Vec<&SlotVars> = outs.iter().map(|&i| &edge_vars[i]).collect();
+            constraints::l1_split(g, &node_vars[n.id], &edges, cfg.h_split);
+        } else {
+            // Single successor, or branch fan-out: the permission is the
+            // same along every outgoing edge.
+            for &i in outs {
+                constraints::l1_equal(g, &node_vars[n.id], &edge_vars[i], cfg.h_outgoing);
+            }
+        }
+    }
+
+    // ---- L2: incoming (Eq. 3) ----
+    for n in &pfg.nodes {
+        let ins = &in_edges[n.id];
+        if ins.is_empty() {
+            continue;
+        }
+        let edges: Vec<&SlotVars> = ins.iter().map(|&i| &edge_vars[i]).collect();
+        // Merge-after-call: state flows from the callee's post edge.
+        let post_edges: Vec<usize> = ins
             .iter()
             .enumerate()
-            .map(|(i, (a, _))| {
-                let states = ctx.states_of(pfg.nodes[*a].type_name.as_deref());
-                SlotVars::alloc(g, &format!("{}:e{i}", pfg.method, i = i), &states)
+            .filter(|(_, &ei)| {
+                matches!(pfg.nodes[pfg.edges[ei].0].kind, PfgNodeKind::CallPost { .. })
             })
+            .map(|(i, _)| i)
             .collect();
-
-        for slot in node_vars.iter().chain(edge_vars.iter()) {
-            constraints::exactly_one(g, slot, cfg.h_exactly_one);
+        if matches!(n.kind, PfgNodeKind::Merge) && post_edges.len() == 1 && ins.len() > 1 {
+            constraints::l2_call_merge(g, &node_vars[n.id], &edges, post_edges[0], cfg.h_incoming);
+        } else {
+            constraints::l2_incoming(g, &node_vars[n.id], &edges, cfg.h_incoming);
         }
+    }
 
-        // Edge lookup: node -> outgoing/incoming edge indices.
-        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); pfg.nodes.len()];
-        let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); pfg.nodes.len()];
-        for (i, (a, b)) in pfg.edges.iter().enumerate() {
-            out_edges[*a].push(i);
-            in_edges[*b].push(i);
-        }
-
-        // ---- L1: outgoing (Eq. 1 and 2) ----
-        for n in &pfg.nodes {
-            let outs = &out_edges[n.id];
-            if outs.is_empty() {
-                continue;
-            }
-            if pfg.is_split(n.id) && outs.len() > 1 {
-                let edges: Vec<&SlotVars> = outs.iter().map(|&i| &edge_vars[i]).collect();
-                constraints::l1_split(g, &node_vars[n.id], &edges, cfg.h_split);
-            } else {
-                // Single successor, or branch fan-out: the permission is the
-                // same along every outgoing edge.
-                for &i in outs {
-                    constraints::l1_equal(g, &node_vars[n.id], &edge_vars[i], cfg.h_outgoing);
-                }
-            }
-        }
-
-        // ---- L2: incoming (Eq. 3) ----
-        for n in &pfg.nodes {
-            let ins = &in_edges[n.id];
-            if ins.is_empty() {
-                continue;
-            }
-            let edges: Vec<&SlotVars> = ins.iter().map(|&i| &edge_vars[i]).collect();
-            // Merge-after-call: state flows from the callee's post edge.
-            let post_edges: Vec<usize> = ins
-                .iter()
-                .enumerate()
-                .filter(|(_, &ei)| {
-                    matches!(pfg.nodes[pfg.edges[ei].0].kind, PfgNodeKind::CallPost { .. })
-                })
-                .map(|(i, _)| i)
-                .collect();
-            if matches!(n.kind, PfgNodeKind::Merge) && post_edges.len() == 1 && ins.len() > 1 {
-                constraints::l2_call_merge(
-                    g,
-                    &node_vars[n.id],
-                    &edges,
-                    post_edges[0],
-                    cfg.h_incoming,
-                );
-            } else {
-                constraints::l2_incoming(g, &node_vars[n.id], &edges, cfg.h_incoming);
-            }
-        }
-
-        // ---- L3: field writes + H1 new + call-site bindings ----
-        for n in &pfg.nodes {
-            match &n.kind {
-                PfgNodeKind::FieldWrite { .. } | PfgNodeKind::FieldRead { .. } => {
-                    if let Some(recv) = n.receiver_link {
-                        if matches!(n.kind, PfgNodeKind::FieldWrite { .. }) {
-                            constraints::l3_field_write(
-                                g,
-                                &node_vars[recv],
-                                cfg.p_field_write_readonly,
-                            );
-                        }
-                    }
-                }
-                PfgNodeKind::New { .. } => {
-                    constraints::h_unique_result(g, &node_vars[n.id], cfg.p_constructor_unique);
-                }
-                PfgNodeKind::Refine { state } => {
-                    if cfg.branch_sensitive {
-                        let space = n.type_name.as_deref().and_then(|t| ctx.states.get(t));
-                        let atom = spec_lang::PermAtom {
-                            kind: spec_lang::PermissionKind::Pure, // kinds untouched below
-                            target: spec_lang::SpecTarget::This,
-                            state: Some(state.clone()),
-                        };
-                        // Only the state half of the Figure 8 priors: a
-                        // refinement says nothing about permission kinds.
-                        let st = atom.effective_state();
-                        for (name, v) in &node_vars[n.id].states {
-                            let refines = match space {
-                                Some(sp) => sp.refines(name, st),
-                                None => name == st,
-                            };
-                            let p =
-                                if refines { cfg.p_spec_high } else { cfg.p_spec_low };
-                            constraints::prior(g, *v, p);
-                        }
-                    }
-                }
-                PfgNodeKind::CallPre { callee, role, .. }
-                | PfgNodeKind::CallPost { callee, role, .. } => {
-                    let is_pre = matches!(n.kind, PfgNodeKind::CallPre { .. });
-                    if apply_summaries || !matches!(callee, Callee::Program(_)) {
-                        apply_callee_slot(
+    // ---- L3: field writes + H1 new + call-site bindings ----
+    for n in &pfg.nodes {
+        match &n.kind {
+            PfgNodeKind::FieldWrite { .. } | PfgNodeKind::FieldRead { .. } => {
+                if let Some(recv) = n.receiver_link {
+                    if matches!(n.kind, PfgNodeKind::FieldWrite { .. }) {
+                        constraints::l3_field_write(
                             g,
-                            &node_vars[n.id],
-                            ctx,
-                            callee,
-                            Some(*role),
-                            is_pre,
-                            summaries,
-                            cfg,
+                            &node_vars[recv],
+                            cfg.p_field_write_readonly,
                         );
                     }
                 }
-                PfgNodeKind::CallResult { callee, .. } => {
-                    if apply_summaries || !matches!(callee, Callee::Program(_)) {
-                        apply_callee_slot(
-                            g,
-                            &node_vars[n.id],
-                            ctx,
-                            callee,
-                            None,
-                            false,
-                            summaries,
-                            cfg,
-                        );
-                    }
-                    // H3 at the call site: `create*` callees return unique.
-                    if callee_name(callee).starts_with("create") {
-                        constraints::h_unique_result(g, &node_vars[n.id], cfg.p_create_unique);
-                    }
-                }
-                _ => {}
             }
-        }
-
-        // H4 at call sites: set* receivers are writers.
-        for n in &pfg.nodes {
-            if let PfgNodeKind::CallPre { callee, role: CallRole::Receiver, .. } = &n.kind {
-                if callee_name(callee).starts_with("set") {
-                    constraints::h4_setter(g, &node_vars[n.id], cfg.p_setter_readonly);
+            PfgNodeKind::New { .. } => {
+                constraints::h_unique_result(g, &node_vars[n.id], cfg.p_constructor_unique);
+            }
+            PfgNodeKind::Refine { state } if cfg.branch_sensitive => {
+                let space = n.type_name.as_deref().and_then(|t| ctx.states.get(t));
+                let atom = spec_lang::PermAtom {
+                    kind: PermissionKind::Pure, // kinds untouched below
+                    target: SpecTarget::This,
+                    state: Some(state.clone()),
+                };
+                // Only the state half of the Figure 8 priors: a
+                // refinement says nothing about permission kinds.
+                let st = atom.effective_state();
+                for (name, v) in &node_vars[n.id].states {
+                    let refines = match space {
+                        Some(sp) => sp.refines(name, st),
+                        None => name == st,
+                    };
+                    let p = if refines { cfg.p_spec_high } else { cfg.p_spec_low };
+                    constraints::prior(g, *v, p);
                 }
             }
+            PfgNodeKind::CallPre { callee, role, .. }
+            | PfgNodeKind::CallPost { callee, role, .. } => {
+                let is_pre = matches!(n.kind, PfgNodeKind::CallPre { .. });
+                if apply_summaries || !matches!(callee, Callee::Program(_)) {
+                    apply_callee_slot(
+                        g,
+                        &node_vars[n.id],
+                        ctx,
+                        callee,
+                        Some(*role),
+                        is_pre,
+                        summaries,
+                        cfg,
+                    );
+                }
+            }
+            PfgNodeKind::CallResult { callee, .. } => {
+                if apply_summaries || !matches!(callee, Callee::Program(_)) {
+                    apply_callee_slot(
+                        g,
+                        &node_vars[n.id],
+                        ctx,
+                        callee,
+                        None,
+                        false,
+                        summaries,
+                        cfg,
+                    );
+                }
+                // H3 at the call site: `create*` callees return unique.
+                if callee_name(callee).starts_with("create") {
+                    constraints::h_unique_result(g, &node_vars[n.id], cfg.p_create_unique);
+                }
+            }
+            _ => {}
         }
+    }
 
-        // ---- H5: synchronized targets ----
-        for &t in &pfg.sync_targets {
-            constraints::h5_thread_shared(g, &node_vars[t], cfg.h_thread_shared);
+    // H4 at call sites: set* receivers are writers.
+    for n in &pfg.nodes {
+        if let PfgNodeKind::CallPre { callee, role: CallRole::Receiver, .. } = &n.kind {
+            if callee_name(callee).starts_with("set") {
+                constraints::h4_setter(g, &node_vars[n.id], cfg.p_setter_readonly);
+            }
         }
+    }
 
-        // ---- Own-method heuristics and priors ----
+    // ---- H5: synchronized targets ----
+    for &t in &pfg.sync_targets {
+        constraints::h5_thread_shared(g, &node_vars[t], cfg.h_thread_shared);
+    }
+
+    // ---- Own-method heuristics and priors ----
+    for p in &pfg.params {
+        // H2: pre/post kinds agree.
+        constraints::h2_pre_post(g, &node_vars[p.pre], &node_vars[p.post], cfg.h_pre_post);
+        let target =
+            if p.name == "this" { SpecTarget::This } else { SpecTarget::Param(p.name.clone()) };
+        let space = ctx.states.get(&p.type_name);
+        if let Some(atom) = own_spec.requires.for_target(&target) {
+            install_atom_priors(g, &node_vars[p.pre], atom, space, cfg);
+        }
+        if let Some(atom) = own_spec.ensures.for_target(&target) {
+            install_atom_priors(g, &node_vars[p.post], atom, space, cfg);
+        }
+        // H1 on constructors: the constructed object (this-post) is
+        // unique with elevated probability.
+        if is_constructor && p.name == "this" {
+            constraints::h_unique_result(g, &node_vars[p.post], cfg.p_constructor_unique);
+        }
+    }
+    if let Some((ty, result_post)) = &pfg.result {
+        if let Some(atom) = own_spec.ensures.for_target(&SpecTarget::Result) {
+            let space = ctx.states.get(ty);
+            install_atom_priors(g, &node_vars[*result_post], atom, space, cfg);
+        }
+        // H3 on the method itself.
+        if pfg.method.method.starts_with("create") {
+            constraints::h_unique_result(g, &node_vars[*result_post], cfg.p_create_unique);
+        }
+    }
+    // H4 on the method itself.
+    if pfg.method.method.starts_with("set") {
         for p in &pfg.params {
-            // H2: pre/post kinds agree.
-            constraints::h2_pre_post(
-                g,
-                &node_vars[p.pre],
-                &node_vars[p.post],
-                cfg.h_pre_post,
-            );
-            let target = if p.name == "this" {
-                SpecTarget::This
-            } else {
-                SpecTarget::Param(p.name.clone())
-            };
-            let space = ctx.states.get(&p.type_name);
-            if let Some(atom) = own_spec.requires.for_target(&target) {
-                install_atom_priors(g, &node_vars[p.pre], atom, space, cfg);
-            }
-            if let Some(atom) = own_spec.ensures.for_target(&target) {
-                install_atom_priors(g, &node_vars[p.post], atom, space, cfg);
-            }
-            // H1 on constructors: the constructed object (this-post) is
-            // unique with elevated probability.
-            if is_constructor && p.name == "this" {
-                constraints::h_unique_result(g, &node_vars[p.post], cfg.p_constructor_unique);
+            if p.name == "this" {
+                constraints::h4_setter(g, &node_vars[p.pre], cfg.p_setter_readonly);
+                constraints::h4_setter(g, &node_vars[p.post], cfg.p_setter_readonly);
             }
         }
-        if let Some((ty, result_post)) = &pfg.result {
-            if let Some(atom) = own_spec.ensures.for_target(&SpecTarget::Result) {
-                let space = ctx.states.get(ty);
-                install_atom_priors(g, &node_vars[*result_post], atom, space, cfg);
-            }
-            // H3 on the method itself.
-            if pfg.method.method.starts_with("create") {
-                constraints::h_unique_result(g, &node_vars[*result_post], cfg.p_create_unique);
-            }
-        }
-        // H4 on the method itself.
-        if pfg.method.method.starts_with("set") {
-            for p in &pfg.params {
-                if p.name == "this" {
-                    constraints::h4_setter(g, &node_vars[p.pre], cfg.p_setter_readonly);
-                    constraints::h4_setter(g, &node_vars[p.post], cfg.p_setter_readonly);
-                }
-            }
-        }
+    }
 
-        // ---- Caller evidence on own pre/post/result nodes ----
-        for ev in caller_evidence {
-            for p in &pfg.params {
-                if let Some(probs) = ev.param_pre.get(&p.name) {
-                    install_probs(g, &node_vars[p.pre], probs);
-                }
-                if let Some(probs) = ev.param_post.get(&p.name) {
-                    install_probs(g, &node_vars[p.post], probs);
-                }
+    // ---- Caller evidence on own pre/post/result nodes ----
+    for ev in caller_evidence {
+        for p in &pfg.params {
+            if let Some(probs) = ev.param_pre.get(&p.name) {
+                install_probs(g, &node_vars[p.pre], probs);
             }
-            if let (Some(probs), Some((_, result_post))) = (&ev.result, &pfg.result) {
-                install_probs(g, &node_vars[*result_post], probs);
+            if let Some(probs) = ev.param_post.get(&p.name) {
+                install_probs(g, &node_vars[p.post], probs);
             }
         }
+        if let (Some(probs), Some((_, result_post))) = (&ev.result, &pfg.result) {
+            install_probs(g, &node_vars[*result_post], probs);
+        }
+    }
 
     (node_vars, edge_vars)
 }
@@ -523,7 +543,7 @@ fn install_atom_priors(
     space: Option<&spec_lang::StateSpace>,
     cfg: &InferConfig,
 ) {
-    install_atom_priors_inner(g, slot, atom, space, cfg, false)
+    install_atom_priors_inner(g, slot, atom, space, cfg, false);
 }
 
 /// When `lattice_aware` is set (call-site projections of API specs), the
@@ -590,8 +610,7 @@ fn apply_callee_slot(
                 Some(CallRole::Arg(_)) => return, // API arg specs unused in the model
                 None => SpecTarget::Result,
             };
-            let clause =
-                if is_pre { &api_m.spec.requires } else { &api_m.spec.ensures };
+            let clause = if is_pre { &api_m.spec.requires } else { &api_m.spec.ensures };
             if let Some(atom) = clause.for_target(&target) {
                 let space = ctx.states.get(type_name);
                 install_atom_priors_inner(g, slot, atom, space, cfg, true);
@@ -605,11 +624,8 @@ fn apply_callee_slot(
                 }
                 Some(CallRole::Arg(i)) => {
                     // Positional parameter name lookup.
-                    let name = ctx
-                        .index
-                        .method(id)
-                        .and_then(|m| m.params.get(i))
-                        .map(|(n, _)| n.clone());
+                    let name =
+                        ctx.index.method(id).and_then(|m| m.params.get(i)).map(|(n, _)| n.clone());
                     name.and_then(|n| {
                         summary.param(&n).map(|(pre, post)| if is_pre { pre } else { post })
                     })
@@ -653,14 +669,7 @@ mod tests {
         let m = t.method_named(method).unwrap();
         let pfg = Pfg::build(&index, &api, class, m);
         let spec = spec_of_method(m).unwrap();
-        let model = MethodModel::build(
-            ctx,
-            pfg,
-            &spec,
-            m.is_constructor(),
-            &BTreeMap::new(),
-            &cfg,
-        );
+        let model = MethodModel::build(ctx, pfg, &spec, m.is_constructor(), &BTreeMap::new(), &cfg);
         let summary = model.solve(ctx, &cfg);
         (model, summary)
     }
@@ -788,14 +797,7 @@ mod tests {
 
         let m = unit.type_named("B").unwrap().method_named("caller").unwrap();
         let pfg = Pfg::build(&index, &api, "B", m);
-        let model = MethodModel::build(
-            ctx,
-            pfg,
-            &MethodSpec::default(),
-            false,
-            &summaries,
-            &cfg,
-        );
+        let model = MethodModel::build(ctx, pfg, &MethodSpec::default(), false, &summaries, &cfg);
         let summary = model.solve(ctx, &cfg);
         let (s_pre, _) = summary.param("s").unwrap();
         assert!(

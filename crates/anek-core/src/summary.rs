@@ -22,10 +22,7 @@ pub struct SlotProbs {
 impl SlotProbs {
     /// An uninformative slot over the given states.
     pub fn uniform<S: Into<String>>(states: impl IntoIterator<Item = S>) -> SlotProbs {
-        SlotProbs {
-            kinds: [0.5; 5],
-            states: states.into_iter().map(|s| (s.into(), 0.5)).collect(),
-        }
+        SlotProbs { kinds: [0.5; 5], states: states.into_iter().map(|s| (s.into(), 0.5)).collect() }
     }
 
     /// The probability of a kind.
@@ -85,8 +82,7 @@ impl SlotProbs {
     /// `ALIVE`, the root).
     pub fn extract_state(&self, t: f64) -> Option<String> {
         const MARGIN: f64 = 1.2;
-        let mut ranked: Vec<(&String, f64)> =
-            self.states.iter().map(|(s, p)| (s, *p)).collect();
+        let mut ranked: Vec<(&String, f64)> = self.states.iter().map(|(s, p)| (s, *p)).collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
         let (best, p_best) = ranked.first()?;
         if *p_best <= t {
@@ -162,11 +158,8 @@ impl MethodSummary {
         let mut ensures = PermClause::empty();
         let mut confidence = 1.0f64;
         for (name, pre, post) in &self.params {
-            let target = if name == "this" {
-                SpecTarget::This
-            } else {
-                SpecTarget::Param(name.clone())
-            };
+            let target =
+                if name == "this" { SpecTarget::This } else { SpecTarget::Param(name.clone()) };
             if let Some(kind) = pre.extract_kind(t) {
                 confidence = confidence.min(pre.kind(kind));
                 let state = pre.extract_state(t).filter(|s| s != ALIVE || pre.states.len() > 1);
@@ -236,10 +229,7 @@ mod tests {
         let mut post = iterator_slot();
         post.set_kind(PermissionKind::Full, 0.95);
         post.states.insert("ALIVE".into(), 0.88);
-        let summary = MethodSummary {
-            params: vec![("this".into(), pre, post)],
-            result: None,
-        };
+        let summary = MethodSummary { params: vec![("this".into(), pre, post)], result: None };
         let spec = summary.extract_spec(0.6);
         assert_eq!(spec.requires.to_string(), "full(this) in HASNEXT");
         assert_eq!(spec.ensures.to_string(), "full(this) in ALIVE");
@@ -250,8 +240,7 @@ mod tests {
         let mut pre = SlotProbs::uniform(["ALIVE"]);
         pre.set_kind(PermissionKind::Pure, 0.9);
         pre.states.insert("ALIVE".into(), 0.95);
-        let summary =
-            MethodSummary { params: vec![("x".into(), pre.clone(), pre)], result: None };
+        let summary = MethodSummary { params: vec![("x".into(), pre.clone(), pre)], result: None };
         let spec = summary.extract_spec(0.6);
         assert_eq!(spec.requires.to_string(), "pure(x)");
     }
@@ -271,8 +260,7 @@ mod tests {
         pre.set_kind(PermissionKind::Full, 0.95);
         let mut post = iterator_slot();
         post.set_kind(PermissionKind::Full, 0.7);
-        let summary =
-            MethodSummary { params: vec![("this".into(), pre, post)], result: None };
+        let summary = MethodSummary { params: vec![("this".into(), pre, post)], result: None };
         let (spec, confidence) = summary.extract_spec_with_confidence(0.6);
         assert_eq!(spec.requires.atoms.len(), 1);
         assert_eq!(spec.ensures.atoms.len(), 1);

@@ -4,7 +4,11 @@
 //! ```text
 //! anek infer <file.java>...     infer specs, print them
 //! anek check <file.java>...     run PLURAL on the sources as-is
-//! anek pipeline [--out DIR] <file.java>...
+//! anek lint [--json] [--verify-ir] <file.java>...
+//!                               run the deterministic dataflow lints
+//!                               (DF/PROT/SPEC rules) and optionally the IR
+//!                               verifier; exit non-zero on errors
+//! anek pipeline [--out DIR] [--verify-ir] <file.java>...
 //!                               infer, apply, re-check; print the annotated
 //!                               program (or write one file per input into
 //!                               DIR) and report both warning counts
@@ -23,7 +27,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: anek <infer|check|pipeline|pfg> <file.java>...");
+        eprintln!("usage: anek <infer|check|lint|pipeline|pfg|corpus> <file.java>...");
         return ExitCode::from(2);
     };
     match run(cmd, rest) {
@@ -88,35 +92,70 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             );
             Ok(if result.warnings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
+        "lint" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let verify_ir = rest.iter().any(|a| a == "--verify-ir");
+            if let Some(bad) =
+                rest.iter().find(|a| a.starts_with("--") && *a != "--json" && *a != "--verify-ir")
+            {
+                return Err(
+                    format!("unknown lint flag `{bad}` (expected --json, --verify-ir)").into()
+                );
+            }
+            let files: Vec<String> =
+                rest.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+            let sources = read_sources(&files)?;
+            let pipeline = Pipeline::from_sources(&sources)?;
+            let opts = lint::LintOptions { verify_ir };
+            let diags = lint::lint_units(&pipeline.units, &pipeline.api, &opts);
+            if json {
+                println!("{}", lint::to_json_array(&diags));
+            } else {
+                // Each diagnostic knows its `Class.method`; map the class
+                // back to the source file that declares it for snippets.
+                for d in &diags {
+                    let class = d.method.split('.').next().unwrap_or("");
+                    let source = pipeline
+                        .units
+                        .iter()
+                        .position(|u| u.type_named(class).is_some())
+                        .map(|i| sources[i].as_str());
+                    print!("{}", d.render(source));
+                }
+            }
+            let errors = diags.iter().filter(|d| d.severity == lint::Severity::Error).count();
+            eprintln!("{} diagnostics ({errors} errors) across {} files", diags.len(), files.len());
+            Ok(if errors == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
         "pipeline" => {
             let mut out_dir: Option<String> = None;
+            let mut verify_ir = false;
             let mut files: Vec<String> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 if a == "--out" {
-                    out_dir =
-                        Some(it.next().ok_or("--out needs a directory")?.clone());
+                    out_dir = Some(it.next().ok_or("--out needs a directory")?.clone());
+                } else if a == "--verify-ir" {
+                    verify_ir = true;
                 } else {
                     files.push(a.clone());
                 }
             }
             let sources = read_sources(&files)?;
-            let pipeline = Pipeline::from_sources(&sources)?;
+            let pipeline = Pipeline::from_sources(&sources)?.with_verify_ir(verify_ir);
             let report = pipeline.run();
             match &out_dir {
                 Some(dir) => {
                     // One annotated file per input, mirroring the input names.
                     std::fs::create_dir_all(dir)?;
-                    let (annotated, _) = anek::apply_specs(
-                        &pipeline.units,
-                        &report.inference.specs,
-                    );
+                    let (annotated, _) =
+                        anek::apply_specs(&pipeline.units, &report.inference.specs);
                     for (unit, input) in annotated.iter().zip(&files) {
                         let name = std::path::Path::new(input)
                             .file_name()
                             .ok_or("input has no file name")?;
                         let path = std::path::Path::new(dir).join(name);
-                        std::fs::write(&path, anek::java_syntax::print_unit(unit))?;
+                        std::fs::write(&path, java_syntax::print_unit(unit))?;
                     }
                     eprintln!("wrote {} annotated files to {dir}", files.len());
                 }
@@ -135,17 +174,18 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             Ok(ExitCode::SUCCESS)
         }
         "pfg" => {
-            let (target, files) = rest.split_last().ok_or("usage: anek pfg <file>... <Class.method>")?;
+            let (target, files) =
+                rest.split_last().ok_or("usage: anek pfg <file>... <Class.method>")?;
             // Allow either order: if the last arg looks like a file, the
             // first is the target.
             let (files, target) = if target.ends_with(".java") {
-                let (t, f) = rest.split_first().ok_or("usage: anek pfg <Class.method> <file>...")?;
+                let (t, f) =
+                    rest.split_first().ok_or("usage: anek pfg <Class.method> <file>...")?;
                 (f.to_vec(), t.clone())
             } else {
                 (files.to_vec(), target.clone())
             };
-            let (class, method) =
-                target.split_once('.').ok_or("target must be Class.method")?;
+            let (class, method) = target.split_once('.').ok_or("target must be Class.method")?;
             let sources = read_sources(&files)?;
             let pipeline = Pipeline::from_sources(&sources)?;
             let index = ProgramIndex::build(pipeline.units.iter());
@@ -168,12 +208,8 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 .iter()
                 .find(|a| !a.starts_with("--"))
                 .ok_or("usage: anek corpus <dir> [--small]")?;
-            let cfg = if small {
-                anek::corpus::PmdConfig::small()
-            } else {
-                anek::corpus::PmdConfig::paper()
-            };
-            let corpus = anek::corpus::generate(&cfg);
+            let cfg = if small { corpus::PmdConfig::small() } else { corpus::PmdConfig::paper() };
+            let corpus = corpus::generate(&cfg);
             let n = corpus.write_to_dir(std::path::Path::new(dir))?;
             eprintln!(
                 "wrote {n} classes ({} lines, {} methods, {} next() calls) to {dir}",

@@ -41,10 +41,11 @@ pub mod pipeline;
 pub use apply::{apply_specs, render};
 pub use pipeline::{Pipeline, PipelineReport};
 
-pub use anek_core;
 pub use analysis;
+pub use anek_core;
 pub use corpus;
 pub use factor_graph;
 pub use java_syntax;
+pub use lint;
 pub use plural;
 pub use spec_lang;

@@ -5,10 +5,15 @@
 //! workflow of §2.1: run inference over client code, then let the sound
 //! checker validate the result.
 
-use anek_core::{infer, InferConfig, InferResult};
+use analysis::cfg::Cfg;
+use analysis::pfg::Pfg;
+use analysis::types::{ProgramIndex, TypeEnv};
+use anek_core::{infer, InferConfig, InferResult, MethodModel, ModelCtx};
 use java_syntax::{parse, CompilationUnit, ParseError};
+use lint::Diagnostic;
 use plural::{check, CheckResult, SpecTable};
-use spec_lang::{standard_api, ApiRegistry};
+use spec_lang::{spec_of_method, standard_api, ApiRegistry, MethodSpec};
+use std::collections::BTreeMap;
 
 /// A configured pipeline over one program.
 #[derive(Debug, Clone)]
@@ -19,6 +24,9 @@ pub struct Pipeline {
     pub api: ApiRegistry,
     /// Inference configuration.
     pub config: InferConfig,
+    /// Run the IR verifier at stage boundaries even in release builds
+    /// (debug builds always verify).
+    pub verify_ir: bool,
 }
 
 /// The complete result of a pipeline run.
@@ -34,13 +42,16 @@ pub struct PipelineReport {
     pub annotations_applied: usize,
     /// The annotated program, pretty-printed.
     pub annotated_source: String,
+    /// IR-verifier findings from the stage boundaries (`IR001`–`IR003`);
+    /// empty when verification is disabled or everything is well-formed.
+    pub ir_diagnostics: Vec<Diagnostic>,
 }
 
 impl Pipeline {
     /// Builds a pipeline from already-parsed units with the standard API
     /// model and default configuration.
     pub fn new(units: Vec<CompilationUnit>) -> Pipeline {
-        Pipeline { units, api: standard_api(), config: InferConfig::default() }
+        Pipeline { units, api: standard_api(), config: InferConfig::default(), verify_ir: false }
     }
 
     /// Parses each source string into a unit.
@@ -49,8 +60,7 @@ impl Pipeline {
     ///
     /// Returns the first [`ParseError`].
     pub fn from_sources<S: AsRef<str>>(sources: &[S]) -> Result<Pipeline, ParseError> {
-        let units =
-            sources.iter().map(|s| parse(s.as_ref())).collect::<Result<Vec<_>, _>>()?;
+        let units = sources.iter().map(|s| parse(s.as_ref())).collect::<Result<Vec<_>, _>>()?;
         Ok(Pipeline::new(units))
     }
 
@@ -66,6 +76,50 @@ impl Pipeline {
         self
     }
 
+    /// Forces stage-boundary IR verification on (release builds skip it by
+    /// default; debug builds always verify).
+    pub fn with_verify_ir(mut self, verify_ir: bool) -> Pipeline {
+        self.verify_ir = verify_ir;
+        self
+    }
+
+    /// Runs the IR verifier over every method's CFG, PFG, and emitted
+    /// constraint system — the invariants each pipeline stage hands to the
+    /// next. Pure; does not depend on inference having run.
+    pub fn verify_ir_diagnostics(&self) -> Vec<Diagnostic> {
+        let index = ProgramIndex::build(self.units.iter());
+        let states = anek_core::merged_states(&self.units, &self.api);
+        let ctx = ModelCtx { index: &index, api: &self.api, states: &states };
+        let no_summaries = BTreeMap::new();
+        let mut diags = Vec::new();
+        for unit in &self.units {
+            for t in &unit.types {
+                for m in t.methods() {
+                    if m.body.is_none() {
+                        continue;
+                    }
+                    let name = format!("{}.{}", t.name, m.name);
+                    let mut env = TypeEnv::for_method(&index, &self.api, &t.name, m);
+                    let cfg = Cfg::build(m, &mut env);
+                    diags.extend(lint::verify::verify_cfg(&cfg, &name));
+                    let pfg = Pfg::build(&index, &self.api, &t.name, m);
+                    let own_spec = spec_of_method(m).unwrap_or_else(|_| MethodSpec::default());
+                    let model = MethodModel::build(
+                        ctx,
+                        pfg,
+                        &own_spec,
+                        m.is_constructor(),
+                        &no_summaries,
+                        &self.config,
+                    );
+                    diags.extend(lint::verify::verify_model(&model));
+                }
+            }
+        }
+        lint::sort_diagnostics(&mut diags);
+        diags
+    }
+
     /// Runs inference only.
     pub fn infer(&self) -> InferResult {
         infer(&self.units, &self.api, &self.config)
@@ -77,8 +131,22 @@ impl Pipeline {
     }
 
     /// Runs the whole Figure 10 pipeline: check unannotated, infer, apply,
-    /// re-check.
+    /// re-check. Debug builds (and release builds with
+    /// [`Pipeline::with_verify_ir`]) verify the IRs before inference and
+    /// panic on an `IR00x` finding — broken invariants would otherwise
+    /// surface as silently-wrong marginals.
     pub fn run(&self) -> PipelineReport {
+        let ir_diagnostics = if cfg!(debug_assertions) || self.verify_ir {
+            let diags = self.verify_ir_diagnostics();
+            assert!(
+                diags.is_empty(),
+                "IR verification failed:\n{}",
+                diags.iter().map(|d| d.render(None)).collect::<String>()
+            );
+            diags
+        } else {
+            Vec::new()
+        };
         let original_specs = SpecTable::from_units(&self.units);
         let warnings_before = self.check(&original_specs);
         let inference = self.infer();
@@ -93,6 +161,7 @@ impl Pipeline {
             warnings_after,
             annotations_applied,
             annotated_source,
+            ir_diagnostics,
         }
     }
 }
@@ -103,14 +172,10 @@ mod tests {
 
     #[test]
     fn figure3_pipeline_reduces_warnings() {
-        let pipeline =
-            Pipeline::from_sources(&[corpus::FIGURE3]).expect("figure 3 parses");
+        let pipeline = Pipeline::from_sources(&[corpus::FIGURE3]).expect("figure 3 parses");
         let report = pipeline.run();
         // Unannotated: boundary uses of createColIter warn.
-        assert!(
-            !report.warnings_before.warnings.is_empty(),
-            "original program should warn"
-        );
+        assert!(!report.warnings_before.warnings.is_empty(), "original program should warn");
         // Inference reduces warnings to just the genuinely-buggy sites.
         assert!(
             report.warnings_after.warnings.len() < report.warnings_before.warnings.len(),
@@ -120,6 +185,18 @@ mod tests {
         );
         assert!(report.annotations_applied > 0);
         assert!(report.annotated_source.contains("@Perm"));
+    }
+
+    #[test]
+    fn verify_ir_is_clean_on_figure_programs() {
+        for src in [corpus::FIGURE3, corpus::figures::FIGURE7, corpus::figures::figure2()] {
+            let pipeline = Pipeline::from_sources(&[src]).unwrap().with_verify_ir(true);
+            let diags = pipeline.verify_ir_diagnostics();
+            assert!(diags.is_empty(), "IR verifier fired on {src:.40}...: {diags:?}");
+            // The full run (which asserts internally) must also pass.
+            let report = pipeline.run();
+            assert!(report.ir_diagnostics.is_empty());
+        }
     }
 
     #[test]

@@ -1,36 +1,36 @@
-//! Criterion micro-benchmarks of the pipeline components: lexing/parsing,
-//! PFG construction, belief propagation, checking and Gaussian elimination.
+//! Micro-benchmarks of the pipeline components: lexing/parsing, PFG
+//! construction, belief propagation, checking and Gaussian elimination.
+//! Runs on the in-tree [`bench::microbench`] harness (no Criterion in the
+//! offline build).
 
 use anek::analysis::{Pfg, ProgramIndex};
 use anek::factor_graph::{BpOptions, Factor, FactorGraph};
 use anek::plural::{check, local_infer_pfg, SpecTable};
 use anek::spec_lang::standard_api;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::Bench;
 use std::hint::black_box;
 
-fn bench_parser(c: &mut Criterion) {
-    let src = anek::corpus::FIGURE3;
-    c.bench_function("parse_figure3", |b| {
-        b.iter(|| anek::java_syntax::parse(black_box(src)).unwrap())
-    });
-    let corpus = anek::corpus::generator::generate(&anek::corpus::PmdConfig::small());
-    c.bench_function("parse_small_corpus", |b| {
-        b.iter(|| anek::java_syntax::parse(black_box(&corpus.source)).unwrap())
+fn bench_parser(b: &mut Bench) {
+    let src = corpus::FIGURE3;
+    b.bench_function("parse_figure3", || java_syntax::parse(black_box(src)).unwrap());
+    let corpus = corpus::generator::generate(&corpus::PmdConfig::small());
+    b.bench_function("parse_small_corpus", || {
+        java_syntax::parse(black_box(&corpus.source)).unwrap()
     });
 }
 
-fn bench_pfg(c: &mut Criterion) {
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).unwrap();
+fn bench_pfg(b: &mut Bench) {
+    let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
     let index = ProgramIndex::build([&unit]);
     let api = standard_api();
     let t = unit.type_named("Spreadsheet").unwrap();
     let m = t.method_named("copy").unwrap();
-    c.bench_function("pfg_build_copy", |b| {
-        b.iter(|| Pfg::build(black_box(&index), black_box(&api), "Spreadsheet", black_box(m)))
+    b.bench_function("pfg_build_copy", || {
+        Pfg::build(black_box(&index), black_box(&api), "Spreadsheet", black_box(m))
     });
 }
 
-fn bench_bp(c: &mut Criterion) {
+fn bench_bp(b: &mut Bench) {
     // A representative loopy graph: 30-variable cycle with priors.
     let mut g = FactorGraph::new();
     let vars: Vec<_> = (0..30).map(|i| g.add_var(format!("v{i}"))).collect();
@@ -41,44 +41,44 @@ fn bench_bp(c: &mut Criterion) {
     }
     for i in 0..30 {
         let a = vars[i];
-        let b = vars[(i + 1) % 30];
-        g.add_factor(Factor::soft(vec![a, b], 0.9, |x| x[0] == x[1]));
+        let b2 = vars[(i + 1) % 30];
+        g.add_factor(Factor::soft(vec![a, b2], 0.9, |x| x[0] == x[1]));
     }
-    c.bench_function("bp_30var_cycle", |b| {
-        b.iter(|| black_box(&g).solve(&BpOptions::default()))
-    });
-    c.bench_function("exact_enumeration_16vars", |b| {
-        let mut g = FactorGraph::new();
-        let vars: Vec<_> = (0..16).map(|i| g.add_var(format!("v{i}"))).collect();
-        for w in vars.windows(2) {
-            g.add_factor(Factor::soft(vec![w[0], w[1]], 0.8, |x| x[0] == x[1]));
-        }
-        g.add_factor(Factor::unary(vars[0], 0.95));
-        b.iter(|| black_box(&g).solve_exact())
-    });
+    b.bench_function("bp_30var_cycle", || black_box(&g).solve(&BpOptions::default()));
+
+    let mut g = FactorGraph::new();
+    let vars: Vec<_> = (0..16).map(|i| g.add_var(format!("v{i}"))).collect();
+    for w in vars.windows(2) {
+        g.add_factor(Factor::soft(vec![w[0], w[1]], 0.8, |x| x[0] == x[1]));
+    }
+    g.add_factor(Factor::unary(vars[0], 0.95));
+    b.bench_function("exact_enumeration_16vars", || black_box(&g).solve_exact());
 }
 
-fn bench_checker(c: &mut Criterion) {
-    // (checking is fast; default sampling is fine)
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).unwrap();
+fn bench_checker(b: &mut Bench) {
+    let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
     let api = standard_api();
     let units = vec![unit];
     let specs = SpecTable::from_units(&units);
-    c.bench_function("plural_check_figure3", |b| {
-        b.iter(|| check(black_box(&units), black_box(&api), black_box(&specs)))
+    b.bench_function("plural_check_figure3", || {
+        check(black_box(&units), black_box(&api), black_box(&specs))
     });
 }
 
-fn bench_gaussian(c: &mut Criterion) {
-    let program = anek::corpus::table3_program(11, 200);
+fn bench_gaussian(b: &mut Bench) {
+    let program = corpus::table3_program(11, 200);
     let index = ProgramIndex::build([&program.inlined]);
     let api = standard_api();
     let m = program.inlined.type_named("PipelineInlined").unwrap().method_named("run").unwrap();
     let pfg = Pfg::build(&index, &api, "PipelineInlined", m);
-    c.bench_function("gaussian_elimination_inlined200", |b| {
-        b.iter(|| local_infer_pfg(black_box(&pfg)))
-    });
+    b.bench_function("gaussian_elimination_inlined200", || local_infer_pfg(black_box(&pfg)));
 }
 
-criterion_group!(benches, bench_parser, bench_pfg, bench_bp, bench_checker, bench_gaussian);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("components");
+    bench_parser(&mut b);
+    bench_pfg(&mut b);
+    bench_bp(&mut b);
+    bench_checker(&mut b);
+    bench_gaussian(&mut b);
+}

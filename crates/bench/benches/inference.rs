@@ -1,54 +1,38 @@
-//! Criterion benchmarks of the inference itself — the per-method model
-//! solve and the whole modular worklist, at two scales.
+//! Benchmarks of the inference itself — the per-method model solve and the
+//! whole modular worklist, at two scales. Runs on the in-tree
+//! [`bench::microbench`] harness (no Criterion in the offline build).
 
 use anek::anek_core::InferConfig;
 use anek::corpus::generator::{generate, PmdConfig};
 use anek::Pipeline;
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::microbench::Bench;
 use std::hint::black_box;
 
-fn bench_infer_figure3(c: &mut Criterion) {
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).unwrap();
-    let mut group = c.benchmark_group("anek_infer");
-    group.sample_size(10);
-    group.bench_function("figure3", |b| {
-        b.iter(|| Pipeline::new(vec![black_box(&unit).clone()]).infer())
-    });
-    group.finish();
+fn bench_infer_figure3(b: &mut Bench) {
+    let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
+    b.bench_function("figure3", || Pipeline::new(vec![black_box(&unit).clone()]).infer());
 }
 
-fn bench_infer_small_corpus(c: &mut Criterion) {
+fn bench_infer_small_corpus(b: &mut Bench) {
     let corpus = generate(&PmdConfig::small());
-    let mut group = c.benchmark_group("anek_infer_small_corpus");
-    group.sample_size(10);
-    group.bench_function("default_iters", |b| {
-        b.iter(|| {
-            let cfg =
-                InferConfig { max_iters: 2 * corpus.stats.methods, ..InferConfig::default() };
-            Pipeline::new(black_box(&corpus.units).clone()).with_config(cfg).infer()
-        })
+    b.bench_function("small_corpus_default_iters", || {
+        let cfg = InferConfig { max_iters: 2 * corpus.stats.methods, ..InferConfig::default() };
+        Pipeline::new(black_box(&corpus.units).clone()).with_config(cfg).infer()
     });
-    group.finish();
 }
 
-fn bench_logical_budget(c: &mut Criterion) {
+fn bench_logical_budget(b: &mut Bench) {
     // The logical baseline with a tiny budget (constant work: it DNFs).
     let corpus = generate(&PmdConfig::small());
-    let api = anek::spec_lang::standard_api();
-    let mut group = c.benchmark_group("logical");
-    group.sample_size(20);
-    group.bench_function("budget_10k", |b| {
-        b.iter(|| {
-            anek::anek_core::solve_logical(
-                black_box(&corpus.units),
-                &api,
-                &InferConfig::default(),
-                10_000,
-            )
-        })
+    let api = spec_lang::standard_api();
+    b.bench_function("logical_budget_10k", || {
+        anek_core::solve_logical(black_box(&corpus.units), &api, &InferConfig::default(), 10_000)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_infer_figure3, bench_infer_small_corpus, bench_logical_budget);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("anek_infer");
+    bench_infer_figure3(&mut b);
+    bench_infer_small_corpus(&mut b);
+    bench_logical_budget(&mut b);
+}

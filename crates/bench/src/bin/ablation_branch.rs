@@ -32,12 +32,11 @@ fn main() {
         let inference = Pipeline::new(corpus.units.clone()).with_config(cfg).infer();
         let spec = &inference.specs[&trap];
         let atom = spec.ensures.for_target(&SpecTarget::Result);
-        let table =
-            SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
+        let table = SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
         let warnings = check(&corpus.units, &api, &table);
         println!(
             "branch_sensitive = {bs:5} : {trap} ensures {:28}  warnings = {}",
-            atom.map(|a| a.to_string()).unwrap_or_else(|| "(none)".into()),
+            atom.map(ToString::to_string).unwrap_or_else(|| "(none)".into()),
             warnings.warnings.len()
         );
     }

@@ -18,7 +18,7 @@ fn main() {
     // absence of any other constraints?" Here the iterator comes from an
     // *unannotated* program source, so no API spec answers the question --
     // only H3 can.
-    let unit = anek::java_syntax::parse(
+    let unit = java_syntax::parse(
         r#"class Source {
             Iterator<Integer> raw() {
                 return null;
@@ -51,7 +51,7 @@ fn main() {
 
     println!("Ablation: heuristic H3 on a create* method with no API evidence.\n");
     for (label, cfg) in [("with heuristics", with_h), ("without heuristics", without_h)] {
-        let result = infer(&[unit.clone()], &api, &cfg);
+        let result = infer(std::slice::from_ref(&unit), &api, &cfg);
         let spec = &result.specs[&id];
         let atom = spec.ensures.for_target(&SpecTarget::Result);
         let summary = &result.summaries[&id];
@@ -59,12 +59,12 @@ fn main() {
         println!("{label}:");
         println!(
             "    ensures result: {}",
-            atom.map(|a| a.to_string()).unwrap_or_else(|| "(nothing above threshold)".into())
+            atom.map(ToString::to_string).unwrap_or_else(|| "(nothing above threshold)".into())
         );
         println!(
             "    p(unique)={:.3}  p(full)={:.3}",
-            res.kind(anek::spec_lang::PermissionKind::Unique),
-            res.kind(anek::spec_lang::PermissionKind::Full),
+            res.kind(spec_lang::PermissionKind::Unique),
+            res.kind(spec_lang::PermissionKind::Full),
         );
     }
     println!(

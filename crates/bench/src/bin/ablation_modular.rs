@@ -19,14 +19,24 @@ fn main() {
     // Figure 3 plus a medium slice of the corpus (whole-program BP on the
     // full paper corpus would be a single enormous graph — which is the
     // point of this ablation).
-    let fig3 = java_syntax_unit(anek::corpus::FIGURE3);
-    let corpus = anek::corpus::generator::generate(&anek::corpus::PmdConfig::small());
+    let fig3 = java_syntax_unit(corpus::FIGURE3);
+    let corpus = corpus::generator::generate(&corpus::PmdConfig::small());
     let medium: Vec<_> = corpus.units.iter().take(6).cloned().collect();
 
     println!("Ablation: modular ANEK-INFER vs whole-program Φ_P ({scale:?}).\n");
     let w = &[12, 10, 10, 12, 12, 10];
     row(&["program", "methods", "agree", "modular", "global", "solves"], w);
-    row(&["-".repeat(12).as_str(), "-".repeat(10).as_str(), "-".repeat(10).as_str(), "-".repeat(12).as_str(), "-".repeat(12).as_str(), "-".repeat(10).as_str()], w);
+    row(
+        &[
+            "-".repeat(12).as_str(),
+            "-".repeat(10).as_str(),
+            "-".repeat(10).as_str(),
+            "-".repeat(12).as_str(),
+            "-".repeat(12).as_str(),
+            "-".repeat(10).as_str(),
+        ],
+        w,
+    );
 
     for (name, units) in [("figure3", vec![fig3]), ("corpus6", medium)] {
         let mut mod_cfg = cfg.clone();
@@ -38,9 +48,7 @@ fn main() {
         let mut agree = 0usize;
         for (id, mspec) in &modular.specs {
             let gspec = &global.specs[id];
-            for (mc, gc) in
-                [(&mspec.requires, &gspec.requires), (&mspec.ensures, &gspec.ensures)]
-            {
+            for (mc, gc) in [(&mspec.requires, &gspec.requires), (&mspec.ensures, &gspec.ensures)] {
                 for atom in &mc.atoms {
                     total += 1;
                     if gc.for_target(&atom.target).map(|a| a.kind) == Some(atom.kind) {
@@ -69,6 +77,6 @@ fn main() {
     );
 }
 
-fn java_syntax_unit(src: &str) -> anek::java_syntax::CompilationUnit {
-    anek::java_syntax::parse(src).expect("embedded source parses")
+fn java_syntax_unit(src: &str) -> java_syntax::CompilationUnit {
+    java_syntax::parse(src).expect("embedded source parses")
 }

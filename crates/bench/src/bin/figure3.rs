@@ -10,7 +10,7 @@ use anek::spec_lang::{PermissionKind, SpecTarget};
 use anek::Pipeline;
 
 fn main() {
-    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3]).expect("figure 3 parses");
+    let pipeline = Pipeline::from_sources(&[corpus::FIGURE3]).expect("figure 3 parses");
     let report = pipeline.run();
     let id = MethodId::new("Row", "createColIter");
     let summary = &report.inference.summaries[&id];

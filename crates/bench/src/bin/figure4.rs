@@ -9,7 +9,15 @@ fn main() {
     println!("Figure 4. The five permission kinds.\n");
     let w = &[11, 12, 14, 14];
     row(&["kind", "this access", "other aliases", "others write"], w);
-    row(&["-".repeat(11).as_str(), "-".repeat(12).as_str(), "-".repeat(14).as_str(), "-".repeat(14).as_str()], w);
+    row(
+        &[
+            "-".repeat(11).as_str(),
+            "-".repeat(12).as_str(),
+            "-".repeat(14).as_str(),
+            "-".repeat(14).as_str(),
+        ],
+        w,
+    );
     for k in PermissionKind::ALL {
         row(
             &[
@@ -24,7 +32,7 @@ fn main() {
 
     println!("\nLegal weakenings (row may split an edge to column):\n");
     let mut header = vec!["".to_string()];
-    header.extend(PermissionKind::ALL.iter().map(|k| k.to_string()));
+    header.extend(PermissionKind::ALL.iter().map(ToString::to_string));
     let widths = vec![11usize; 6];
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     row(&header_refs, &widths);

@@ -8,7 +8,7 @@ use anek::analysis::{Pfg, ProgramIndex};
 use anek::spec_lang::standard_api;
 
 fn main() {
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).expect("figure 3 parses");
+    let unit = java_syntax::parse(corpus::FIGURE3).expect("figure 3 parses");
     let index = ProgramIndex::build([&unit]);
     let api = standard_api();
     let t = unit.type_named("Spreadsheet").expect("Spreadsheet class");

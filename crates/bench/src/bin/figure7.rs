@@ -7,7 +7,7 @@ use anek::analysis::{Pfg, ProgramIndex};
 use anek::spec_lang::standard_api;
 
 fn main() {
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE7).expect("figure 7 parses");
+    let unit = java_syntax::parse(corpus::FIGURE7).expect("figure 7 parses");
     let index = ProgramIndex::build([&unit]);
     let api = standard_api();
     let m = unit.type_named("C").expect("C").method_named("accessFields").expect("method");

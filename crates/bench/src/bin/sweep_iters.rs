@@ -18,7 +18,16 @@ fn main() {
     println!("MaxIters sweep on the {scale:?} corpus ({n} methods).\n");
     let w = &[10, 8, 13, 12, 10];
     row(&["MaxIters", "solves", "annotations", "gold-match", "time"], w);
-    row(&["-".repeat(10).as_str(), "-".repeat(8).as_str(), "-".repeat(13).as_str(), "-".repeat(12).as_str(), "-".repeat(10).as_str()], w);
+    row(
+        &[
+            "-".repeat(10).as_str(),
+            "-".repeat(8).as_str(),
+            "-".repeat(13).as_str(),
+            "-".repeat(12).as_str(),
+            "-".repeat(10).as_str(),
+        ],
+        w,
+    );
 
     let empty = MethodSpec::default();
     for factor in [0.25f64, 0.5, 1.0, 2.0, 4.0] {

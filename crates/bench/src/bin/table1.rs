@@ -23,8 +23,12 @@ fn main() {
         ("Number of Methods", "3,120"),
         ("Calls to Iterator.next()", "170"),
     ];
-    let measured =
-        [s.lines.to_string(), s.classes.to_string(), s.methods.to_string(), s.next_calls.to_string()];
+    let measured = [
+        s.lines.to_string(),
+        s.classes.to_string(),
+        s.methods.to_string(),
+        s.next_calls.to_string(),
+    ];
     for ((label, p), m) in paper.iter().zip(measured.iter()) {
         row(&[label, p, m], w);
     }

@@ -76,7 +76,15 @@ fn main() {
 
     let w = &[14, 12, 9, 14];
     row(&["Method", "Annotations", "Warnings", "Time Taken"], w);
-    row(&["-".repeat(14).as_str(), "-".repeat(12).as_str(), "-".repeat(9).as_str(), "-".repeat(14).as_str()], w);
+    row(
+        &[
+            "-".repeat(14).as_str(),
+            "-".repeat(12).as_str(),
+            "-".repeat(9).as_str(),
+            "-".repeat(14).as_str(),
+        ],
+        w,
+    );
     row(&["Original", "0", &original.warnings.len().to_string(), "0"], w);
     row(
         &[

@@ -73,10 +73,7 @@ fn main() {
         w,
     );
 
-    println!(
-        "\nANEK: {} model solves over {} methods.",
-        inference.solves, n_methods
-    );
+    println!("\nANEK: {} model solves over {} methods.", inference.solves, n_methods);
     println!(
         "Local inference: {} fraction variables, {} equations, rank {} (exact rational elimination).",
         local.variables, local.equations, local.rank
@@ -91,7 +88,7 @@ fn main() {
     );
     println!("\n  inlined size vs local-inference cost:");
     for lines in [200usize, 400, 800, 1600] {
-        let p = anek::corpus::table3_program(11, lines);
+        let p = table3_program(11, lines);
         let index = ProgramIndex::build([&p.inlined]);
         let m = p
             .inlined

@@ -78,3 +78,5 @@ pub fn row(cols: &[&str], widths: &[usize]) {
     }
     println!("{}", line.trim_end());
 }
+
+pub mod microbench;

@@ -21,8 +21,7 @@
 
 use analysis::types::MethodId;
 use java_syntax::{parse, CompilationUnit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::Rng;
 use spec_lang::{parse_clause, MethodSpec};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -149,7 +148,7 @@ fn spec(req: &str, ens: &str) -> MethodSpec {
 
 /// Generates the corpus for `cfg`.
 pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let mut sources: Vec<String> = Vec::new();
     let mut gold = BTreeMap::new();
     let mut truth = BTreeMap::new();
@@ -260,7 +259,7 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
 
     for _ in 0..cfg.local_loops {
         let i = mk_id(&mut worker_id);
-        let acc = ["sum", "count", "max"][rng.gen_range(0..3)];
+        let acc = *rng.pick(&["sum", "count", "max"]);
         let mut s = String::new();
         let _ = writeln!(s, "    int local{i}(Collection<Integer> c) {{");
         let _ = writeln!(s, "        int total = 0;");
@@ -377,7 +376,10 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
             let _ = writeln!(s, "    int getBase{f}() {{");
             let _ = writeln!(s, "        return base{f};");
             let _ = writeln!(s, "    }}");
-            truth.insert(MethodId::new(format!("Model{f}"), format!("getBase{f}")), spec("pure(this)", "pure(this)"));
+            truth.insert(
+                MethodId::new(format!("Model{f}"), format!("getBase{f}")),
+                spec("pure(this)", "pure(this)"),
+            );
             emitted += 1;
         }
         if emitted < count {
@@ -435,10 +437,8 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
     }
     let lines = source.lines().filter(|l| !l.trim().is_empty()).count();
     let classes = units.iter().map(|u| u.types.len()).sum();
-    let counted_methods: usize =
-        units.iter().map(|u| u.methods().count()).sum();
-    let next_calls: usize =
-        units.iter().map(|u| java_syntax::visit::count_calls(u, "next")).sum();
+    let counted_methods: usize = units.iter().map(|u| u.methods().count()).sum();
+    let next_calls: usize = units.iter().map(|u| java_syntax::visit::count_calls(u, "next")).sum();
     debug_assert_eq!(next_calls, next_calls_planned, "next() planning drifted");
 
     PmdCorpus {
@@ -479,13 +479,8 @@ mod tests {
         let cfg = PmdConfig::small();
         let corpus = generate(&cfg);
         // helpers + trap + 2 utils + state tests.
-        assert_eq!(
-            corpus.gold.len(),
-            cfg.helper_classes + cfg.branch_traps + cfg.state_tests + 2
-        );
-        assert!(corpus
-            .gold
-            .contains_key(&MethodId::new("Registry0", "createIter0")));
+        assert_eq!(corpus.gold.len(), cfg.helper_classes + cfg.branch_traps + cfg.state_tests + 2);
+        assert!(corpus.gold.contains_key(&MethodId::new("Registry0", "createIter0")));
         assert!(corpus.gold.contains_key(&MethodId::new("IterUtils", "drainSum")));
     }
 
@@ -508,8 +503,7 @@ mod tests {
         for entry in std::fs::read_dir(&dir).unwrap() {
             let path = entry.unwrap().path();
             let src = std::fs::read_to_string(&path).unwrap();
-            java_syntax::parse(&src)
-                .unwrap_or_else(|e| panic!("{} does not reparse: {e}", path.display()));
+            parse(&src).unwrap_or_else(|e| panic!("{} does not reparse: {e}", path.display()));
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -153,9 +153,11 @@ pub fn suite() -> Vec<RegressionCase> {
                     return entries.iterator();
                 }
             }"#,
-            expectations: vec![
-                Expectation::EnsuresKind { method: "H3.createColIter", target: "result", kind: "unique" },
-            ],
+            expectations: vec![Expectation::EnsuresKind {
+                method: "H3.createColIter",
+                target: "result",
+                kind: "unique",
+            }],
         },
         RegressionCase {
             name: "h4-setter",
@@ -202,7 +204,11 @@ pub fn suite() -> Vec<RegressionCase> {
                 }
             }"#,
             expectations: vec![
-                Expectation::EnsuresKind { method: "Conflict.createIt", target: "result", kind: "unique" },
+                Expectation::EnsuresKind {
+                    method: "Conflict.createIt",
+                    target: "result",
+                    kind: "unique",
+                },
                 // The buggy site keeps one warning after inference; good
                 // uses verify.
                 Expectation::WarningsAfterInference(1),
@@ -216,8 +222,16 @@ pub fn suite() -> Vec<RegressionCase> {
                 void outer(Iterator<Integer> it) { inner(it); }
             }"#,
             expectations: vec![
-                Expectation::RequiresState { method: "Chain.inner", target: "it", state: "HASNEXT" },
-                Expectation::RequiresState { method: "Chain.outer", target: "it", state: "HASNEXT" },
+                Expectation::RequiresState {
+                    method: "Chain.inner",
+                    target: "it",
+                    state: "HASNEXT",
+                },
+                Expectation::RequiresState {
+                    method: "Chain.outer",
+                    target: "it",
+                    state: "HASNEXT",
+                },
             ],
         },
         RegressionCase {
@@ -252,10 +266,7 @@ mod tests {
     fn suite_covers_all_rules() {
         let names: Vec<&str> = suite().iter().map(|c| c.name).collect();
         for rule in ["l1", "l2", "l3", "h1", "h2", "h3", "h4", "h5"] {
-            assert!(
-                names.iter().any(|n| n.starts_with(rule)),
-                "no case covers {rule}: {names:?}"
-            );
+            assert!(names.iter().any(|n| n.starts_with(rule)), "no case covers {rule}: {names:?}");
         }
     }
 

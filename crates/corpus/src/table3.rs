@@ -13,8 +13,7 @@
 //! inference on the latter.
 
 use java_syntax::{parse, CompilationUnit};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prng::Rng;
 use std::fmt::Write as _;
 
 /// The two forms of the Table 3 program.
@@ -31,7 +30,7 @@ pub struct Table3Program {
 }
 
 /// One inlinable step of work over an iterator.
-fn step_body(out: &mut String, indent: &str, rng: &mut StdRng, i: usize) {
+fn step_body(out: &mut String, indent: &str, rng: &mut Rng, i: usize) {
     let c = rng.gen_range(2..9);
     let _ = writeln!(out, "{indent}if (it{i}.hasNext()) {{");
     let _ = writeln!(out, "{indent}    total = total + it{i}.next() * {c};");
@@ -53,7 +52,7 @@ pub fn generate(seed: u64, target_lines: usize) -> Table3Program {
     let steps = (target_lines / 14).max(2);
 
     // ---- Modular form: one short method per step + a driver ----
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut modular = String::new();
     let _ = writeln!(modular, "class Pipeline {{");
     for i in 0..steps {
@@ -73,7 +72,7 @@ pub fn generate(seed: u64, target_lines: usize) -> Table3Program {
     let _ = writeln!(modular, "}}");
 
     // ---- Inlined form: the same work in one large method ----
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut inlined = String::new();
     let _ = writeln!(inlined, "class PipelineInlined {{");
     let _ = writeln!(inlined, "    int run(Collection<Integer> c) {{");

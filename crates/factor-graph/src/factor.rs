@@ -83,6 +83,17 @@ impl Factor {
         Factor { scope: vec![var], table: vec![1.0 - p, p] }
     }
 
+    /// Builds a factor from raw parts **without** checking any invariant
+    /// (scope arity, table size, potential range).
+    ///
+    /// This exists so the IR-verifier tests can construct deliberately
+    /// malformed factors; library code should use [`Factor::from_fn`],
+    /// [`Factor::soft`] or [`Factor::unary`], which validate.
+    #[doc(hidden)]
+    pub fn from_raw_parts(scope: Vec<VarId>, table: Vec<f64>) -> Factor {
+        Factor { scope, table }
+    }
+
     /// The variables this factor couples.
     pub fn scope(&self) -> &[VarId] {
         &self.scope

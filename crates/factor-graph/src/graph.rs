@@ -101,11 +101,18 @@ impl FactorGraph {
     /// Panics if the factor references a variable not in this graph.
     pub fn add_factor(&mut self, factor: Factor) {
         for v in factor.scope() {
-            assert!(
-                (v.0 as usize) < self.names.len(),
-                "factor references unknown variable {v}"
-            );
+            assert!((v.0 as usize) < self.names.len(), "factor references unknown variable {v}");
         }
+        self.factors.push(factor);
+    }
+
+    /// Adds a factor **without** the scope-bounds check of
+    /// [`FactorGraph::add_factor`].
+    ///
+    /// Only for tests that need a structurally broken graph to exercise the
+    /// IR verifier; everything else must go through [`FactorGraph::add_factor`].
+    #[doc(hidden)]
+    pub fn push_factor_unchecked(&mut self, factor: Factor) {
         self.factors.push(factor);
     }
 
@@ -171,9 +178,8 @@ impl FactorGraph {
             // Factor -> variable messages: marginalize the potential against
             // the other variables' messages.
             for (fi, f) in self.factors.iter().enumerate() {
-                let k = f.scope().len();
                 let table = f.table();
-                for pos in 0..k {
+                for (pos, slot) in msg_fv[fi].iter_mut().enumerate() {
                     let mut sum_t = 0.0f64;
                     let mut sum_f = 0.0f64;
                     for (idx, &pot) in table.iter().enumerate() {
@@ -197,7 +203,7 @@ impl FactorGraph {
                     }
                     let z = sum_t + sum_f;
                     let new = if z > 0.0 { sum_t / z } else { 0.5 };
-                    msg_fv[fi][pos] = damp(msg_fv[fi][pos], new, opts.damping);
+                    *slot = damp(*slot, new, opts.damping);
                 }
             }
 
@@ -247,7 +253,7 @@ impl FactorGraph {
         let mut converged = false;
         for it in 0..opts.max_iterations {
             iterations = it + 1;
-            for edges in var_edges.iter() {
+            for edges in &var_edges {
                 for &(fi, pos) in edges {
                     let mut p_t = 1.0f64;
                     let mut p_f = 1.0f64;
@@ -265,9 +271,8 @@ impl FactorGraph {
                 }
             }
             for (fi, f) in self.factors.iter().enumerate() {
-                let k = f.scope().len();
                 let table = f.table();
-                for pos in 0..k {
+                for (pos, slot) in msg_fv[fi].iter_mut().enumerate() {
                     let mut best_t = 0.0f64;
                     let mut best_f = 0.0f64;
                     for (idx, &pot) in table.iter().enumerate() {
@@ -291,7 +296,7 @@ impl FactorGraph {
                     }
                     let z = best_t + best_f;
                     let new = if z > 0.0 { best_t / z } else { 0.5 };
-                    msg_fv[fi][pos] = damp(msg_fv[fi][pos], new, opts.damping);
+                    *slot = damp(*slot, new, opts.damping);
                 }
             }
             let mut max_delta = 0.0f64;
@@ -365,8 +370,7 @@ impl FactorGraph {
             }
             let mut w = 1.0f64;
             for f in &self.factors {
-                let local: Vec<bool> =
-                    f.scope().iter().map(|v| assign[v.0 as usize]).collect();
+                let local: Vec<bool> = f.scope().iter().map(|v| assign[v.0 as usize]).collect();
                 w *= f.eval(&local);
                 if w == 0.0 {
                     break;
@@ -382,10 +386,8 @@ impl FactorGraph {
                 }
             }
         }
-        let probs = weight_true
-            .iter()
-            .map(|&wt| if total > 0.0 { wt / total } else { 0.5 })
-            .collect();
+        let probs =
+            weight_true.iter().map(|&wt| if total > 0.0 { wt / total } else { 0.5 }).collect();
         Marginals { probs, iterations: 1, converged: true }
     }
 }
@@ -489,9 +491,7 @@ mod tests {
         // Soft one-hot over 3 vars plus a strong prior on var 0.
         let mut g = FactorGraph::new();
         let xs: Vec<_> = (0..3).map(|i| g.add_var(format!("k{i}"))).collect();
-        g.add_factor(Factor::soft(xs.clone(), 0.95, |a| {
-            a.iter().filter(|b| **b).count() == 1
-        }));
+        g.add_factor(Factor::soft(xs.clone(), 0.95, |a| a.iter().filter(|b| **b).count() == 1));
         g.add_factor(Factor::unary(xs[0], 0.9));
         let m = g.solve_exact();
         assert!(m.prob(xs[0]) > 0.8);

@@ -798,12 +798,12 @@ mod tests {
 
     #[test]
     fn type_ref_display_with_generics() {
-        let t = TypeRef::Named {
-            name: "Iterator".into(),
-            args: vec![TypeRef::named("Integer")],
-        };
+        let t = TypeRef::Named { name: "Iterator".into(), args: vec![TypeRef::named("Integer")] };
         assert_eq!(t.to_string(), "Iterator<Integer>");
-        assert_eq!(TypeRef::Array(Box::new(TypeRef::Primitive(PrimitiveType::Int))).to_string(), "int[]");
+        assert_eq!(
+            TypeRef::Array(Box::new(TypeRef::Primitive(PrimitiveType::Int))).to_string(),
+            "int[]"
+        );
         assert_eq!(TypeRef::Void.to_string(), "void");
         assert_eq!(TypeRef::Wildcard.to_string(), "?");
     }

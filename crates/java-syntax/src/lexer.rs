@@ -128,7 +128,7 @@ impl<'a> Lexer<'a> {
             "true" => TokenKind::BoolLit(true),
             "false" => TokenKind::BoolLit(false),
             "null" => TokenKind::Null,
-            _ => match Keyword::from_str(text) {
+            _ => match Keyword::from_ident(text) {
                 Some(kw) => TokenKind::Keyword(kw),
                 None => TokenKind::Ident(text.to_string()),
             },
@@ -247,7 +247,10 @@ impl<'a> Lexer<'a> {
             Some(b'"') => Ok('"'),
             Some(b'\'') => Ok('\''),
             other => Err(self.error(
-                format!("unsupported escape sequence `\\{}`", other.map(|b| b as char).unwrap_or(' ')),
+                format!(
+                    "unsupported escape sequence `\\{}`",
+                    other.map(|b| b as char).unwrap_or(' ')
+                ),
                 start,
             )),
         }
@@ -363,6 +366,7 @@ impl<'a> Lexer<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::token::Keyword as Kw;
     use crate::token::TokenKind::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
@@ -376,13 +380,7 @@ mod tests {
         let k = kinds("public class Row {}");
         assert_eq!(
             k,
-            vec![
-                Keyword(crate::token::Keyword::Public),
-                Keyword(crate::token::Keyword::Class),
-                Ident("Row".into()),
-                LBrace,
-                RBrace,
-            ]
+            vec![Keyword(Kw::Public), Keyword(Kw::Class), Ident("Row".into()), LBrace, RBrace,]
         );
     }
 
@@ -421,7 +419,19 @@ mod tests {
         let k = kinds("== != <= >= && || ++ -- += -= ::");
         assert_eq!(
             k,
-            vec![EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, PlusAssign, MinusAssign, ColonColon]
+            vec![
+                EqEq,
+                NotEq,
+                Le,
+                Ge,
+                AndAnd,
+                OrOr,
+                PlusPlus,
+                MinusMinus,
+                PlusAssign,
+                MinusAssign,
+                ColonColon
+            ]
         );
     }
 

@@ -39,13 +39,13 @@ pub mod token;
 pub mod visit;
 
 pub use ast::{
-    Annotation, AnnotationArgs, AssignOp, BinaryOp, Block, CompilationUnit, Expr, ExprId,
-    ExprKind, FieldDecl, Import, Lit, Member, MethodDecl, Modifiers, Param, PrimitiveType,
-    QualifiedName, Stmt, StmtKind, TypeDecl, TypeKind, TypeRef, UnaryOp,
+    Annotation, AnnotationArgs, AssignOp, BinaryOp, Block, CompilationUnit, Expr, ExprId, ExprKind,
+    FieldDecl, Import, Lit, Member, MethodDecl, Modifiers, Param, PrimitiveType, QualifiedName,
+    Stmt, StmtKind, TypeDecl, TypeKind, TypeRef, UnaryOp,
 };
 pub use error::{ParseError, Result};
 pub use lexer::lex;
 pub use parser::{parse, parse_expr};
 pub use printer::{print_expr, print_stmt, print_type, print_unit};
-pub use span::{Pos, Span};
+pub use span::{render_snippet, Pos, Span};
 pub use token::{Keyword, Token, TokenKind};

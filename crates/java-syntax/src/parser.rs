@@ -655,16 +655,14 @@ impl Parser {
             TokenKind::Keyword(Keyword::For) => self.for_stmt(start),
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
-                let value =
-                    if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
                 let end = self.expect(&TokenKind::Semi)?.span;
                 Ok(Stmt { kind: StmtKind::Return(value), span: start.to(end) })
             }
             TokenKind::Keyword(Keyword::Assert) => {
                 self.bump();
                 let cond = self.expr()?;
-                let message =
-                    if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
+                let message = if self.eat(&TokenKind::Colon) { Some(self.expr()?) } else { None };
                 let end = self.expect(&TokenKind::Semi)?.span;
                 Ok(Stmt { kind: StmtKind::Assert { cond, message }, span: start.to(end) })
             }
@@ -690,11 +688,8 @@ impl Parser {
                     let cbody = self.block()?;
                     catches.push(CatchClause { ty, name, body: cbody });
                 }
-                let finally = if self.eat_keyword(Keyword::Finally) {
-                    Some(self.block()?)
-                } else {
-                    None
-                };
+                let finally =
+                    if self.eat_keyword(Keyword::Finally) { Some(self.block()?) } else { None };
                 let end = finally
                     .as_ref()
                     .map(|b| b.span)
@@ -854,11 +849,10 @@ impl Parser {
                 // Scan over a qualified, possibly generic, possibly array type
                 // and check the next token is an identifier.
                 let mut i = 1;
-                loop {
-                    match (&self.peek_at(i).kind, &self.peek_at(i + 1).kind) {
-                        (TokenKind::Dot, TokenKind::Ident(_)) => i += 2,
-                        _ => break,
-                    }
+                while let (TokenKind::Dot, TokenKind::Ident(_)) =
+                    (&self.peek_at(i).kind, &self.peek_at(i + 1).kind)
+                {
+                    i += 2;
                 }
                 // Generic arguments.
                 if self.peek_at(i).kind == TokenKind::Lt {
@@ -1126,10 +1120,8 @@ impl Parser {
                     if self.at(&TokenKind::LParen) {
                         let args = self.call_args()?;
                         let span = e.span.to(self.prev_span());
-                        e = self.mk(
-                            ExprKind::Call { receiver: Some(Box::new(e)), name, args },
-                            span,
-                        );
+                        e = self
+                            .mk(ExprKind::Call { receiver: Some(Box::new(e)), name, args }, span);
                     } else {
                         let span = e.span.to(name_span);
                         e = self.mk(ExprKind::FieldAccess { receiver: Box::new(e), name }, span);
@@ -1477,7 +1469,9 @@ mod tests {
 
     #[test]
     fn parses_do_while() {
-        let t = one_class("class C { void m(Iterator<Integer> it) { do { it.next(); } while (it.hasNext()); } }");
+        let t = one_class(
+            "class C { void m(Iterator<Integer> it) { do { it.next(); } while (it.hasNext()); } }",
+        );
         let m = t.method_named("m").unwrap();
         match &m.body.as_ref().unwrap().stmts[0].kind {
             StmtKind::DoWhile { body, cond } => {
@@ -1554,9 +1548,8 @@ mod tests {
 
     #[test]
     fn parses_try_finally_without_catch() {
-        let t = one_class(
-            "class C { void m(Stream s) { try { s.read(); } finally { s.close(); } } }",
-        );
+        let t =
+            one_class("class C { void m(Stream s) { try { s.read(); } finally { s.close(); } } }");
         let m = t.method_named("m").unwrap();
         assert!(matches!(
             &m.body.as_ref().unwrap().stmts[0].kind,

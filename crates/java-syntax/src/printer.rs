@@ -738,7 +738,8 @@ class App {
 
     #[test]
     fn parenthesization_preserves_shape() {
-        for src in ["(1 + 2) * 3", "-(a + b)", "a - (b - c)", "(a ? b : c).toString()", "!(a && b)"] {
+        for src in ["(1 + 2) * 3", "-(a + b)", "a - (b - c)", "(a ? b : c).toString()", "!(a && b)"]
+        {
             let e = parse_expr(src).unwrap();
             let printed = print_expr(&e);
             let re = parse_expr(&printed).unwrap();

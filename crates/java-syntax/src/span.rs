@@ -82,6 +82,46 @@ impl fmt::Display for Span {
     }
 }
 
+/// Renders the source line a span starts on, with a caret underline marking
+/// the spanned columns — the classic compiler-diagnostic snippet:
+///
+/// ```text
+///    12 |         return r.createIter0().next();
+///       |                ^^^^^^^^^^^^^^^^^^^^^^
+/// ```
+///
+/// Multi-line spans are underlined to the end of the first line. Returns an
+/// empty string for the dummy span or when the span lies outside `source`.
+pub fn render_snippet(source: &str, span: Span) -> String {
+    if span.is_dummy() || span.start.offset >= source.len() {
+        return String::new();
+    }
+    let line_start = source[..span.start.offset].rfind('\n').map_or(0, |i| i + 1);
+    let line_end =
+        source[span.start.offset..].find('\n').map_or(source.len(), |i| span.start.offset + i);
+    let line = &source[line_start..line_end];
+    let line_no = span.start.line;
+    let gutter = format!("{line_no:>5} | ");
+    // Column math in characters, expanding tabs to one column each.
+    let caret_col = source[line_start..span.start.offset].chars().count();
+    let span_end =
+        span.end.offset.clamp(span.start.offset + 1, line_end.max(span.start.offset + 1));
+    let caret_len = source[span.start.offset..span_end.min(line_end).max(span.start.offset)]
+        .chars()
+        .count()
+        .max(1);
+    let mut out = String::new();
+    out.push_str(&gutter);
+    out.push_str(line);
+    out.push('\n');
+    out.push_str(&" ".repeat(gutter.len() - 2));
+    out.push_str("| ");
+    out.push_str(&" ".repeat(caret_col));
+    out.push_str(&"^".repeat(caret_len));
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +156,29 @@ mod tests {
         assert_eq!(Pos::new(3, 2, 7).to_string(), "2:7");
         let s = Span::new(Pos::new(3, 2, 7), Pos::new(4, 2, 8));
         assert_eq!(s.to_string(), "2:7");
+    }
+
+    #[test]
+    fn snippet_renders_caret_under_span() {
+        let src = "class A {\n    void m() { it.next(); }\n}\n";
+        let off = src.find("it.next()").unwrap();
+        let s = Span::new(
+            Pos::new(off, 2, (off - src.find('\n').unwrap()) as u32),
+            Pos::new(off + "it.next()".len(), 2, 0),
+        );
+        let snip = render_snippet(src, s);
+        let lines: Vec<&str> = snip.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("void m() { it.next(); }"), "{snip}");
+        assert!(lines[1].contains("^^^^^^^^^"), "{snip}");
+        // The caret column lines up with the spanned text.
+        let caret_at = lines[1].find('^').unwrap();
+        assert_eq!(&lines[0][caret_at..caret_at + 2], "it", "{snip}");
+    }
+
+    #[test]
+    fn snippet_of_dummy_span_is_empty() {
+        assert_eq!(render_snippet("class A {}", Span::DUMMY), "");
     }
 
     #[test]

@@ -154,7 +154,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source text.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_ident(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "abstract" => Abstract,
@@ -353,16 +353,16 @@ mod tests {
             Keyword::While,
             Keyword::Instanceof,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
         }
     }
 
     #[test]
     fn non_keyword_is_none() {
-        assert_eq!(Keyword::from_str("iterator"), None);
-        assert_eq!(Keyword::from_str(""), None);
+        assert_eq!(Keyword::from_ident("iterator"), None);
+        assert_eq!(Keyword::from_ident(""), None);
         // Contextual words that are not reserved in our subset.
-        assert_eq!(Keyword::from_str("var"), None);
+        assert_eq!(Keyword::from_ident("var"), None);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! `DF001` — definite assignment: flags uses of a local declared without an
+//! initializer on some path where it was never assigned.
+//!
+//! Forward must-analysis: the fact is the set of *tracked* locals definitely
+//! assigned on every path; the join is set intersection.
+
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::locals::LocalTable;
+use crate::uses::{read_operands, written_place};
+use analysis::cfg::{Cfg, Terminator};
+use analysis::events::{Event, Place};
+use std::collections::BTreeSet;
+
+pub(crate) struct DefiniteAssignment {
+    /// Locals subject to the check: declared without an initializer, not a
+    /// foreach variable, and with every syntactic write visible as an event.
+    tracked: BTreeSet<String>,
+}
+
+/// `None` = unreachable (bottom); `Some(s)` = tracked locals definitely
+/// assigned.
+type Fact = Option<BTreeSet<String>>;
+
+impl DefiniteAssignment {
+    pub fn new(locals: &LocalTable, cfg: &Cfg) -> DefiniteAssignment {
+        // Event-visible writes per name (only `Copy` targets named locals).
+        let mut event_writes: std::collections::BTreeMap<&str, usize> = Default::default();
+        for b in cfg.reachable() {
+            for e in &cfg.blocks[b].events {
+                if let Some(Place::Local(n)) = written_place(e) {
+                    *event_writes.entry(n.as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        let tracked = locals
+            .decl_no_init
+            .iter()
+            .filter(|n| !locals.foreach_vars.contains(*n))
+            .filter(|n| locals.writes(n) == event_writes.get(n.as_str()).copied().unwrap_or(0))
+            .cloned()
+            .collect();
+        DefiniteAssignment { tracked }
+    }
+
+    /// Runs the analysis and reports each first use-before-assignment.
+    pub fn report(&self, cfg: &Cfg, method: &str) -> Vec<Diagnostic> {
+        if self.tracked.is_empty() {
+            return Vec::new();
+        }
+        let sol = solve(self, cfg);
+        let mut diags = Vec::new();
+        let mut reported: BTreeSet<(String, usize)> = BTreeSet::new();
+        for b in cfg.reachable() {
+            let Some(mut assigned) = sol.entry[b].clone() else { continue };
+            for e in &cfg.blocks[b].events {
+                for op in read_operands(e) {
+                    self.check_use(
+                        op.place.clone(),
+                        e.span,
+                        &assigned,
+                        method,
+                        &mut reported,
+                        &mut diags,
+                    );
+                }
+                if let Some(Place::Local(n)) = written_place(e) {
+                    if self.tracked.contains(n) {
+                        assigned.insert(n.clone());
+                    }
+                }
+            }
+            if let Some(Terminator::Return(Some(op))) = &cfg.blocks[b].term {
+                self.check_use(
+                    op.place.clone(),
+                    cfg.blocks[b].span,
+                    &assigned,
+                    method,
+                    &mut reported,
+                    &mut diags,
+                );
+            }
+        }
+        diags
+    }
+
+    fn check_use(
+        &self,
+        place: Place,
+        span: java_syntax::Span,
+        assigned: &BTreeSet<String>,
+        method: &str,
+        reported: &mut BTreeSet<(String, usize)>,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let Place::Local(n) = place else { return };
+        if self.tracked.contains(&n)
+            && !assigned.contains(&n)
+            && reported.insert((n.clone(), span.start.offset))
+        {
+            diags.push(
+                Diagnostic::new(
+                    rules::USE_BEFORE_ASSIGN,
+                    Severity::Error,
+                    format!("`{n}` is used before it is definitely assigned"),
+                    span,
+                )
+                .in_method(method)
+                .with_note(format!("`{n}` was declared without an initializer")),
+            );
+        }
+    }
+}
+
+impl Analysis for DefiniteAssignment {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _cfg: &Cfg) -> Fact {
+        None
+    }
+
+    fn boundary(&self, _cfg: &Cfg) -> Fact {
+        Some(BTreeSet::new())
+    }
+
+    fn join(&self, into: &mut Fact, other: &Fact) -> bool {
+        match (into.as_mut(), other) {
+            (_, None) => false,
+            (None, Some(_)) => {
+                *into = other.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                // Must-analysis: intersect.
+                let before = a.len();
+                a.retain(|n| b.contains(n));
+                a.len() != before
+            }
+        }
+    }
+
+    fn transfer_event(&self, fact: &mut Fact, event: &Event) {
+        let Some(assigned) = fact.as_mut() else { return };
+        // Reads do not change the fact; they are checked in the report pass.
+        if let Some(Place::Local(n)) = written_place(event) {
+            if self.tracked.contains(n) {
+                assigned.insert(n.clone());
+            }
+        }
+    }
+}

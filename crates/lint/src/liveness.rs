@@ -1,0 +1,138 @@
+//! `DF002` — live variables / dead stores: flags an assignment to a
+//! reference-typed local whose value is never read afterwards.
+//!
+//! Backward may-analysis: the fact is the set of locals live (read before
+//! redefinition) at a program point; the join is set union.
+
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::locals::LocalTable;
+use crate::uses::{local_name, read_operands, written_place};
+use analysis::cfg::{Cfg, Terminator};
+use analysis::events::{Event, EventKind, Place};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub(crate) struct Liveness {
+    /// Locals subject to the check: every syntactic read is visible as an
+    /// event operand, so event-level liveness is exact for them.
+    tracked: BTreeSet<String>,
+}
+
+type Fact = BTreeSet<String>;
+
+impl Liveness {
+    pub fn new(locals: &LocalTable, cfg: &Cfg) -> Liveness {
+        let mut event_reads: BTreeMap<&str, usize> = BTreeMap::new();
+        for b in cfg.reachable() {
+            for e in &cfg.blocks[b].events {
+                for op in read_operands(e) {
+                    if let Some(n) = local_name(op) {
+                        *event_reads.entry(n).or_insert(0) += 1;
+                    }
+                }
+            }
+            // `return x;` reads x with no event; a `Branch` test does NOT
+            // count — its operand is a copy of the receiver of a call event
+            // already tallied above.
+            if let Some(Terminator::Return(Some(op))) = &cfg.blocks[b].term {
+                if let Some(n) = local_name(op) {
+                    *event_reads.entry(n).or_insert(0) += 1;
+                }
+            }
+        }
+        let tracked = locals
+            .ast_reads
+            .keys()
+            .chain(locals.ast_writes.keys())
+            .filter(|n| locals.reads(n) == event_reads.get(n.as_str()).copied().unwrap_or(0))
+            .cloned()
+            .collect();
+        Liveness { tracked }
+    }
+
+    /// Runs the analysis and reports dead stores.
+    pub fn report(&self, cfg: &Cfg, method: &str) -> Vec<Diagnostic> {
+        if self.tracked.is_empty() {
+            return Vec::new();
+        }
+        let sol = solve(self, cfg);
+        let mut diags = Vec::new();
+        for b in cfg.reachable() {
+            // Walk the block backwards from its end-of-block fact so the
+            // fact in hand is always "live *after* this event".
+            let mut live = sol.exit[b].clone();
+            if let Some(t) = &cfg.blocks[b].term {
+                self.transfer_term(&mut live, t);
+            }
+            for e in cfg.blocks[b].events.iter().rev() {
+                if let EventKind::Copy { dest: Place::Local(n), .. } = &e.kind {
+                    if self.tracked.contains(n) && !live.contains(n) {
+                        diags.push(
+                            Diagnostic::new(
+                                rules::DEAD_STORE,
+                                Severity::Warning,
+                                format!("value assigned to `{n}` is never read"),
+                                e.span,
+                            )
+                            .in_method(method),
+                        );
+                    }
+                }
+                self.transfer_event(&mut live, e);
+            }
+        }
+        diags
+    }
+}
+
+impl Analysis for Liveness {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _cfg: &Cfg) -> Fact {
+        BTreeSet::new()
+    }
+
+    fn boundary(&self, _cfg: &Cfg) -> Fact {
+        BTreeSet::new()
+    }
+
+    fn join(&self, into: &mut Fact, other: &Fact) -> bool {
+        let before = into.len();
+        into.extend(other.iter().cloned());
+        into.len() != before
+    }
+
+    fn transfer_event(&self, live: &mut Fact, event: &Event) {
+        // live_before = (live_after \ def) ∪ use
+        if let Some(Place::Local(n)) = written_place(event) {
+            live.remove(n);
+        }
+        for op in read_operands(event) {
+            if let Some(n) = local_name(op) {
+                if self.tracked.contains(n) {
+                    live.insert(n.to_string());
+                }
+            }
+        }
+    }
+
+    fn transfer_term(&self, live: &mut Fact, term: &Terminator) {
+        match term {
+            Terminator::Return(Some(op)) => {
+                if let Some(n) = local_name(op) {
+                    live.insert(n.to_string());
+                }
+            }
+            Terminator::Branch { test: Some(t), .. } => {
+                if let Some(n) = local_name(&t.operand) {
+                    live.insert(n.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A small AST pre-pass over one method body collecting facts about its
+//! local variables that the event CFG alone cannot provide: which locals
+//! were declared without an initializer, which are `for (T x : ...)`
+//! variables (implicitly assigned by the loop), and how many reads/writes of
+//! each name appear *syntactically*.
+//!
+//! The syntactic counts matter because the event CFG only records
+//! reference-relevant operations: a read like `v > 0` or a write like
+//! `b = null` produces no event. The dataflow lints compare syntactic and
+//! event-level counts and silently drop any local whose accesses are not
+//! fully visible at the event level — trading recall for a zero
+//! false-positive rate.
+
+use java_syntax::ast::{Expr, ExprKind, MethodDecl, Stmt, StmtKind};
+use java_syntax::visit::{walk_expr, walk_stmt, Visitor};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-method syntactic facts about locals.
+#[derive(Debug, Default)]
+pub(crate) struct LocalTable {
+    /// Locals declared `T x;` with no initializer.
+    pub decl_no_init: BTreeSet<String>,
+    /// `for (T x : e)` loop variables (assigned implicitly each iteration).
+    pub foreach_vars: BTreeSet<String>,
+    /// Syntactic reads per name (any `Name` use that is not an assignment
+    /// target).
+    pub ast_reads: BTreeMap<String, usize>,
+    /// Syntactic writes per name (assignment targets and initialized
+    /// declarations).
+    pub ast_writes: BTreeMap<String, usize>,
+}
+
+impl LocalTable {
+    pub fn build(method: &MethodDecl) -> LocalTable {
+        let mut v = Collector { table: LocalTable::default() };
+        if let Some(body) = &method.body {
+            for s in &body.stmts {
+                v.visit_stmt(s);
+            }
+        }
+        v.table
+    }
+
+    pub fn reads(&self, name: &str) -> usize {
+        self.ast_reads.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn writes(&self, name: &str) -> usize {
+        self.ast_writes.get(name).copied().unwrap_or(0)
+    }
+}
+
+struct Collector {
+    table: LocalTable,
+}
+
+impl Collector {
+    fn read(&mut self, name: &str) {
+        *self.table.ast_reads.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    fn write(&mut self, name: &str) {
+        *self.table.ast_writes.entry(name.to_string()).or_insert(0) += 1;
+    }
+}
+
+impl Visitor for Collector {
+    fn visit_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::LocalVar { name, init, .. } => {
+                if init.is_none() {
+                    self.table.decl_no_init.insert(name.clone());
+                } else {
+                    self.write(name);
+                }
+            }
+            StmtKind::ForEach { name, .. } => {
+                self.table.foreach_vars.insert(name.clone());
+                self.write(name);
+            }
+            _ => {}
+        }
+        walk_stmt(self, s);
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Name(n) => self.read(n),
+            ExprKind::Assign { lhs, rhs, .. } => {
+                if let ExprKind::Name(n) = &lhs.kind {
+                    self.write(n);
+                    // Compound assignments (`x += e`) also read the target.
+                    // The parser models them with an op; reads via the plain
+                    // `=` path are writes only. Either way the event CFG
+                    // emits no read, so counting the write alone keeps the
+                    // comparison conservative.
+                    self.visit_expr(rhs);
+                    return;
+                }
+                walk_expr(self, e);
+                return;
+            }
+            _ => {}
+        }
+        walk_expr(self, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+
+    fn table_of(body: &str) -> LocalTable {
+        let src = format!("class T {{ void m(Iterator<Integer> p) {{ {body} }} }}");
+        let unit = parse(&src).unwrap();
+        let m = unit.types[0].methods().next().unwrap();
+        LocalTable::build(m)
+    }
+
+    #[test]
+    fn uninitialized_declarations_are_recorded() {
+        let t = table_of("Iterator<Integer> it; int k = 0; it = p; it.hasNext();");
+        assert!(t.decl_no_init.contains("it"));
+        assert!(!t.decl_no_init.contains("k"));
+        assert_eq!(t.writes("it"), 1);
+        assert_eq!(t.writes("k"), 1);
+        assert_eq!(t.reads("it"), 1); // the receiver of hasNext()
+        assert_eq!(t.reads("p"), 1);
+    }
+
+    #[test]
+    fn foreach_variables_are_implicitly_assigned() {
+        let t = table_of("for (Integer x : c) { int y = x + 1; }");
+        assert!(t.foreach_vars.contains("x"));
+        assert_eq!(t.writes("x"), 1);
+        assert_eq!(t.reads("x"), 1);
+    }
+
+    #[test]
+    fn assignment_targets_are_writes_not_reads() {
+        let t = table_of("int v = 0; v = v + 1;");
+        assert_eq!(t.writes("v"), 2);
+        assert_eq!(t.reads("v"), 1);
+    }
+}

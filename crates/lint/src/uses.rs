@@ -1,0 +1,42 @@
+//! Shared read/write extraction over permission events.
+
+use analysis::events::{Event, EventKind, Operand, Place};
+
+/// The operands an event *reads*.
+pub(crate) fn read_operands(event: &Event) -> Vec<&Operand> {
+    let mut out = Vec::new();
+    match &event.kind {
+        EventKind::New { args, .. } => out.extend(args.iter().flatten()),
+        EventKind::Call { receiver, args, .. } => {
+            out.extend(receiver.iter());
+            out.extend(args.iter().flatten());
+        }
+        EventKind::FieldRead { receiver, .. } => out.push(receiver),
+        EventKind::FieldWrite { receiver, src, .. } => {
+            out.push(receiver);
+            out.extend(src.iter());
+        }
+        EventKind::Copy { src, .. } => out.push(src),
+        EventKind::Sync { target } => out.push(target),
+    }
+    out
+}
+
+/// The place an event *writes*, if any.
+pub(crate) fn written_place(event: &Event) -> Option<&Place> {
+    match &event.kind {
+        EventKind::New { dest, .. } => Some(dest),
+        EventKind::Call { dest, .. } => dest.as_ref().map(|o| &o.place),
+        EventKind::FieldRead { dest, .. } => Some(&dest.place),
+        EventKind::Copy { dest, .. } => Some(dest),
+        EventKind::FieldWrite { .. } | EventKind::Sync { .. } => None,
+    }
+}
+
+/// The name read by an operand when it is a named local.
+pub(crate) fn local_name(op: &Operand) -> Option<&str> {
+    match &op.place {
+        Place::Local(n) => Some(n),
+        _ => None,
+    }
+}

@@ -1,0 +1,321 @@
+//! `IR001`–`IR003` — an LLVM-verifier-style structural checker for the
+//! pipeline's intermediate representations.
+//!
+//! Each stage of the ANEK pipeline produces an IR with invariants the next
+//! stage silently relies on: sealed CFGs with in-bounds terminators, PFGs
+//! whose split/merge arity and acyclicity (modulo merge back edges) the
+//! constraint emitter assumes, and factor graphs whose tables match their
+//! scopes. The verifier re-checks those invariants from first principles —
+//! it recomputes adjacency from the raw edge list rather than trusting
+//! cached neighbor arrays — and reports violations as structured
+//! diagnostics. The pipeline runs it at stage boundaries in debug builds
+//! and behind `--verify-ir` in release builds.
+
+use crate::diag::{rules, Diagnostic, Severity};
+use analysis::cfg::{Cfg, Terminator};
+use analysis::pfg::{Pfg, PfgNodeKind};
+use anek_core::model::MethodModel;
+use factor_graph::FactorGraph;
+use java_syntax::Span;
+
+fn err(rule: &'static str, message: String, span: Span, method: &str) -> Diagnostic {
+    Diagnostic::new(rule, Severity::Error, message, span).in_method(method)
+}
+
+/// Verifies a control-flow graph (`IR001`).
+pub fn verify_cfg(cfg: &Cfg, method: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = cfg.blocks.len();
+    let mut fail = |msg: String, span: Span| {
+        diags.push(err(rules::BAD_CFG, msg, span, method));
+    };
+    if n == 0 {
+        fail("CFG has no blocks".into(), Span::DUMMY);
+        return diags;
+    }
+    if cfg.entry >= n || cfg.exit >= n {
+        fail(
+            format!("entry ({}) or exit ({}) out of bounds ({n} blocks)", cfg.entry, cfg.exit),
+            Span::DUMMY,
+        );
+        return diags;
+    }
+    if cfg.entry == cfg.exit {
+        fail(format!("entry and exit are the same block ({})", cfg.entry), Span::DUMMY);
+    }
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let span = block.span;
+        match &block.term {
+            None => {
+                // Unsealed blocks are only legal when unreachable; checked
+                // against the reachable set below (our own DFS, since
+                // `Cfg::successors` panics on unsealed blocks).
+            }
+            Some(Terminator::Goto(t)) if *t >= n => {
+                fail(format!("block {b}: goto target {t} out of bounds"), span);
+            }
+            Some(Terminator::Goto(_)) => {}
+            Some(Terminator::Branch { then_blk, else_blk, .. }) => {
+                for t in [then_blk, else_blk] {
+                    if *t >= n {
+                        fail(format!("block {b}: branch target {t} out of bounds"), span);
+                    }
+                }
+            }
+            Some(Terminator::Return(_)) => {}
+            Some(Terminator::Exit) if b != cfg.exit => {
+                fail(format!("block {b}: Exit terminator outside the exit block"), span);
+            }
+            Some(Terminator::Exit) => {}
+        }
+    }
+    match &cfg.blocks[cfg.exit].term {
+        Some(Terminator::Exit) => {}
+        other => fail(
+            format!("exit block {} must end in Exit, found {:?}", cfg.exit, other),
+            cfg.blocks[cfg.exit].span,
+        ),
+    }
+    if !cfg.blocks[cfg.exit].events.is_empty() {
+        fail(format!("exit block {} has events", cfg.exit), cfg.blocks[cfg.exit].span);
+    }
+
+    // Reachability DFS that tolerates broken graphs (no successors() calls).
+    let mut seen = vec![false; n];
+    let mut stack = vec![cfg.entry];
+    seen[cfg.entry] = true;
+    while let Some(b) = stack.pop() {
+        let succs: Vec<usize> = match &cfg.blocks[b].term {
+            None => {
+                fail(
+                    format!("reachable block {b} is unsealed (no terminator)"),
+                    cfg.blocks[b].span,
+                );
+                Vec::new()
+            }
+            Some(Terminator::Goto(t)) => vec![*t],
+            Some(Terminator::Branch { then_blk, else_blk, .. }) => vec![*then_blk, *else_blk],
+            Some(Terminator::Return(_)) => vec![cfg.exit],
+            Some(Terminator::Exit) => Vec::new(),
+        };
+        for s in succs {
+            if s < n && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    diags
+}
+
+/// Verifies a permissions flow graph (`IR002`).
+pub fn verify_pfg(pfg: &Pfg) -> Vec<Diagnostic> {
+    let method = pfg.method.to_string();
+    let mut diags = Vec::new();
+    let n = pfg.nodes.len();
+    let span_of = |id: usize| if id < n { pfg.nodes[id].span } else { Span::DUMMY };
+    let mut fail = |msg: String, span: Span| {
+        diags.push(err(rules::BAD_PFG, msg, span, &method));
+    };
+
+    for (i, node) in pfg.nodes.iter().enumerate() {
+        if node.id != i {
+            fail(format!("node at index {i} carries id {}", node.id), node.span);
+        }
+        match node.receiver_link {
+            Some(r) if r >= n => {
+                fail(format!("node {i}: receiver link {r} out of bounds"), node.span);
+            }
+            Some(_)
+                if !matches!(
+                    node.kind,
+                    PfgNodeKind::FieldRead { .. } | PfgNodeKind::FieldWrite { .. }
+                ) =>
+            {
+                fail(format!("node {i}: receiver link on non-field node"), node.span);
+            }
+            _ => {}
+        }
+    }
+
+    // Adjacency recomputed from the raw edge list — the cached neighbor
+    // arrays are exactly what a corrupted graph would have stale.
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    let mut ok_edges = Vec::new();
+    for &(a, b) in &pfg.edges {
+        if a >= n || b >= n {
+            fail(format!("edge ({a}, {b}) out of bounds ({n} nodes)"), Span::DUMMY);
+            continue;
+        }
+        if a == b {
+            fail(format!("self-loop on node {a}"), span_of(a));
+            continue;
+        }
+        out_deg[a] += 1;
+        in_deg[b] += 1;
+        ok_edges.push((a, b));
+    }
+
+    for (i, node) in pfg.nodes.iter().enumerate() {
+        match &node.kind {
+            PfgNodeKind::Split => {
+                if in_deg[i] != 1 {
+                    fail(format!("split node {i} has fan-in {} (must be 1)", in_deg[i]), node.span);
+                }
+                if out_deg[i] == 0 {
+                    fail(format!("split node {i} has no outgoing edges"), node.span);
+                }
+            }
+            PfgNodeKind::ParamPre { .. }
+            | PfgNodeKind::New { .. }
+            | PfgNodeKind::CallResult { .. }
+            | PfgNodeKind::CallPost { .. }
+            | PfgNodeKind::FieldRead { .. }
+                if in_deg[i] != 0 =>
+            {
+                fail(format!("source node {i} ({:?}) has incoming edges", node.kind), node.span);
+            }
+            PfgNodeKind::CallPre { .. } | PfgNodeKind::FieldWrite { .. } if out_deg[i] != 0 => {
+                fail(format!("sink node {i} ({:?}) has outgoing edges", node.kind), node.span);
+            }
+            _ => {}
+        }
+    }
+
+    for p in &pfg.params {
+        for (what, id) in [("pre", p.pre), ("post", p.post)] {
+            if id >= n {
+                fail(
+                    format!("parameter `{}`: {what} node {id} out of bounds", p.name),
+                    Span::DUMMY,
+                );
+            }
+        }
+        if p.pre < n
+            && !matches!(&pfg.nodes[p.pre].kind, PfgNodeKind::ParamPre { name } if *name == p.name)
+        {
+            fail(
+                format!("parameter `{}`: pre node {} has wrong kind", p.name, p.pre),
+                span_of(p.pre),
+            );
+        }
+        if p.post < n
+            && !matches!(&pfg.nodes[p.post].kind, PfgNodeKind::ParamPost { name } if *name == p.name)
+        {
+            fail(
+                format!("parameter `{}`: post node {} has wrong kind", p.name, p.post),
+                span_of(p.post),
+            );
+        }
+        if p.pre == p.post {
+            fail(format!("parameter `{}`: pre and post are the same node", p.name), span_of(p.pre));
+        }
+    }
+    if let Some((_, r)) = &pfg.result {
+        if *r >= n {
+            fail(format!("result node {r} out of bounds"), Span::DUMMY);
+        } else if !matches!(pfg.nodes[*r].kind, PfgNodeKind::ResultPost) {
+            fail(format!("result node {r} has wrong kind"), span_of(*r));
+        }
+    }
+    for &t in &pfg.sync_targets {
+        if t >= n {
+            fail(format!("sync target {t} out of bounds"), Span::DUMMY);
+        }
+    }
+
+    // Permission flow must be acyclic apart from loop back edges, which by
+    // construction always target a Merge node: dropping edges *into* merges
+    // must leave a DAG (Kahn's algorithm on the remainder).
+    let mut fwd_in = vec![0usize; n];
+    let fwd_edges: Vec<(usize, usize)> = ok_edges
+        .iter()
+        .copied()
+        .filter(|&(_, b)| !matches!(pfg.nodes[b].kind, PfgNodeKind::Merge))
+        .collect();
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &fwd_edges {
+        adj[a].push(b);
+        fwd_in[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| fwd_in[i] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        for &w in &adj[v] {
+            fwd_in[w] -= 1;
+            if fwd_in[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if removed != n {
+        fail(
+            format!(
+                "permission flow is cyclic: {} nodes sit on a cycle not broken by a merge",
+                n - removed
+            ),
+            Span::DUMMY,
+        );
+    }
+    diags
+}
+
+/// Verifies a constraint system / factor graph (`IR003`).
+pub fn verify_factor_graph(g: &FactorGraph, method: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let nvars = g.num_vars();
+    let mut fail = |msg: String| {
+        diags.push(err(rules::BAD_CONSTRAINTS, msg, Span::DUMMY, method));
+    };
+    for (fi, f) in g.factors().iter().enumerate() {
+        let scope = f.scope();
+        if scope.is_empty() {
+            fail(format!("factor {fi}: empty scope"));
+            continue;
+        }
+        if scope.len() > 16 {
+            fail(format!("factor {fi}: scope of {} variables exceeds 16", scope.len()));
+            continue;
+        }
+        let mut sorted: Vec<u32> = scope.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            fail(format!("factor {fi}: duplicate variable in scope"));
+        }
+        for v in scope {
+            if v.0 as usize >= nvars {
+                fail(format!("factor {fi}: variable {} out of bounds ({nvars} vars)", v.0));
+            }
+        }
+        let want = 1usize << scope.len();
+        if f.table().len() != want {
+            fail(format!(
+                "factor {fi}: table has {} entries, scope of {} needs {want}",
+                f.table().len(),
+                scope.len()
+            ));
+        }
+        for (ti, &x) in f.table().iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                fail(format!("factor {fi}: table entry {ti} is {x} (must be finite and >= 0)"));
+                break;
+            }
+        }
+    }
+    diags
+}
+
+/// Verifies a complete per-method probabilistic model: PFG structure, the
+/// slot tables' parallelism with it, and the emitted constraint system.
+pub fn verify_model(model: &MethodModel) -> Vec<Diagnostic> {
+    let method = model.pfg.method.to_string();
+    let mut diags = verify_pfg(&model.pfg);
+    for problem in model.check_well_formed() {
+        diags.push(err(rules::BAD_CONSTRAINTS, problem, Span::DUMMY, &method));
+    }
+    diags.extend(verify_factor_graph(&model.graph, &method));
+    diags
+}

@@ -22,8 +22,7 @@ use analysis::types::{Callee, MethodId, ProgramIndex, TypeEnv};
 use java_syntax::ast::{CompilationUnit, ExprId};
 use java_syntax::Span;
 use spec_lang::{
-    ApiRegistry, Fraction, MethodSpec, Permission, PermissionKind, SpecTarget, StateRegistry,
-    ALIVE,
+    ApiRegistry, Fraction, MethodSpec, Permission, PermissionKind, SpecTarget, StateRegistry, ALIVE,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -123,8 +122,7 @@ impl PermVal {
         // arrived over a method boundary implicitly left fractions with the
         // caller's other aliases, so claiming fraction 1 would let the
         // split/merge round trip wrongly reconstitute `unique`.
-        let fraction =
-            if kind == PermissionKind::Unique { Fraction::ONE } else { Fraction::HALF };
+        let fraction = if kind == PermissionKind::Unique { Fraction::ONE } else { Fraction::HALF };
         PermVal {
             perm: Permission::new(kind, fraction).expect("fraction in (0, 1]"),
             states: Some(std::iter::once(state.to_string()).collect()),
@@ -282,13 +280,7 @@ impl MethodChecker<'_> {
             entry.perms.insert(tok, perm);
         };
         if !m.modifiers.is_static {
-            bind_param(
-                &mut entry,
-                "this",
-                Some(id.class.clone()),
-                Place::This,
-                &SpecTarget::This,
-            );
+            bind_param(&mut entry, "this", Some(id.class.clone()), Place::This, &SpecTarget::This);
         }
         for p in &m.params {
             let ty = analysis::ref_type_name(&p.ty);
@@ -339,26 +331,19 @@ impl MethodChecker<'_> {
             }
         }
         // Final pass: emit warnings per block once, on the fixpoint input.
-        for b in 0..n {
-            let Some(state) = in_states[b].clone() else { continue };
+        for (b, in_state) in in_states.iter().enumerate() {
+            let Some(state) = in_state.clone() else { continue };
             let (out, _) = self.exec_block(cfg, b, state, true);
             if let Terminator::Return(_) = cfg.blocks[b].term.as_ref().expect("sealed") {
                 exit_states.push(out);
             }
         }
         // Own postcondition check.
-        for (target, place, name) in own_spec
-            .ensures
-            .atoms
-            .iter()
-            .filter_map(|a| match &a.target {
-                SpecTarget::This => Some((a, Place::This, "this".to_string())),
-                SpecTarget::Param(p) => {
-                    Some((a, Place::Local(p.clone()), p.clone()))
-                }
-                SpecTarget::Result => None,
-            })
-        {
+        for (target, place, name) in own_spec.ensures.atoms.iter().filter_map(|a| match &a.target {
+            SpecTarget::This => Some((a, Place::This, "this".to_string())),
+            SpecTarget::Param(p) => Some((a, Place::Local(p.clone()), p.clone())),
+            SpecTarget::Result => None,
+        }) {
             let _ = place;
             for exit in &exit_states {
                 let tok = Tok::Param(name.clone());
@@ -370,10 +355,7 @@ impl MethodChecker<'_> {
                         self.warn(
                             m.span,
                             WarningKind::PostconditionViolated,
-                            format!(
-                                "postcondition `{target}` of {} may not hold at exit",
-                                self.id
-                            ),
+                            format!("postcondition `{target}` of {} may not hold at exit", self.id),
                         );
                         break;
                     }
@@ -421,24 +403,14 @@ impl MethodChecker<'_> {
                 if let Some(spec) = &spec {
                     // Receiver requirement.
                     if let Some(recv) = receiver {
-                        self.check_operand(
-                            ev,
-                            state,
-                            recv,
-                            spec,
-                            &SpecTarget::This,
-                            callee,
-                            emit,
-                        );
+                        self.check_operand(ev, state, recv, spec, &SpecTarget::This, callee, emit);
                     }
                     // Named argument requirements.
                     if let Callee::Program(id) = callee {
                         for (i, arg) in args.iter().enumerate() {
                             let Some(arg) = arg else { continue };
-                            let pname = self
-                                .specs
-                                .param_name(id, i)
-                                .unwrap_or_else(|| format!("arg{i}"));
+                            let pname =
+                                self.specs.param_name(id, i).unwrap_or_else(|| format!("arg{i}"));
                             self.check_operand(
                                 ev,
                                 state,
@@ -477,9 +449,7 @@ impl MethodChecker<'_> {
                 // Fields are method-boundary state: without field annotations
                 // (outside the subset) the boundary default applies.
                 let tok = Tok::Site(ev.id);
-                state
-                    .perms
-                    .insert(tok.clone(), PermVal::boundary_default(dest.type_name.clone()));
+                state.perms.insert(tok.clone(), PermVal::boundary_default(dest.type_name.clone()));
                 state.alias.insert(dest.place.clone(), tok);
             }
             EventKind::FieldWrite { receiver, .. } => {
@@ -491,23 +461,22 @@ impl MethodChecker<'_> {
                                 WarningKind::IllegalFieldWrite,
                                 format!(
                                     "field write through read-only `{}` permission on `{}`",
-                                    pv.kind(), receiver.place
+                                    pv.kind(),
+                                    receiver.place
                                 ),
                             );
                         }
                     }
                 }
             }
-            EventKind::Copy { dest, src } => {
-                match state.alias.get(&src.place).cloned() {
-                    Some(tok) => {
-                        state.alias.insert(dest.clone(), tok);
-                    }
-                    None => {
-                        state.alias.remove(dest);
-                    }
+            EventKind::Copy { dest, src } => match state.alias.get(&src.place).cloned() {
+                Some(tok) => {
+                    state.alias.insert(dest.clone(), tok);
                 }
-            }
+                None => {
+                    state.alias.remove(dest);
+                }
+            },
             EventKind::Sync { .. } => {}
         }
     }
@@ -555,23 +524,21 @@ impl MethodChecker<'_> {
                             ),
                         );
                     }
-                } else if !pv.state_satisfies(atom.effective_state(), self.states) {
-                    if emit {
-                        self.warn(
-                            ev.span,
-                            WarningKind::WrongState,
-                            format!(
-                                "call to {callee} requires `{}` in state {} but `{}` may be in {:?}",
-                                atom.kind,
-                                atom.effective_state(),
-                                op.place,
-                                pv.states
-                                    .clone()
-                                    .map(|s| s.into_iter().collect::<Vec<_>>())
-                                    .unwrap_or_else(|| vec!["<unknown>".into()])
-                            ),
-                        );
-                    }
+                } else if !pv.state_satisfies(atom.effective_state(), self.states) && emit {
+                    self.warn(
+                        ev.span,
+                        WarningKind::WrongState,
+                        format!(
+                            "call to {callee} requires `{}` in state {} but `{}` may be in {:?}",
+                            atom.kind,
+                            atom.effective_state(),
+                            op.place,
+                            pv.states
+                                .clone()
+                                .map(|s| s.into_iter().collect::<Vec<_>>())
+                                .unwrap_or_else(|| vec!["<unknown>".into()])
+                        ),
+                    );
                 }
                 // Post-call update: lend the required permission through the
                 // Boyland split/merge round trip (the fraction algebra
@@ -580,9 +547,8 @@ impl MethodChecker<'_> {
                 let ensured = spec.ensures.for_target(target).cloned();
                 if let Some(pv) = state.perms.get_mut(&tok) {
                     if let Ok((retained, lent)) = pv.perm.split(atom.kind) {
-                        pv.perm = retained
-                            .merge(lent)
-                            .expect("split halves re-merge within the whole");
+                        pv.perm =
+                            retained.merge(lent).expect("split halves re-merge within the whole");
                     }
                     if let Some(ens) = ensured {
                         pv.states =
@@ -654,7 +620,7 @@ mod tests {
     fn check_src(src: &str) -> CheckResult {
         let unit = parse(src).unwrap();
         let api = standard_api();
-        let specs = SpecTable::from_units(&[unit.clone()]);
+        let specs = SpecTable::from_units(std::slice::from_ref(&unit));
         check(&[unit], &api, &specs)
     }
 
@@ -1043,10 +1009,7 @@ mod tests {
         assert_eq!(r.warnings.len(), 2, "{:?}", r.warnings);
         // s.read(): share satisfies full? no -> insufficient; consume: needs
         // unique -> insufficient.
-        assert!(r
-            .warnings
-            .iter()
-            .all(|w| w.kind == WarningKind::InsufficientPermission));
+        assert!(r.warnings.iter().all(|w| w.kind == WarningKind::InsufficientPermission));
     }
 
     #[test]

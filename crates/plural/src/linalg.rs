@@ -125,6 +125,9 @@ impl Signed {
 /// # Panics
 ///
 /// Panics if `b.len() != a.rows()`.
+// Row operations read two rows of `m` at once (pivot row + eliminated row),
+// which rules out the iterator form needless_range_loop suggests.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(a: &Matrix, b: &[Fraction]) -> Solution {
     assert_eq!(b.len(), a.rows(), "rhs length must match row count");
     let rows = a.rows();
@@ -132,8 +135,7 @@ pub fn solve(a: &Matrix, b: &[Fraction]) -> Solution {
     // Augmented signed working copy.
     let mut m: Vec<Vec<Signed>> = (0..rows)
         .map(|r| {
-            let mut row: Vec<Signed> =
-                (0..cols).map(|c| Signed::from(a.get(r, c))).collect();
+            let mut row: Vec<Signed> = (0..cols).map(|c| Signed::from(a.get(r, c))).collect();
             row.push(Signed::from(b[r]));
             row
         })
@@ -201,10 +203,7 @@ mod tests {
 
     #[test]
     fn solves_identity() {
-        let a = Matrix::from_rows(vec![
-            vec![f(1, 1), f(0, 1)],
-            vec![f(0, 1), f(1, 1)],
-        ]);
+        let a = Matrix::from_rows(vec![vec![f(1, 1), f(0, 1)], vec![f(0, 1), f(1, 1)]]);
         let s = solve(&a, &[f(1, 2), f(1, 3)]);
         assert!(s.consistent);
         assert_eq!(s.rank, 2);
@@ -216,10 +215,7 @@ mod tests {
     fn solves_coupled_system() {
         // x + y = 1 ; x - ... all-positive variant: x + y = 1; x + 2y = 3/2
         // → y = 1/2, x = 1/2.
-        let a = Matrix::from_rows(vec![
-            vec![f(1, 1), f(1, 1)],
-            vec![f(1, 1), f(2, 1)],
-        ]);
+        let a = Matrix::from_rows(vec![vec![f(1, 1), f(1, 1)], vec![f(1, 1), f(2, 1)]]);
         let s = solve(&a, &[f(1, 1), f(3, 2)]);
         assert!(s.consistent);
         assert_eq!(s.values, vec![f(1, 2), f(1, 2)]);
@@ -228,10 +224,7 @@ mod tests {
     #[test]
     fn detects_inconsistency() {
         // x + y = 1 ; x + y = 2.
-        let a = Matrix::from_rows(vec![
-            vec![f(1, 1), f(1, 1)],
-            vec![f(1, 1), f(1, 1)],
-        ]);
+        let a = Matrix::from_rows(vec![vec![f(1, 1), f(1, 1)], vec![f(1, 1), f(1, 1)]]);
         let s = solve(&a, &[f(1, 1), f(2, 1)]);
         assert!(!s.consistent);
     }
@@ -283,8 +276,8 @@ mod tests {
         let mut b = Vec::new();
         for r in 0..4 {
             let mut acc = Fraction::ZERO;
-            for c in 0..4 {
-                acc = acc + a.get(r, c) * x[c];
+            for (c, xc) in x.iter().enumerate() {
+                acc = acc + a.get(r, c) * *xc;
             }
             b.push(acc);
         }

@@ -163,8 +163,7 @@ pub fn local_infer_pfg(pfg: &Pfg) -> LocalInference {
     let solution = solve_sparse(rows, n_vars);
     // Permission fractions cannot be negative: a negative component means
     // some path demands more permission than is available.
-    let satisfiable = solution.consistent
-        && solution.values.iter().all(|v| !v.neg || v.is_zero());
+    let satisfiable = solution.consistent && solution.values.iter().all(|v| !v.neg || v.is_zero());
     LocalInference {
         satisfiable,
         edge_fractions: if satisfiable {
@@ -255,6 +254,6 @@ mod tests {
         );
         assert!(r.satisfiable);
         // At least one edge carries the full unit permission out of PRE r.
-        assert!(r.edge_fractions.iter().any(|f| f.is_one()), "{:?}", r.edge_fractions);
+        assert!(r.edge_fractions.iter().any(Fraction::is_one), "{:?}", r.edge_fractions);
     }
 }

@@ -117,7 +117,7 @@ pub fn solve_sparse(mut rows: Vec<SparseRow>, n_vars: usize) -> SparseSolution {
     // Column -> rows currently containing it.
     let mut rows_of_col: Vec<Vec<usize>> = vec![Vec::new(); n_vars];
     for (ri, r) in rows.iter().enumerate() {
-        for (&c, _) in &r.coeffs {
+        for &c in r.coeffs.keys() {
             rows_of_col[c].push(ri);
         }
     }
@@ -140,8 +140,7 @@ pub fn solve_sparse(mut rows: Vec<SparseRow>, n_vars: usize) -> SparseSolution {
                 .copied()
                 .filter(|&ri| !used[ri] && rows[ri].coeffs.contains_key(&col))
                 .collect();
-            let Some(&pivot_row) =
-                candidates.iter().min_by_key(|&&ri| rows[ri].coeffs.len())
+            let Some(&pivot_row) = candidates.iter().min_by_key(|&&ri| rows[ri].coeffs.len())
             else {
                 continue;
             };
@@ -245,10 +244,8 @@ mod tests {
 
     #[test]
     fn detects_inconsistency() {
-        let rows = vec![
-            row(&[(0, SignedFrac::ONE)], f(1, 1)),
-            row(&[(0, SignedFrac::ONE)], f(2, 1)),
-        ];
+        let rows =
+            vec![row(&[(0, SignedFrac::ONE)], f(1, 1)), row(&[(0, SignedFrac::ONE)], f(2, 1))];
         let s = solve_sparse(rows, 1);
         assert!(!s.consistent);
     }

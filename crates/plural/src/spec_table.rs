@@ -156,17 +156,11 @@ mod tests {
         let mut inferred = BTreeMap::new();
         inferred.insert(
             MethodId::new("Row", "createColIter"),
-            MethodSpec {
-                ensures: parse_clause("pure(result)").unwrap(),
-                ..MethodSpec::default()
-            },
+            MethodSpec { ensures: parse_clause("pure(result)").unwrap(), ..MethodSpec::default() },
         );
         inferred.insert(
             MethodId::new("Row", "add"),
-            MethodSpec {
-                requires: parse_clause("share(this)").unwrap(),
-                ..MethodSpec::default()
-            },
+            MethodSpec { requires: parse_clause("share(this)").unwrap(), ..MethodSpec::default() },
         );
         let merged = t.overlay_inferred(&inferred);
         // Hand-written wins for createColIter…

@@ -1,0 +1,230 @@
+//! # prng
+//!
+//! A tiny, dependency-free deterministic pseudo-random number generator and
+//! a minimal property-testing harness.
+//!
+//! The reproduction must build in fully offline environments, so it cannot
+//! pull `rand` or `proptest` from crates.io. This crate supplies the two
+//! things those were used for:
+//!
+//! * [`Rng`] — a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//!   generator. It is *not* cryptographically secure; it exists to make
+//!   corpus generation and randomized tests deterministic per seed.
+//! * [`forall`] — a fixed-case-count property runner that derives one child
+//!   seed per case and reports the failing case index and seed, so any
+//!   failure is reproducible with [`Rng::new`].
+//!
+//! ## Example
+//!
+//! ```
+//! use prng::Rng;
+//!
+//! let mut a = Rng::new(42);
+//! let mut b = Rng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! let die = a.gen_range(1..7);
+//! assert!((1..7).contains(&die));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+///
+/// The same seed always produces the same stream, on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw output.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform integer in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range on empty range {range:?}");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        // Multiply-shift bounded sampling (Lemire); the bias for spans this
+        // small (vs 2^64) is far below anything the corpus could observe.
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start.wrapping_add(hi as i64)
+    }
+
+    /// A uniform index in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_index(&mut self, range: Range<usize>) -> usize {
+        self.gen_range(range.start as i64..range.end as i64) as usize
+    }
+
+    /// A uniformly chosen element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        &slice[self.gen_index(0..slice.len())]
+    }
+
+    /// An independent child generator (for splitting one seed into many
+    /// deterministic sub-streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+/// Runs a property `cases` times with independent deterministic seeds.
+///
+/// Each case gets its own [`Rng`] derived from `name` and the case index.
+/// When a case panics, the harness prints the property name, case index and
+/// child seed (pass it to [`Rng::new`] to replay) and re-raises the panic.
+pub fn forall(name: &str, cases: u32, property: impl Fn(&mut Rng)) {
+    // FNV-1a over the name gives a stable per-property base seed.
+    let mut base = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        base ^= u64::from(b);
+        base = base.wrapping_mul(0x1000_0000_01b3);
+    }
+    for case in 0..cases {
+        let mut seed_state = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let child = splitmix64(&mut seed_state);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(child);
+            property(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases} (replay with Rng::new({child:#x}))"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::new(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-5..17);
+            assert!((-5..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_index(0..6)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all bucket values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Rng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // Mean of U[0,1) lands near 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = Rng::new(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        let mut rng = Rng::new(13);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = Rng::new(13);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng::new(5);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn forall_runs_every_case() {
+        let counter = std::cell::Cell::new(0u32);
+        forall("counting", 32, |_| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 32);
+    }
+
+    #[test]
+    fn forall_is_deterministic_per_name() {
+        let collect = |name: &str| {
+            let out = std::cell::RefCell::new(Vec::new());
+            forall(name, 4, |rng| out.borrow_mut().push(rng.next_u64()));
+            out.into_inner()
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+}

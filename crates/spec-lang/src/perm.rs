@@ -114,9 +114,8 @@ impl Permission {
         }
         // The retained kind must coexist with the lent one: keep the
         // strongest kind that forms a legal split pair.
-        let Some(retained_kind) = PermissionKind::ALL
-            .into_iter()
-            .find(|k| self.kind.can_split_into(&[to, *k]))
+        let Some(retained_kind) =
+            PermissionKind::ALL.into_iter().find(|k| self.kind.can_split_into(&[to, *k]))
         else {
             return Err(PermError::IllegalSplit { from: self.kind, to });
         };
@@ -210,19 +209,13 @@ mod tests {
         // unique asserts no other aliases: lending it while retaining
         // anything would contradict it.
         let whole = Permission::fresh();
-        assert_eq!(
-            whole.split(Unique),
-            Err(PermError::IllegalSplit { from: Unique, to: Unique })
-        );
+        assert_eq!(whole.split(Unique), Err(PermError::IllegalSplit { from: Unique, to: Unique }));
     }
 
     #[test]
     fn illegal_splits_are_rejected() {
         let pure = Permission::new(Pure, Fraction::HALF).unwrap();
-        assert_eq!(
-            pure.split(Full),
-            Err(PermError::IllegalSplit { from: Pure, to: Full })
-        );
+        assert_eq!(pure.split(Full), Err(PermError::IllegalSplit { from: Pure, to: Full }));
         let imm = Permission::new(Immutable, Fraction::HALF).unwrap();
         assert!(imm.split(Share).is_err());
     }

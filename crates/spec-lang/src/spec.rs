@@ -63,7 +63,11 @@ impl PermAtom {
     }
 
     /// Creates an atom with a state constraint.
-    pub fn in_state(kind: PermissionKind, target: SpecTarget, state: impl Into<String>) -> PermAtom {
+    pub fn in_state(
+        kind: PermissionKind,
+        target: SpecTarget,
+        state: impl Into<String>,
+    ) -> PermAtom {
         PermAtom { kind, target, state: Some(state.into()) }
     }
 
@@ -193,16 +197,14 @@ pub fn parse_clause(text: &str) -> Result<PermClause, SpecParseError> {
 
 /// Splits on `,` and `*` at top level (no nesting in this mini-language).
 fn split_atoms(text: &str) -> impl Iterator<Item = &str> {
-    text.split(|c| c == ',' || c == '*').filter(|s| !s.trim().is_empty())
+    text.split([',', '*']).filter(|s| !s.trim().is_empty())
 }
 
 fn parse_atom(text: &str) -> Result<PermAtom, SpecParseError> {
-    let open = text
-        .find('(')
-        .ok_or_else(|| SpecParseError::new(format!("missing `(` in `{text}`")))?;
-    let close = text
-        .find(')')
-        .ok_or_else(|| SpecParseError::new(format!("missing `)` in `{text}`")))?;
+    let open =
+        text.find('(').ok_or_else(|| SpecParseError::new(format!("missing `(` in `{text}`")))?;
+    let close =
+        text.find(')').ok_or_else(|| SpecParseError::new(format!("missing `)` in `{text}`")))?;
     if close < open {
         return Err(SpecParseError::new(format!("mismatched parentheses in `{text}`")));
     }
@@ -353,9 +355,7 @@ mod tests {
 
     #[test]
     fn clause_round_trips_through_display() {
-        for text in
-            ["full(this) in HASNEXT", "pure(this)", "unique(result) in ALIVE, share(x)"]
-        {
+        for text in ["full(this) in HASNEXT", "pure(this)", "unique(result) in ALIVE, share(x)"] {
             let c = parse_clause(text).unwrap();
             let reparsed = parse_clause(&c.to_string()).unwrap();
             assert_eq!(c, reparsed);

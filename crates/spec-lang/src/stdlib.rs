@@ -39,8 +39,7 @@ impl ApiRegistry {
 
     /// Adds a method model.
     pub fn insert(&mut self, method: ApiMethod) {
-        self.methods
-            .insert((method.type_name.clone(), method.method_name.clone()), method);
+        self.methods.insert((method.type_name.clone(), method.method_name.clone()), method);
     }
 
     /// Looks up a method by declaring type and name.

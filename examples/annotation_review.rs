@@ -12,7 +12,7 @@ use anek::Pipeline;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 3's spreadsheet: the conflicting testParseCSV drags down
     // confidence on the specs its evidence touches.
-    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3])?;
+    let pipeline = Pipeline::from_sources(&[corpus::FIGURE3])?;
     let inference = pipeline.infer();
 
     let mut ranked: Vec<_> = inference

@@ -34,8 +34,7 @@ fn main() {
     let mut pipeline = Pipeline::new(corpus.units.clone());
     pipeline.config.max_iters = 4 * corpus.stats.methods;
     let inference = pipeline.infer();
-    let merged =
-        SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
+    let merged = SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
     let anek = check(&corpus.units, &api, &merged);
 
     println!("\n== Table 2 (miniature) ==");

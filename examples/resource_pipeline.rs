@@ -55,13 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("    {w}");
     }
 
-    let ok = |m: &str| {
-        report
-            .warnings_after
-            .warnings
-            .iter()
-            .all(|w| w.method.method != m)
-    };
+    let ok = |m: &str| report.warnings_after.warnings.iter().all(|w| w.method.method != m);
     assert!(ok("ingest"), "close-in-finally should verify");
     assert!(ok("ingestAll"), "per-iteration open/close should verify");
     assert!(!ok("doubleClose"), "the double close must be reported");

@@ -11,14 +11,14 @@ use anek::spec_lang::SpecTarget;
 use anek::Pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3])?;
+    let pipeline = Pipeline::from_sources(&[corpus::FIGURE3])?;
     let report = pipeline.run();
 
     let id = MethodId::new("Row", "createColIter");
     println!("== The conflicting evidence on {id} ==");
     let summary = &report.inference.summaries[&id];
     let result = summary.result.as_ref().expect("createColIter returns an iterator");
-    println!("  p(result is unique)  = {:.3}", result.kind(anek::spec_lang::PermissionKind::Unique));
+    println!("  p(result is unique)  = {:.3}", result.kind(spec_lang::PermissionKind::Unique));
     for state in ["ALIVE", "HASNEXT", "END"] {
         println!("  p(result in {state:8}) = {:.3}", result.state(state));
     }
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let atom = spec.ensures.for_target(&SpecTarget::Result).expect("result spec");
     println!("\n== Extracted specification ==");
     println!("  {id} ensures: {atom}");
-    assert_eq!(atom.kind, anek::spec_lang::PermissionKind::Unique, "H3: create* => unique");
+    assert_eq!(atom.kind, spec_lang::PermissionKind::Unique, "H3: create* => unique");
 
     println!("\n== PLURAL verdict ==");
     println!("  warnings before inference: {}", report.warnings_before.warnings.len());

@@ -51,18 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // pump() should have inherited "full(s) in OPEN" from its reads…
-    let pump = &report.inference.specs[&anek::analysis::MethodId::new("LogShipper", "pump")];
-    assert!(
-        !pump.requires.is_empty(),
-        "pump should require an open stream, got nothing"
-    );
+    let pump = &report.inference.specs[&analysis::MethodId::new("LogShipper", "pump")];
+    assert!(!pump.requires.is_empty(), "pump should require an open stream, got nothing");
     // …and the read-after-close in shipTwice must be reported.
     assert!(
-        report
-            .warnings_after
-            .warnings
-            .iter()
-            .any(|w| w.method.method == "shipTwice"),
+        report.warnings_after.warnings.iter().any(|w| w.method.method == "shipTwice"),
         "use-after-close must be caught: {:?}",
         report.warnings_after.warnings
     );

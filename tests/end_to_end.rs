@@ -9,7 +9,7 @@ use anek::Pipeline;
 
 #[test]
 fn figure3_full_pipeline() {
-    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3]).expect("figure 3 parses");
+    let pipeline = Pipeline::from_sources(&[corpus::FIGURE3]).expect("figure 3 parses");
     let report = pipeline.run();
 
     // The conflicting-constraint resolution of §1: createColIter returns a
@@ -22,25 +22,21 @@ fn figure3_full_pipeline() {
 
     // Inference must reduce warnings; what remains points at testParseCSV.
     assert!(report.warnings_after.warnings.len() < report.warnings_before.warnings.len());
-    assert!(report
-        .warnings_after
-        .warnings
-        .iter()
-        .all(|w| w.method.method == "testParseCSV"));
+    assert!(report.warnings_after.warnings.iter().all(|w| w.method.method == "testParseCSV"));
     // Exactly the two bare next() calls.
     assert_eq!(report.warnings_after.warnings.len(), 2, "{:?}", report.warnings_after.warnings);
 
     // The annotated source is valid Java that reparses with the same spec.
-    let reparsed = anek::java_syntax::parse(&report.annotated_source).expect("annotated reparses");
+    let reparsed = java_syntax::parse(&report.annotated_source).expect("annotated reparses");
     let row = reparsed.type_named("Row").expect("Row survives");
     let m = row.method_named("createColIter").expect("method survives");
-    let round = anek::spec_lang::spec_of_method(m).expect("annotation parses");
+    let round = spec_lang::spec_of_method(m).expect("annotation parses");
     assert!(!round.ensures.is_empty());
 }
 
 #[test]
 fn figure7_field_pipeline_runs() {
-    let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE7]).expect("figure 7 parses");
+    let pipeline = Pipeline::from_sources(&[corpus::FIGURE7]).expect("figure 7 parses");
     let report = pipeline.run();
     // accessFields writes o.f — the receiver must not be inferred read-only.
     let spec = &report.inference.specs[&MethodId::new("C", "accessFields")];
@@ -107,9 +103,8 @@ fn regression_suite_expectations_hold() {
                     let id = MethodId::new(class, name);
                     let summary = &report.inference.summaries[&id];
                     let (pre, _) = summary.param("this").expect("receiver slot");
-                    let read_only = pre
-                        .kind(PermissionKind::Pure)
-                        .max(pre.kind(PermissionKind::Immutable));
+                    let read_only =
+                        pre.kind(PermissionKind::Pure).max(pre.kind(PermissionKind::Immutable));
                     let writer = pre
                         .kind(PermissionKind::Unique)
                         .max(pre.kind(PermissionKind::Full))
@@ -130,7 +125,7 @@ fn find_atom<'a>(
     method: &str,
     target: &str,
     requires: bool,
-) -> (Option<&'a anek::spec_lang::PermAtom>, MethodId) {
+) -> (Option<&'a spec_lang::PermAtom>, MethodId) {
     let (class, name) = method.split_once('.').expect("Class.method");
     let id = MethodId::new(class, name);
     let spec = report.inference.specs.get(&id).unwrap_or_else(|| panic!("no spec for {id}"));
@@ -147,17 +142,17 @@ fn find_atom<'a>(
 fn overlaying_gold_specs_checks_clean_on_helpers() {
     // Gold annotations on Figure 3's createColIter make the good uses
     // verify while testParseCSV still warns (the Bierhoff configuration).
-    let unit = anek::java_syntax::parse(anek::corpus::FIGURE3).unwrap();
-    let api = anek::spec_lang::standard_api();
+    let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
+    let api = spec_lang::standard_api();
     let mut specs = SpecTable::unannotated(std::slice::from_ref(&unit));
     specs.insert(
         MethodId::new("Row", "createColIter"),
-        anek::spec_lang::MethodSpec {
-            ensures: anek::spec_lang::parse_clause("unique(result) in ALIVE").unwrap(),
+        spec_lang::MethodSpec {
+            ensures: spec_lang::parse_clause("unique(result) in ALIVE").unwrap(),
             ..Default::default()
         },
     );
-    let result = anek::plural::check(std::slice::from_ref(&unit), &api, &specs);
+    let result = plural::check(std::slice::from_ref(&unit), &api, &specs);
     assert_eq!(result.warnings.len(), 2, "{:?}", result.warnings);
     assert!(result.warnings.iter().all(|w| w.method.method == "testParseCSV"));
 }
@@ -165,7 +160,7 @@ fn overlaying_gold_specs_checks_clean_on_helpers() {
 #[test]
 fn inference_then_check_is_deterministic() {
     let run = || {
-        let pipeline = Pipeline::from_sources(&[anek::corpus::FIGURE3]).unwrap();
+        let pipeline = Pipeline::from_sources(&[corpus::FIGURE3]).unwrap();
         let report = pipeline.run();
         (
             report.inference.specs.clone(),

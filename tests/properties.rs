@@ -1,75 +1,90 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate randomized property tests.
+//!
+//! These used to be `proptest` suites; the offline build has no crates.io
+//! access, so they now run on the in-tree [`prng::forall`] harness (64
+//! deterministic cases per property, failing seeds printed for replay).
 
 use anek::factor_graph::{BpOptions, Factor, FactorGraph};
-use anek::spec_lang::Permission;
 use anek::java_syntax::{parse, print_unit};
+use anek::spec_lang::Permission;
 use anek::spec_lang::{parse_clause, Fraction, PermissionKind};
-use proptest::prelude::*;
+use prng::forall;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u32 = 64;
 
-    /// Fraction arithmetic: (a + b) - b == a for in-range rationals.
-    #[test]
-    fn fraction_add_sub_round_trip(an in 0i64..500, ad in 1i64..500, bn in 0i64..500, bd in 1i64..500) {
-        let a = Fraction::new(an, ad).unwrap();
-        let b = Fraction::new(bn, bd).unwrap();
+/// Fraction arithmetic: (a + b) - b == a for in-range rationals.
+#[test]
+fn fraction_add_sub_round_trip() {
+    forall("fraction_add_sub_round_trip", CASES, |rng| {
+        let a = Fraction::new(rng.gen_range(0..500), rng.gen_range(1..500)).unwrap();
+        let b = Fraction::new(rng.gen_range(0..500), rng.gen_range(1..500)).unwrap();
         let sum = a.checked_add(b).unwrap();
-        prop_assert_eq!(sum.checked_sub(b).unwrap(), a);
-    }
+        assert_eq!(sum.checked_sub(b).unwrap(), a);
+    });
+}
 
-    /// Splitting a fraction into n parts and re-merging restores it.
-    #[test]
-    fn fraction_split_merge(n in 1u32..12, num in 1i64..100, den in 1i64..100) {
-        let f = Fraction::new(num, den).unwrap();
+/// Splitting a fraction into n parts and re-merging restores it.
+#[test]
+fn fraction_split_merge() {
+    forall("fraction_split_merge", CASES, |rng| {
+        let n = rng.gen_range(1..12) as u32;
+        let f = Fraction::new(rng.gen_range(1..100), rng.gen_range(1..100)).unwrap();
         let part = f.split(n).unwrap();
         let mut acc = Fraction::ZERO;
         for _ in 0..n {
             acc = acc.checked_add(part).unwrap();
         }
-        prop_assert_eq!(acc, f);
-    }
+        assert_eq!(acc, f);
+    });
+}
 
-    /// Permission splitting is downward-closed: any legal split's parts are
-    /// individually satisfied by the parent.
-    #[test]
-    fn split_parts_are_satisfied(parent in 0usize..5, a in 0usize..5, b in 0usize..5) {
-        let parent = PermissionKind::ALL[parent];
-        let a = PermissionKind::ALL[a];
-        let b = PermissionKind::ALL[b];
+/// Permission splitting is downward-closed: any legal split's parts are
+/// individually satisfied by the parent.
+#[test]
+fn split_parts_are_satisfied() {
+    forall("split_parts_are_satisfied", CASES, |rng| {
+        let parent = *rng.pick(&PermissionKind::ALL);
+        let a = *rng.pick(&PermissionKind::ALL);
+        let b = *rng.pick(&PermissionKind::ALL);
         if parent.can_split_into(&[a, b]) {
-            prop_assert!(parent.satisfies(a));
-            prop_assert!(parent.satisfies(b));
+            assert!(parent.satisfies(a));
+            assert!(parent.satisfies(b));
             // And never two exclusive writers.
             let writers = [a, b]
                 .iter()
                 .filter(|k| matches!(k, PermissionKind::Unique | PermissionKind::Full))
                 .count();
-            prop_assert!(writers <= 1);
+            assert!(writers <= 1);
         }
-    }
+    });
+}
 
-    /// Spec clauses survive a print/parse round trip.
-    #[test]
-    fn clause_round_trip(kind in 0usize..5, target in prop::sample::select(vec!["this", "result", "x", "other"]),
-                         state in prop::sample::select(vec![None, Some("HASNEXT"), Some("OPEN"), Some("ALIVE")])) {
-        let k = PermissionKind::ALL[kind];
+/// Spec clauses survive a print/parse round trip.
+#[test]
+fn clause_round_trip() {
+    forall("clause_round_trip", CASES, |rng| {
+        let k = *rng.pick(&PermissionKind::ALL);
+        let target = *rng.pick(&["this", "result", "x", "other"]);
+        let state = *rng.pick(&[None, Some("HASNEXT"), Some("OPEN"), Some("ALIVE")]);
         let text = match state {
             Some(s) => format!("{k}({target}) in {s}"),
             None => format!("{k}({target})"),
         };
         let clause = parse_clause(&text).unwrap();
         let reparsed = parse_clause(&clause.to_string()).unwrap();
-        prop_assert_eq!(clause, reparsed);
-    }
+        assert_eq!(clause, reparsed);
+    });
+}
 
-    /// BP marginals agree with exact enumeration on random small tree-ish
-    /// factor graphs.
-    #[test]
-    fn bp_close_to_exact_on_random_chains(
-        priors in prop::collection::vec(0.05f64..0.95, 2..6),
-        strengths in prop::collection::vec(0.55f64..0.95, 1..5),
-    ) {
+/// BP marginals agree with exact enumeration on random small tree-ish
+/// factor graphs.
+#[test]
+fn bp_close_to_exact_on_random_chains() {
+    forall("bp_close_to_exact_on_random_chains", CASES, |rng| {
+        let n_vars = rng.gen_index(2..6);
+        let priors: Vec<f64> = (0..n_vars).map(|_| 0.05 + rng.gen_f64() * 0.90).collect();
+        let n_strengths = rng.gen_index(1..5);
+        let strengths: Vec<f64> = (0..n_strengths).map(|_| 0.55 + rng.gen_f64() * 0.40).collect();
         let mut g = FactorGraph::new();
         let vars: Vec<_> = (0..priors.len()).map(|i| g.add_var(format!("v{i}"))).collect();
         for (v, p) in vars.iter().zip(&priors) {
@@ -82,19 +97,25 @@ proptest! {
         let exact = g.solve_exact();
         let bp = g.solve(&BpOptions { max_iterations: 200, tolerance: 1e-9, damping: 0.0 });
         for &v in &vars {
-            prop_assert!((bp.prob(v) - exact.prob(v)).abs() < 1e-4,
-                "var {v}: bp={} exact={}", bp.prob(v), exact.prob(v));
+            assert!(
+                (bp.prob(v) - exact.prob(v)).abs() < 1e-4,
+                "var {v}: bp={} exact={}",
+                bp.prob(v),
+                exact.prob(v)
+            );
         }
-    }
+    });
+}
 
-    /// Random legal split sequences re-merge to the original permission.
-    #[test]
-    fn permission_split_merge_round_trip(choices in prop::collection::vec(0usize..5, 1..6)) {
+/// Random legal split sequences re-merge to the original permission.
+#[test]
+fn permission_split_merge_round_trip() {
+    forall("permission_split_merge_round_trip", CASES, |rng| {
         let original = Permission::fresh();
         let mut held = original;
         let mut lent = Vec::new();
-        for c in choices {
-            let to = PermissionKind::ALL[c];
+        for _ in 0..rng.gen_index(1..6) {
+            let to = *rng.pick(&PermissionKind::ALL);
             if let Ok((retained, l)) = held.split(to) {
                 held = retained;
                 lent.push(l);
@@ -104,28 +125,38 @@ proptest! {
         for l in lent.into_iter().rev() {
             held = held.merge(l).expect("re-merging lent halves stays within the whole");
         }
-        prop_assert_eq!(held.kind, original.kind, "unique is reconstituted");
-        prop_assert!(held.fraction.is_one());
-    }
+        assert_eq!(held.kind, original.kind, "unique is reconstituted");
+        assert!(held.fraction.is_one());
+    });
+}
 
-    /// Splitting never manufactures strength: the lent part is always
-    /// satisfied by the original kind, and the retained part coexists.
-    #[test]
-    fn split_is_sound(kind in 0usize..5, to in 0usize..5) {
-        let k = PermissionKind::ALL[kind];
-        let to = PermissionKind::ALL[to];
-        if let Ok(p) = Permission::new(k, anek::spec_lang::Fraction::ONE) {
+/// Splitting never manufactures strength: the lent part is always
+/// satisfied by the original kind, and the retained part coexists.
+#[test]
+fn split_is_sound() {
+    forall("split_is_sound", CASES, |rng| {
+        let k = *rng.pick(&PermissionKind::ALL);
+        let to = *rng.pick(&PermissionKind::ALL);
+        if let Ok(p) = Permission::new(k, Fraction::ONE) {
             if let Ok((retained, lent)) = p.split(to) {
-                prop_assert!(k.satisfies(lent.kind));
-                prop_assert!(k.can_split_into(&[lent.kind, retained.kind]),
-                    "{k} -> [{}, {}]", lent.kind, retained.kind);
+                assert!(k.satisfies(lent.kind));
+                assert!(
+                    k.can_split_into(&[lent.kind, retained.kind]),
+                    "{k} -> [{}, {}]",
+                    lent.kind,
+                    retained.kind
+                );
             }
         }
-    }
+    });
+}
 
-    /// Printed programs re-parse (generator-shaped random programs).
-    #[test]
-    fn printer_parser_round_trip(n_methods in 1usize..5, consts in prop::collection::vec(1i64..100, 5)) {
+/// Printed programs re-parse (generator-shaped random programs).
+#[test]
+fn printer_parser_round_trip() {
+    forall("printer_parser_round_trip", CASES, |rng| {
+        let n_methods = rng.gen_index(1..5);
+        let consts: Vec<i64> = (0..5).map(|_| rng.gen_range(1..100)).collect();
         let mut src = String::from("class P {\n    int field;\n");
         for i in 0..n_methods {
             let c = consts[i % consts.len()];
@@ -138,8 +169,8 @@ proptest! {
         let printed = print_unit(&unit);
         let reparsed = parse(&printed).unwrap();
         // Printing the reparsed AST is a fixpoint.
-        prop_assert_eq!(print_unit(&reparsed), printed);
-    }
+        assert_eq!(print_unit(&reparsed), printed);
+    });
 }
 
 #[test]
