@@ -32,9 +32,27 @@ step "cargo test"
 cargo test -q --workspace
 
 if [[ $fast -eq 0 ]]; then
-  step "anek lint self-check on the seeded corpus"
+  step "inference determinism gate (threads 1 vs 4)"
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
+  ./target/release/anek corpus "$tmp/det" --small 2>/dev/null
+  ./target/release/anek infer --threads 1 "$tmp"/det/*.java 2>/dev/null >"$tmp/specs.t1"
+  ./target/release/anek infer --threads 4 "$tmp"/det/*.java 2>/dev/null >"$tmp/specs.t4"
+  if ! diff -u "$tmp/specs.t1" "$tmp/specs.t4"; then
+    echo "determinism gate failed: --threads 1 and --threads 4 inferred different specs" >&2
+    exit 1
+  fi
+  echo "determinism gate ok: identical specs for threads 1 and 4"
+
+  step "bench smoke (table2 --small + BENCH_infer.json)"
+  (cd "$tmp" && "$OLDPWD/target/release/table2" --small >/dev/null)
+  if ! grep -q '"bench": "infer"' "$tmp/BENCH_infer.json"; then
+    echo "bench smoke failed: BENCH_infer.json missing or malformed" >&2
+    exit 1
+  fi
+  echo "bench smoke ok: BENCH_infer.json written"
+
+  step "anek lint self-check on the seeded corpus"
   ./target/release/anek corpus "$tmp" 2>/dev/null
   # The seed-42 paper corpus plants exactly 3 next()-without-hasNext() bugs;
   # the deterministic lint must find exactly those, as errors, and no more.

@@ -1,6 +1,6 @@
 //! Tunable parameters of the inference (the paper's `h`, `t` and `MaxIters`).
 
-use factor_graph::BpOptions;
+use factor_graph::{BpOptions, BpSchedule};
 
 /// Configuration of the ANEK inference.
 ///
@@ -52,6 +52,10 @@ pub struct InferConfig {
     pub summary_epsilon: f64,
     /// Belief-propagation options for the per-method `Solve`.
     pub bp: BpOptions,
+    /// Worker threads for the generation-parallel worklist: `0` means one
+    /// per available core, `1` forces the sequential path. Results are
+    /// identical for every value (see `infer`'s determinism notes).
+    pub threads: usize,
 }
 
 impl Default for InferConfig {
@@ -73,7 +77,13 @@ impl Default for InferConfig {
             max_iters: 64,
             branch_sensitive: false,
             summary_epsilon: 0.01,
-            bp: BpOptions { max_iterations: 40, tolerance: 1e-4, damping: 0.1 },
+            bp: BpOptions {
+                max_iterations: 40,
+                tolerance: 1e-4,
+                damping: 0.1,
+                schedule: BpSchedule::Sweep,
+            },
+            threads: 1,
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::config::InferConfig;
 use crate::infer::{merged_states, InferResult};
-use crate::model::{emit_method, ModelCtx};
+use crate::model::{emit_skeleton, ModelCtx};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{CallRole, Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
@@ -38,7 +38,6 @@ pub fn infer_global(
     let ctx = ModelCtx { index: &index, api, states: &states };
 
     let mut g = FactorGraph::new();
-    let empty = BTreeMap::new();
     let mut per_method: BTreeMap<MethodId, (Pfg, Vec<crate::constraints::SlotVars>)> =
         BTreeMap::new();
     let mut pre_annotated = BTreeSet::new();
@@ -55,17 +54,9 @@ pub fn infer_global(
                     pre_annotated.insert(id.clone());
                 }
                 let pfg = Pfg::build(&index, api, &t.name, m);
-                let (node_vars, _edge_vars) = emit_method(
-                    &mut g,
-                    ctx,
-                    &pfg,
-                    &spec,
-                    m.is_constructor(),
-                    &empty,
-                    &[],
-                    cfg,
-                    false, // no summaries — PARAMARG is explicit below
-                );
+                // Skeleton only — no summaries; PARAMARG is explicit below.
+                let (node_vars, _edge_vars) =
+                    emit_skeleton(&mut g, ctx, &pfg, &spec, m.is_constructor(), cfg);
                 per_method.insert(id, (pfg, node_vars));
             }
         }
@@ -156,7 +147,18 @@ pub fn infer_global(
         summaries.insert(id.clone(), summary);
     }
 
-    InferResult { specs, summaries, confidence, solves: 1, elapsed: start.elapsed(), pre_annotated }
+    InferResult {
+        specs,
+        summaries,
+        confidence,
+        solves: 1,
+        elapsed: start.elapsed(),
+        pre_annotated,
+        bp_iterations: marginals.iterations,
+        message_updates: marginals.updates,
+        discarded_solves: 0,
+        threads: 1,
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,38 @@
 //! The modular `ANEK-INFER` worklist algorithm (paper Figure 9).
 //!
 //! Each method gets a probabilistic model built from its PFG; models are
-//! solved one method at a time, publishing *probabilistic summaries* that
+//! solved method by method, publishing *probabilistic summaries* that
 //! callers consume as evidence. The loop runs for at most `MaxIters` model
 //! solves — a fixpoint is deliberately not required ("another source of
 //! approximation", §3.4) — and finally thresholds the summaries into
 //! deterministic specifications.
+//!
+//! ## Parallelism and determinism
+//!
+//! The worklist drains in *generations*: the queued methods are solved
+//! *speculatively* against a frozen snapshot of the summaries/evidence
+//! maps, concurrently on `InferConfig::threads` scoped threads; results are
+//! then merged single-threaded, in the generation's deterministic order. A
+//! speculative result is committed only if none of the merges before it in
+//! the generation changed the method's inputs — its program-callee
+//! summaries or its own caller-evidence store. If they did, the stale
+//! speculation is discarded and the method is re-solved inline against the
+//! merged state. A method's marginals are a pure function of exactly those
+//! inputs (the skeleton is immutable, stamping reads only callee summaries
+//! and own evidence, and BP is deterministic), so the committed sequence of
+//! solves is precisely the one the classic sequential worklist performs —
+//! the final specs, summaries and confidence are byte-identical for every
+//! `threads` value, including `1` (which skips speculation entirely and
+//! degenerates to plain sequential Gauss-Seidel with zero wasted work).
+//!
+//! Each method's static model skeleton (variables, L1–L3, heuristics,
+//! own-spec and API priors) is built and compiled once, lazily at its first
+//! solve; every re-solve only re-derives the dynamic unary priors
+//! (`MethodSkeleton::stamp`), so the per-iteration cost is message passing,
+//! not model construction.
 
 use crate::config::InferConfig;
-use crate::model::{CallerEvidence, MethodModel, ModelCtx};
+use crate::model::{CallerEvidence, MethodSkeleton, ModelCtx};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
@@ -17,8 +41,14 @@ use java_syntax::ExprId;
 use spec_lang::{
     spec_of_method, ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry, StateSpace,
 };
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// What one model solve produces: the method's new summary, the call-site
+/// evidence it observed about each callee, and the BP work counters.
+type Outcome = (MethodSummary, BTreeMap<MethodId, BTreeMap<ExprId, CallerEvidence>>, usize, usize);
 
 /// The output of [`infer`].
 #[derive(Debug, Clone)]
@@ -36,6 +66,18 @@ pub struct InferResult {
     /// Methods that had a hand-written spec already (their atoms acted as
     /// priors).
     pub pre_annotated: BTreeSet<MethodId>,
+    /// Total BP sweeps (or sweep-equivalents) across all solves.
+    pub bp_iterations: usize,
+    /// Total BP message updates across all solves.
+    pub message_updates: usize,
+    /// Speculative parallel solves discarded because an earlier merge in
+    /// the same generation changed their inputs (always 0 single-threaded;
+    /// the committed results are identical regardless). Not counted in
+    /// `solves`/`bp_iterations`/`message_updates`, which describe the
+    /// sequential algorithm's work.
+    pub discarded_solves: usize,
+    /// Worker threads actually used.
+    pub threads: usize,
 }
 
 impl InferResult {
@@ -63,11 +105,64 @@ pub fn merged_states(units: &[CompilationUnit], api: &ApiRegistry) -> StateRegis
     reg
 }
 
-/// One analyzable method: its PFG, existing spec and flags.
+/// One analyzable method: its PFG, existing spec, flags and the compiled
+/// static skeleton of its probabilistic model. The skeleton is built lazily
+/// on first solve — under a small `MaxIters` most methods are never solved,
+/// and paying compilation for all of them up front would dwarf the solves.
 struct MethodUnit {
-    pfg: Pfg,
+    pfg: Arc<Pfg>,
     spec: MethodSpec,
     is_constructor: bool,
+    skeleton: OnceLock<MethodSkeleton>,
+}
+
+impl MethodUnit {
+    /// The compiled skeleton, built on first use (any thread may win the
+    /// race; the build is a pure function of static inputs, so every
+    /// contender produces the identical value).
+    fn skeleton(&self, ctx: ModelCtx<'_>, cfg: &InferConfig) -> &MethodSkeleton {
+        self.skeleton.get_or_init(|| {
+            MethodSkeleton::build(ctx, Arc::clone(&self.pfg), &self.spec, self.is_constructor, cfg)
+        })
+    }
+}
+
+/// Resolves `InferConfig::threads`: `0` means one per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Maps `items` through `f`, preserving order, fanning work out over up to
+/// `threads` scoped worker threads. With one thread (or one item) the work
+/// runs inline on the caller's stack.
+fn map_parallel<I: Sync, T: Send>(
+    threads: usize,
+    items: &[I],
+    f: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
 }
 
 /// Runs ANEK-INFER over the program.
@@ -80,10 +175,10 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
     let index = ProgramIndex::build(units.iter());
     let states = merged_states(units, api);
     let ctx = ModelCtx { index: &index, api, states: &states };
+    let threads = resolve_threads(cfg.threads);
 
-    // ---- Gather analyzable methods, their PFGs and priors ----
-    let mut methods: BTreeMap<MethodId, MethodUnit> = BTreeMap::new();
-    let mut order: Vec<MethodId> = Vec::new();
+    // ---- Gather analyzable methods, build PFGs + model skeletons ----
+    let mut meta: Vec<(MethodId, &str, &java_syntax::ast::MethodDecl)> = Vec::new();
     let mut pre_annotated = BTreeSet::new();
     for unit in units {
         for t in &unit.types {
@@ -93,19 +188,33 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                     continue;
                 }
                 let id = MethodId::new(&t.name, &m.name);
-                let spec = spec_of_method(m).unwrap_or_default();
-                if !spec.is_empty() {
+                if !spec_of_method(m).unwrap_or_default().is_empty() {
                     pre_annotated.insert(id.clone());
                 }
-                let pfg = Pfg::build_with_refinement(&index, api, &t.name, m, cfg.branch_sensitive);
-                order.push(id.clone());
-                methods.insert(id, MethodUnit { pfg, spec, is_constructor: m.is_constructor() });
+                meta.push((id, t.name.as_str(), m));
             }
         }
     }
+    let order: Vec<MethodId> = meta.iter().map(|(id, _, _)| id.clone()).collect();
+    // PFG construction is independent per method — the one-time setup cost
+    // parallelizes trivially. Skeletons compile lazily on first solve.
+    let built: Vec<MethodUnit> = map_parallel(threads, &meta, |(_, type_name, m)| {
+        let spec = spec_of_method(m).unwrap_or_default();
+        let pfg =
+            Arc::new(Pfg::build_with_refinement(&index, api, type_name, m, cfg.branch_sensitive));
+        MethodUnit { pfg, spec, is_constructor: m.is_constructor(), skeleton: OnceLock::new() }
+    });
+    let mut methods: BTreeMap<MethodId, MethodUnit> = BTreeMap::new();
+    for (id, mu) in order.iter().cloned().zip(built) {
+        methods.insert(id, mu);
+    }
 
-    // ---- Caller map (who must be re-analyzed when a summary changes) ----
+    // ---- Call maps: callers (who must be re-analyzed when a summary
+    //      changes) and callees (what a method's solve reads — its dynamic
+    //      priors are a function of exactly its program-callee summaries
+    //      plus its own caller-evidence store) ----
     let mut callers: BTreeMap<MethodId, BTreeSet<MethodId>> = BTreeMap::new();
+    let mut callees: BTreeMap<MethodId, BTreeSet<MethodId>> = BTreeMap::new();
     for (id, mu) in &methods {
         for n in mu.pfg.call_nodes() {
             let callee = match &n.kind {
@@ -116,6 +225,7 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
             };
             if let Callee::Program(c) = callee {
                 callers.entry(c.clone()).or_default().insert(id.clone());
+                callees.entry(id.clone()).or_default().insert(c.clone());
             }
         }
     }
@@ -126,65 +236,107 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         summaries.insert(id.clone(), initial_summary(ctx, mu, cfg));
     }
 
-    // ---- The worklist loop (lines 8–21) ----
+    // ---- The worklist loop (lines 8–21), drained in generations ----
     // Caller-side evidence per callee: (caller, call-site) -> observed
     // marginals. This is the second half of the PARAMARG binding — caller
     // demands aggregate onto callee summaries (the Figure 3 conflict story).
     let mut evidence: BTreeMap<MethodId, BTreeMap<(MethodId, ExprId), CallerEvidence>> =
         BTreeMap::new();
-    let mut worklist: VecDeque<MethodId> = order.iter().cloned().collect();
+    let mut pending: Vec<MethodId> = order.clone();
     let mut queued: BTreeSet<MethodId> = order.iter().cloned().collect();
     let mut solves = 0usize;
-    while solves < cfg.max_iters {
-        let Some(id) = worklist.pop_front() else { break };
-        queued.remove(&id);
-        let mu = &methods[&id];
-        solves += 1;
-        let own_evidence: Vec<CallerEvidence> =
-            evidence.get(&id).map(|m| m.values().cloned().collect()).unwrap_or_default();
-        let model = MethodModel::build_with_evidence(
-            ctx,
-            mu.pfg.clone(),
-            &mu.spec,
-            mu.is_constructor,
-            &summaries,
-            &own_evidence,
-            cfg,
-        );
-        let marginals = model.graph.solve(&cfg.bp);
-        let new_summary = model.read_summary(ctx, &marginals);
-        let mut to_queue: Vec<MethodId> = Vec::new();
-        // Publish evidence about callees observed at this method's sites.
-        for (callee, sites) in model.read_call_evidence(ctx, &marginals) {
-            let store = evidence.entry(callee.clone()).or_default();
-            let mut changed = false;
-            for (site, ev) in sites {
-                let key = (id.clone(), site);
-                match store.get(&key) {
-                    Some(old) if old.max_delta(&ev) <= cfg.summary_epsilon => {}
-                    _ => {
-                        store.insert(key, ev);
-                        changed = true;
+    let mut bp_iterations = 0usize;
+    let mut message_updates = 0usize;
+    let mut discarded_solves = 0usize;
+    let empty_deps = BTreeSet::new();
+    // Solves one method against the *current* summary/evidence state.
+    let solve_one =
+        |id: &MethodId,
+         summaries: &BTreeMap<MethodId, MethodSummary>,
+         evidence: &BTreeMap<MethodId, BTreeMap<(MethodId, ExprId), CallerEvidence>>|
+         -> Outcome {
+            let mu = &methods[id];
+            let skeleton = mu.skeleton(ctx, cfg);
+            let own_evidence: Vec<CallerEvidence> =
+                evidence.get(id).map(|m| m.values().cloned().collect()).unwrap_or_default();
+            let extras = skeleton.stamp(ctx, summaries, &own_evidence);
+            let marginals = skeleton.solve(&extras, cfg);
+            let new_summary = skeleton.read_summary(ctx, &marginals);
+            let call_evidence = skeleton.read_call_evidence(ctx, &marginals);
+            (new_summary, call_evidence, marginals.iterations, marginals.updates)
+        };
+    while !pending.is_empty() && solves < cfg.max_iters {
+        // Take one generation, truncated so `solves` respects MaxIters.
+        let take = pending.len().min(cfg.max_iters - solves);
+        let generation: Vec<MethodId> = pending.drain(..take).collect();
+        // Speculatively solve the whole generation in parallel against
+        // frozen summary/evidence snapshots. The merge below commits a
+        // speculative result only if the merges before it left the
+        // method's inputs untouched; otherwise it re-solves against the
+        // merged state — so the committed sequence of solves is *exactly*
+        // the one the sequential worklist performs, for any thread count.
+        // With one worker the speculation is skipped and every solve runs
+        // lazily at merge time (plain sequential Gauss-Seidel, no waste).
+        let speculated: Option<Vec<Outcome>> = (threads.min(generation.len()) > 1)
+            .then(|| map_parallel(threads, &generation, |id| solve_one(id, &summaries, &evidence)));
+        solves += generation.len();
+        // Merge sequentially, in generation order. Inputs dirtied by the
+        // merges so far: summaries re-published and evidence stores touched
+        // during *this* generation.
+        let mut dirty_summaries: BTreeSet<MethodId> = BTreeSet::new();
+        let mut dirty_evidence: BTreeSet<MethodId> = BTreeSet::new();
+        for (pos, id) in generation.iter().enumerate() {
+            queued.remove(id);
+            let deps = callees.get(id).unwrap_or(&empty_deps);
+            let fresh = !dirty_evidence.contains(id) && deps.is_disjoint(&dirty_summaries);
+            let (new_summary, call_evidence, iters, updates) = match &speculated {
+                Some(outcomes) if fresh => outcomes[pos].clone(),
+                Some(_) => {
+                    // Speculation consumed stale inputs; redo sequentially.
+                    discarded_solves += 1;
+                    solve_one(id, &summaries, &evidence)
+                }
+                None => solve_one(id, &summaries, &evidence),
+            };
+            bp_iterations += iters;
+            message_updates += updates;
+            let mut to_queue: Vec<MethodId> = Vec::new();
+            // Publish evidence about callees observed at this method's sites.
+            for (callee, sites) in call_evidence {
+                let store = evidence.entry(callee.clone()).or_default();
+                let mut changed = false;
+                for (site, ev) in sites {
+                    let key = (id.clone(), site);
+                    match store.get(&key) {
+                        Some(old) if old.max_delta(&ev) <= cfg.summary_epsilon => {}
+                        _ => {
+                            store.insert(key, ev);
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    dirty_evidence.insert(callee.clone());
+                    if callee != *id {
+                        to_queue.push(callee);
                     }
                 }
             }
-            if changed && callee != id {
-                to_queue.push(callee);
+            let old = &summaries[id];
+            if new_summary.max_delta(old) > cfg.summary_epsilon {
+                summaries.insert(id.clone(), new_summary);
+                dirty_summaries.insert(id.clone());
+                // Re-enqueue the method itself (per Figure 9 line 19) and
+                // its callers, whose models consumed the stale summary.
+                to_queue.push(id.clone());
+                if let Some(cs) = callers.get(id) {
+                    to_queue.extend(cs.iter().cloned());
+                }
             }
-        }
-        let old = &summaries[&id];
-        if new_summary.max_delta(old) > cfg.summary_epsilon {
-            summaries.insert(id.clone(), new_summary);
-            // Re-enqueue the method itself (per Figure 9 line 19) and its
-            // callers, whose models consumed the stale summary.
-            to_queue.push(id.clone());
-            if let Some(cs) = callers.get(&id) {
-                to_queue.extend(cs.iter().cloned());
-            }
-        }
-        for q in to_queue {
-            if queued.insert(q.clone()) {
-                worklist.push_back(q);
+            for q in to_queue {
+                if queued.insert(q.clone()) {
+                    pending.push(q);
+                }
             }
         }
     }
@@ -198,7 +350,18 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         confidence.insert(id.clone(), conf);
     }
 
-    InferResult { specs, summaries, confidence, solves, elapsed: start.elapsed(), pre_annotated }
+    InferResult {
+        specs,
+        summaries,
+        confidence,
+        solves,
+        elapsed: start.elapsed(),
+        pre_annotated,
+        bp_iterations,
+        message_updates,
+        discarded_solves,
+        threads,
+    }
 }
 
 /// The INIT summary: spec-derived high/low priors where an annotation

@@ -50,5 +50,5 @@ pub use config::InferConfig;
 pub use global::infer_global;
 pub use infer::{infer, merged_states, InferResult};
 pub use logical::{solve_logical, LogicalOutcome, LogicalResult};
-pub use model::{MethodModel, ModelCtx};
+pub use model::{CallerEvidence, MethodModel, MethodSkeleton, ModelCtx};
 pub use summary::{MethodSummary, SlotProbs};

@@ -12,9 +12,10 @@ use crate::constraints::{self, SlotVars};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{CallRole, NodeId, Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
-use factor_graph::{FactorGraph, Marginals};
+use factor_graph::{CompiledGraph, Factor, FactorGraph, Marginals, VarId};
 use spec_lang::{ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything the model builder needs to know about the enclosing program.
 #[derive(Debug, Clone, Copy)]
@@ -81,8 +82,8 @@ impl CallerEvidence {
 /// The factor-graph model of one method.
 #[derive(Debug)]
 pub struct MethodModel {
-    /// The underlying PFG.
-    pub pfg: Pfg,
+    /// The underlying PFG (shared, never cloned per solve).
+    pub pfg: Arc<Pfg>,
     /// The factor graph.
     pub graph: FactorGraph,
     /// Variables per PFG node.
@@ -121,18 +122,13 @@ impl MethodModel {
         caller_evidence: &[CallerEvidence],
         cfg: &InferConfig,
     ) -> MethodModel {
+        let pfg = Arc::new(pfg);
         let mut g = FactorGraph::new();
-        let (node_vars, edge_vars) = emit_method(
-            &mut g,
-            ctx,
-            &pfg,
-            own_spec,
-            is_constructor,
-            summaries,
-            caller_evidence,
-            cfg,
-            true,
-        );
+        let (node_vars, edge_vars) =
+            emit_skeleton(&mut g, ctx, &pfg, own_spec, is_constructor, cfg);
+        for (v, p) in dynamic_priors(ctx, &pfg, &node_vars, summaries, caller_evidence) {
+            g.add_factor(Factor::unary(v, p));
+        }
         MethodModel { pfg, graph: g, node_vars, edge_vars }
     }
 
@@ -143,58 +139,7 @@ impl MethodModel {
         ctx: ModelCtx<'_>,
         marginals: &Marginals,
     ) -> BTreeMap<MethodId, BTreeMap<java_syntax::ExprId, CallerEvidence>> {
-        let mut out: BTreeMap<MethodId, BTreeMap<java_syntax::ExprId, CallerEvidence>> =
-            BTreeMap::new();
-        let read_slot = |node: NodeId| -> SlotProbs {
-            let vars = &self.node_vars[node];
-            let mut slot =
-                SlotProbs::uniform(ctx.states_of(self.pfg.nodes[node].type_name.as_deref()));
-            for k in PermissionKind::ALL {
-                slot.set_kind(k, marginals.prob(vars.kind(k)));
-            }
-            for (name, v) in &vars.states {
-                slot.states.insert(name.clone(), marginals.prob(*v));
-            }
-            slot
-        };
-        let param_name = |id: &MethodId, role: CallRole| -> Option<String> {
-            match role {
-                CallRole::Receiver => Some("this".to_string()),
-                CallRole::Arg(i) => {
-                    ctx.index.method(id).and_then(|m| m.params.get(i)).map(|(n, _)| n.clone())
-                }
-            }
-        };
-        for n in &self.pfg.nodes {
-            match &n.kind {
-                PfgNodeKind::CallPre { callee: Callee::Program(id), role, site } => {
-                    if let Some(pname) = param_name(id, *role) {
-                        out.entry(id.clone())
-                            .or_default()
-                            .entry(*site)
-                            .or_default()
-                            .param_pre
-                            .insert(pname, read_slot(n.id));
-                    }
-                }
-                PfgNodeKind::CallPost { callee: Callee::Program(id), role, site } => {
-                    if let Some(pname) = param_name(id, *role) {
-                        out.entry(id.clone())
-                            .or_default()
-                            .entry(*site)
-                            .or_default()
-                            .param_post
-                            .insert(pname, read_slot(n.id));
-                    }
-                }
-                PfgNodeKind::CallResult { callee: Callee::Program(id), site } => {
-                    out.entry(id.clone()).or_default().entry(*site).or_default().result =
-                        Some(read_slot(n.id));
-                }
-                _ => {}
-            }
-        }
-        out
+        read_call_evidence_from(ctx, &self.pfg, &self.node_vars, marginals)
     }
 
     /// Structural well-formedness of the model: the slot tables must stay
@@ -248,46 +193,189 @@ impl MethodModel {
 
     /// Extracts the summary from precomputed marginals.
     pub fn read_summary(&self, ctx: ModelCtx<'_>, marginals: &Marginals) -> MethodSummary {
-        let read_slot = |node: NodeId| -> SlotProbs {
-            let vars = &self.node_vars[node];
-            let mut slot =
-                SlotProbs::uniform(ctx.states_of(self.pfg.nodes[node].type_name.as_deref()));
-            for k in PermissionKind::ALL {
-                slot.set_kind(k, marginals.prob(vars.kind(k)));
-            }
-            for (name, v) in &vars.states {
-                slot.states.insert(name.clone(), marginals.prob(*v));
-            }
-            slot
-        };
-        MethodSummary {
-            params: self
-                .pfg
-                .params
-                .iter()
-                .map(|p| (p.name.clone(), read_slot(p.pre), read_slot(p.post)))
-                .collect(),
-            result: self.pfg.result.as_ref().map(|(_, post)| read_slot(*post)),
-        }
+        read_summary_from(ctx, &self.pfg, &self.node_vars, marginals)
     }
 }
 
-/// Emits one method's variables, constraints, heuristics, priors and
-/// call-site bindings into `g` (shared by the per-method models and the
-/// whole-program ablation model). When `apply_summaries` is false, program
-/// call sites get no summary evidence — the global model binds them with
-/// explicit cross-method equalities instead.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn emit_method(
+/// Reads one node's slot marginals into a [`SlotProbs`].
+fn read_slot_from(
+    ctx: ModelCtx<'_>,
+    pfg: &Pfg,
+    node_vars: &[SlotVars],
+    marginals: &Marginals,
+    node: NodeId,
+) -> SlotProbs {
+    let vars = &node_vars[node];
+    let mut slot = SlotProbs::uniform(ctx.states_of(pfg.nodes[node].type_name.as_deref()));
+    for k in PermissionKind::ALL {
+        slot.set_kind(k, marginals.prob(vars.kind(k)));
+    }
+    for (name, v) in &vars.states {
+        slot.states.insert(name.clone(), marginals.prob(*v));
+    }
+    slot
+}
+
+/// The summary read-out shared by [`MethodModel`] and [`MethodSkeleton`].
+fn read_summary_from(
+    ctx: ModelCtx<'_>,
+    pfg: &Pfg,
+    node_vars: &[SlotVars],
+    marginals: &Marginals,
+) -> MethodSummary {
+    MethodSummary {
+        params: pfg
+            .params
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    read_slot_from(ctx, pfg, node_vars, marginals, p.pre),
+                    read_slot_from(ctx, pfg, node_vars, marginals, p.post),
+                )
+            })
+            .collect(),
+        result: pfg
+            .result
+            .as_ref()
+            .map(|(_, post)| read_slot_from(ctx, pfg, node_vars, marginals, *post)),
+    }
+}
+
+/// The call-evidence read-out shared by [`MethodModel`] and
+/// [`MethodSkeleton`].
+fn read_call_evidence_from(
+    ctx: ModelCtx<'_>,
+    pfg: &Pfg,
+    node_vars: &[SlotVars],
+    marginals: &Marginals,
+) -> BTreeMap<MethodId, BTreeMap<java_syntax::ExprId, CallerEvidence>> {
+    let mut out: BTreeMap<MethodId, BTreeMap<java_syntax::ExprId, CallerEvidence>> =
+        BTreeMap::new();
+    let param_name = |id: &MethodId, role: CallRole| -> Option<String> {
+        match role {
+            CallRole::Receiver => Some("this".to_string()),
+            CallRole::Arg(i) => {
+                ctx.index.method(id).and_then(|m| m.params.get(i)).map(|(n, _)| n.clone())
+            }
+        }
+    };
+    for n in &pfg.nodes {
+        match &n.kind {
+            PfgNodeKind::CallPre { callee: Callee::Program(id), role, site } => {
+                if let Some(pname) = param_name(id, *role) {
+                    out.entry(id.clone())
+                        .or_default()
+                        .entry(*site)
+                        .or_default()
+                        .param_pre
+                        .insert(pname, read_slot_from(ctx, pfg, node_vars, marginals, n.id));
+                }
+            }
+            PfgNodeKind::CallPost { callee: Callee::Program(id), role, site } => {
+                if let Some(pname) = param_name(id, *role) {
+                    out.entry(id.clone())
+                        .or_default()
+                        .entry(*site)
+                        .or_default()
+                        .param_post
+                        .insert(pname, read_slot_from(ctx, pfg, node_vars, marginals, n.id));
+                }
+            }
+            PfgNodeKind::CallResult { callee: Callee::Program(id), site } => {
+                out.entry(id.clone()).or_default().entry(*site).or_default().result =
+                    Some(read_slot_from(ctx, pfg, node_vars, marginals, n.id));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A method's *static* model — everything that never changes between
+/// re-solves of the Figure 9 worklist — compiled once into the flat BP
+/// arena. Re-solving a method is then just [`MethodSkeleton::stamp`] (derive
+/// the current summary/evidence unary priors) + [`MethodSkeleton::solve`],
+/// with no PFG clone, no factor re-tabulation and no graph recompilation.
+#[derive(Debug)]
+pub struct MethodSkeleton {
+    /// The underlying PFG, shared with whoever built it.
+    pub pfg: Arc<Pfg>,
+    /// The static factor graph (variables, L1–L3, heuristics, own-spec and
+    /// API-callee priors).
+    pub graph: FactorGraph,
+    /// Variables per PFG node.
+    pub node_vars: Vec<SlotVars>,
+    /// Variables per PFG edge (parallel to `pfg.edges`).
+    pub edge_vars: Vec<SlotVars>,
+    compiled: CompiledGraph,
+}
+
+impl MethodSkeleton {
+    /// Builds and compiles the static skeleton of a method's model.
+    pub fn build(
+        ctx: ModelCtx<'_>,
+        pfg: Arc<Pfg>,
+        own_spec: &MethodSpec,
+        is_constructor: bool,
+        cfg: &InferConfig,
+    ) -> MethodSkeleton {
+        let mut g = FactorGraph::new();
+        let (node_vars, edge_vars) =
+            emit_skeleton(&mut g, ctx, &pfg, own_spec, is_constructor, cfg);
+        let compiled = CompiledGraph::compile(&g);
+        MethodSkeleton { pfg, graph: g, node_vars, edge_vars, compiled }
+    }
+
+    /// Derives the dynamic unary priors for the current summaries and
+    /// caller evidence — the only part of the model that changes between
+    /// worklist re-solves.
+    pub fn stamp(
+        &self,
+        ctx: ModelCtx<'_>,
+        summaries: &BTreeMap<MethodId, MethodSummary>,
+        caller_evidence: &[CallerEvidence],
+    ) -> Vec<(VarId, f64)> {
+        dynamic_priors(ctx, &self.pfg, &self.node_vars, summaries, caller_evidence)
+    }
+
+    /// Solves the compiled skeleton with the stamped priors overlaid.
+    ///
+    /// Equivalent (bit-for-bit under the sweep schedule) to rebuilding the
+    /// full [`MethodModel`] with the same summaries/evidence and solving its
+    /// graph.
+    pub fn solve(&self, extras: &[(VarId, f64)], cfg: &InferConfig) -> Marginals {
+        self.compiled.solve_stamped(extras, &cfg.bp)
+    }
+
+    /// Reads the method summary off solved marginals.
+    pub fn read_summary(&self, ctx: ModelCtx<'_>, marginals: &Marginals) -> MethodSummary {
+        read_summary_from(ctx, &self.pfg, &self.node_vars, marginals)
+    }
+
+    /// Reads the per-callee call-site evidence off solved marginals.
+    pub fn read_call_evidence(
+        &self,
+        ctx: ModelCtx<'_>,
+        marginals: &Marginals,
+    ) -> BTreeMap<MethodId, BTreeMap<java_syntax::ExprId, CallerEvidence>> {
+        read_call_evidence_from(ctx, &self.pfg, &self.node_vars, marginals)
+    }
+}
+
+/// Emits one method's *static* model into `g`: variables, the logical
+/// constraints L1–L3, the heuristics H1–H5, own-spec priors and API-callee
+/// priors. Shared by the per-method models and the whole-program ablation
+/// model. Everything emitted here is independent of the worklist state;
+/// program-callee summaries and caller evidence are dynamic and handled by
+/// [`dynamic_priors`].
+pub(crate) fn emit_skeleton(
     g: &mut FactorGraph,
     ctx: ModelCtx<'_>,
     pfg: &Pfg,
     own_spec: &MethodSpec,
     is_constructor: bool,
-    summaries: &BTreeMap<MethodId, MethodSummary>,
-    caller_evidence: &[CallerEvidence],
     cfg: &InferConfig,
-    apply_summaries: bool,
 ) -> (Vec<SlotVars>, Vec<SlotVars>) {
     // ---- Variables (§3.2) ----
     let node_vars: Vec<SlotVars> = pfg
@@ -400,32 +488,10 @@ pub(crate) fn emit_method(
             PfgNodeKind::CallPre { callee, role, .. }
             | PfgNodeKind::CallPost { callee, role, .. } => {
                 let is_pre = matches!(n.kind, PfgNodeKind::CallPre { .. });
-                if apply_summaries || !matches!(callee, Callee::Program(_)) {
-                    apply_callee_slot(
-                        g,
-                        &node_vars[n.id],
-                        ctx,
-                        callee,
-                        Some(*role),
-                        is_pre,
-                        summaries,
-                        cfg,
-                    );
-                }
+                apply_api_slot(g, &node_vars[n.id], ctx, callee, Some(*role), is_pre, cfg);
             }
             PfgNodeKind::CallResult { callee, .. } => {
-                if apply_summaries || !matches!(callee, Callee::Program(_)) {
-                    apply_callee_slot(
-                        g,
-                        &node_vars[n.id],
-                        ctx,
-                        callee,
-                        None,
-                        false,
-                        summaries,
-                        cfg,
-                    );
-                }
+                apply_api_slot(g, &node_vars[n.id], ctx, callee, None, false, cfg);
                 // H3 at the call site: `create*` callees return unique.
                 if callee_name(callee).starts_with("create") {
                     constraints::h_unique_result(g, &node_vars[n.id], cfg.p_create_unique);
@@ -488,37 +554,83 @@ pub(crate) fn emit_method(
         }
     }
 
-    // ---- Caller evidence on own pre/post/result nodes ----
-    for ev in caller_evidence {
-        for p in &pfg.params {
-            if let Some(probs) = ev.param_pre.get(&p.name) {
-                install_probs(g, &node_vars[p.pre], probs);
-            }
-            if let Some(probs) = ev.param_post.get(&p.name) {
-                install_probs(g, &node_vars[p.post], probs);
-            }
-        }
-        if let (Some(probs), Some((_, result_post))) = (&ev.result, &pfg.result) {
-            install_probs(g, &node_vars[*result_post], probs);
-        }
-    }
-
     (node_vars, edge_vars)
 }
 
-/// Installs a slot's marginals as unary evidence, skipping uninformative
-/// near-0.5 entries.
-fn install_probs(g: &mut FactorGraph, slot: &SlotVars, probs: &SlotProbs) {
+/// The *dynamic* half of a method's model: unary priors derived from the
+/// current program-callee summaries (`APPLYSUMMARY`, Figure 9 line 13) and
+/// from caller-side evidence on this method's own pre/post/result nodes.
+/// These are the only factors that change between worklist re-solves, so
+/// they are returned as `(variable, clamped prior)` pairs that can either be
+/// appended to a full [`MethodModel`] graph or stamped onto a compiled
+/// [`MethodSkeleton`] — the two are equivalent bit-for-bit.
+pub(crate) fn dynamic_priors(
+    ctx: ModelCtx<'_>,
+    pfg: &Pfg,
+    node_vars: &[SlotVars],
+    summaries: &BTreeMap<MethodId, MethodSummary>,
+    caller_evidence: &[CallerEvidence],
+) -> Vec<(VarId, f64)> {
+    let mut out: Vec<(VarId, f64)> = Vec::new();
+    // Program-callee summaries at call sites, in PFG node order (matching
+    // the position the historical single-pass emitter visited them in).
+    for n in &pfg.nodes {
+        let (callee, role, is_pre) = match &n.kind {
+            PfgNodeKind::CallPre { callee, role, .. } => (callee, Some(*role), true),
+            PfgNodeKind::CallPost { callee, role, .. } => (callee, Some(*role), false),
+            PfgNodeKind::CallResult { callee, .. } => (callee, None, false),
+            _ => continue,
+        };
+        let Callee::Program(id) = callee else { continue };
+        let Some(summary) = summaries.get(id) else { continue };
+        let probs: Option<&SlotProbs> = match role {
+            Some(CallRole::Receiver) => {
+                summary.param("this").map(|(pre, post)| if is_pre { pre } else { post })
+            }
+            Some(CallRole::Arg(i)) => {
+                // Positional parameter name lookup.
+                let name =
+                    ctx.index.method(id).and_then(|m| m.params.get(i)).map(|(nm, _)| nm.clone());
+                name.and_then(|nm| {
+                    summary.param(&nm).map(|(pre, post)| if is_pre { pre } else { post })
+                })
+            }
+            None => summary.result.as_ref(),
+        };
+        if let Some(probs) = probs {
+            collect_probs(&mut out, &node_vars[n.id], probs);
+        }
+    }
+    // Caller evidence on own pre/post/result nodes.
+    for ev in caller_evidence {
+        for p in &pfg.params {
+            if let Some(probs) = ev.param_pre.get(&p.name) {
+                collect_probs(&mut out, &node_vars[p.pre], probs);
+            }
+            if let Some(probs) = ev.param_post.get(&p.name) {
+                collect_probs(&mut out, &node_vars[p.post], probs);
+            }
+        }
+        if let (Some(probs), Some((_, result_post))) = (&ev.result, &pfg.result) {
+            collect_probs(&mut out, &node_vars[*result_post], probs);
+        }
+    }
+    out
+}
+
+/// Collects a slot's marginals as unary evidence, skipping uninformative
+/// near-0.5 entries and clamping like [`constraints::prior`].
+fn collect_probs(out: &mut Vec<(VarId, f64)>, slot: &SlotVars, probs: &SlotProbs) {
     for k in PermissionKind::ALL {
         let p = probs.kind(k);
         if (p - 0.5).abs() > 1e-6 {
-            constraints::prior(g, slot.kind(k), p);
+            out.push((slot.kind(k), p.clamp(0.02, 0.98)));
         }
     }
     for (name, v) in &slot.states {
         let p = probs.state(name);
         if (p - 0.5).abs() > 1e-6 {
-            constraints::prior(g, *v, p);
+            out.push((*v, p.clamp(0.02, 0.98)));
         }
     }
 }
@@ -589,66 +701,30 @@ fn install_atom_priors_inner(
     }
 }
 
-/// The `PARAMARG(c)` binding for one call-site slot: evidence from the
-/// callee's API spec, or from its current probabilistic summary.
-#[allow(clippy::too_many_arguments)]
-fn apply_callee_slot(
+/// The static half of the `PARAMARG(c)` binding for one call-site slot:
+/// evidence from the callee's *API* specification. Program callees are
+/// dynamic (their summaries evolve across the worklist) and handled by
+/// [`dynamic_priors`]; unknown callees contribute nothing.
+fn apply_api_slot(
     g: &mut FactorGraph,
     slot: &SlotVars,
     ctx: ModelCtx<'_>,
     callee: &Callee,
     role: Option<CallRole>,
     is_pre: bool,
-    summaries: &BTreeMap<MethodId, MethodSummary>,
     cfg: &InferConfig,
 ) {
-    match callee {
-        Callee::Api { type_name, method } => {
-            let Some(api_m) = ctx.api.get(type_name, method) else { return };
-            let target = match role {
-                Some(CallRole::Receiver) => SpecTarget::This,
-                Some(CallRole::Arg(_)) => return, // API arg specs unused in the model
-                None => SpecTarget::Result,
-            };
-            let clause = if is_pre { &api_m.spec.requires } else { &api_m.spec.ensures };
-            if let Some(atom) = clause.for_target(&target) {
-                let space = ctx.states.get(type_name);
-                install_atom_priors_inner(g, slot, atom, space, cfg, true);
-            }
-        }
-        Callee::Program(id) => {
-            let Some(summary) = summaries.get(id) else { return };
-            let probs: Option<&SlotProbs> = match role {
-                Some(CallRole::Receiver) => {
-                    summary.param("this").map(|(pre, post)| if is_pre { pre } else { post })
-                }
-                Some(CallRole::Arg(i)) => {
-                    // Positional parameter name lookup.
-                    let name =
-                        ctx.index.method(id).and_then(|m| m.params.get(i)).map(|(n, _)| n.clone());
-                    name.and_then(|n| {
-                        summary.param(&n).map(|(pre, post)| if is_pre { pre } else { post })
-                    })
-                }
-                None => summary.result.as_ref(),
-            };
-            let Some(probs) = probs else { return };
-            // Install the summary marginals as unary evidence, skipping
-            // uninformative 0.5 entries.
-            for k in PermissionKind::ALL {
-                let p = probs.kind(k);
-                if (p - 0.5).abs() > 1e-6 {
-                    constraints::prior(g, slot.kind(k), p);
-                }
-            }
-            for (name, v) in &slot.states {
-                let p = probs.state(name);
-                if (p - 0.5).abs() > 1e-6 {
-                    constraints::prior(g, *v, p);
-                }
-            }
-        }
-        Callee::Unknown { .. } => {}
+    let Callee::Api { type_name, method } = callee else { return };
+    let Some(api_m) = ctx.api.get(type_name, method) else { return };
+    let target = match role {
+        Some(CallRole::Receiver) => SpecTarget::This,
+        Some(CallRole::Arg(_)) => return, // API arg specs unused in the model
+        None => SpecTarget::Result,
+    };
+    let clause = if is_pre { &api_m.spec.requires } else { &api_m.spec.ensures };
+    if let Some(atom) = clause.for_target(&target) {
+        let space = ctx.states.get(type_name);
+        install_atom_priors_inner(g, slot, atom, space, cfg, true);
     }
 }
 

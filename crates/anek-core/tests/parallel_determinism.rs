@@ -1,0 +1,120 @@
+//! Determinism and incremental-reuse guarantees of the parallel worklist.
+//!
+//! * `infer()` must be **byte-identical** for every `--threads N`: the
+//!   worklist speculates a generation in parallel against frozen snapshots,
+//!   merges single-threaded in queue order, and re-solves any member whose
+//!   inputs an earlier merge changed — so every thread count commits the
+//!   exact solve sequence of the sequential algorithm, and thread count may
+//!   change wall-clock time but never a single bit of output.
+//! * Re-solving via the compiled [`MethodSkeleton`] (stamp dynamic priors,
+//!   solve in the flat arena) must be bit-for-bit equal to rebuilding the
+//!   full [`MethodModel`] from scratch with the same summaries/evidence —
+//!   the keystone of incremental model reuse.
+
+use analysis::pfg::Pfg;
+use analysis::types::ProgramIndex;
+use anek_core::{infer, merged_states, InferConfig, InferResult, MethodModel, ModelCtx};
+use spec_lang::{spec_of_method, standard_api};
+use std::sync::Arc;
+
+/// Serializes everything semantically relevant about an inference result
+/// (order is deterministic: all maps are `BTreeMap`s). Excludes wall-clock
+/// time and thread count, which legitimately vary.
+fn fingerprint(r: &InferResult) -> String {
+    format!(
+        "specs={:?}\nsummaries={:?}\nconfidence={:?}\nsolves={}\nbp_iterations={}\nmessage_updates={}\npre_annotated={:?}",
+        r.specs, r.summaries, r.confidence, r.solves, r.bp_iterations, r.message_updates,
+        r.pre_annotated
+    )
+}
+
+#[test]
+fn infer_is_byte_identical_for_any_thread_count() {
+    let api = standard_api();
+    for case in corpus::suite() {
+        let unit = case.unit();
+        let units = [unit];
+        let base = infer(&units, &api, &InferConfig { threads: 1, ..InferConfig::default() });
+        let want = fingerprint(&base);
+        for threads in [2, 8] {
+            let got = infer(&units, &api, &InferConfig { threads, ..InferConfig::default() });
+            assert_eq!(
+                fingerprint(&got),
+                want,
+                "case {}: threads={threads} diverged from threads=1",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn infer_is_byte_identical_on_figure3_for_any_thread_count() {
+    let api = standard_api();
+    let units = [corpus::figure3_unit()];
+    let base = infer(&units, &api, &InferConfig { threads: 1, ..InferConfig::default() });
+    let want = fingerprint(&base);
+    for threads in [2, 4, 8] {
+        let got = infer(&units, &api, &InferConfig { threads, ..InferConfig::default() });
+        assert_eq!(fingerprint(&got), want, "threads={threads} diverged from threads=1");
+    }
+}
+
+#[test]
+fn skeleton_resolve_equals_fresh_model_rebuild_bit_for_bit() {
+    // Converged summaries from a full run give the dynamic priors real,
+    // non-uniform values, so the stamped path is exercised for real.
+    let api = standard_api();
+    let unit = corpus::figure3_unit();
+    let cfg = InferConfig::default();
+    let result = infer(std::slice::from_ref(&unit), &api, &cfg);
+
+    let index = ProgramIndex::build([&unit]);
+    let states = merged_states(std::slice::from_ref(&unit), &api);
+    let ctx = ModelCtx { index: &index, api: &api, states: &states };
+
+    for t in &unit.types {
+        for m in t.methods() {
+            if m.body.is_none() {
+                continue;
+            }
+            let spec = spec_of_method(m).unwrap_or_default();
+            let pfg = Pfg::build(&index, &api, &t.name, m);
+
+            // Incremental path: compiled skeleton + stamped dynamic priors.
+            let skeleton = anek_core::MethodSkeleton::build(
+                ctx,
+                Arc::new(Pfg::build(&index, &api, &t.name, m)),
+                &spec,
+                m.is_constructor(),
+                &cfg,
+            );
+            let extras = skeleton.stamp(ctx, &result.summaries, &[]);
+            let incremental = skeleton.solve(&extras, &cfg);
+
+            // Fresh path: rebuild the whole model and solve its graph.
+            let model =
+                MethodModel::build(ctx, pfg, &spec, m.is_constructor(), &result.summaries, &cfg);
+            let fresh = model.graph.solve(&cfg.bp);
+
+            assert_eq!(
+                incremental.as_slice().len(),
+                fresh.as_slice().len(),
+                "{}.{}: variable counts differ",
+                t.name,
+                m.name
+            );
+            for (i, (a, b)) in incremental.as_slice().iter().zip(fresh.as_slice()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}.{} var {i}: incremental {a:e} != fresh {b:e}",
+                    t.name,
+                    m.name
+                );
+            }
+            assert_eq!(incremental.iterations, fresh.iterations);
+            assert_eq!(incremental.converged, fresh.converged);
+        }
+    }
+}

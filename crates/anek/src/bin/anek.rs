@@ -2,13 +2,15 @@
 //! paper's Eclipse plugin pipeline (Figure 10).
 //!
 //! ```text
-//! anek infer <file.java>...     infer specs, print them
+//! anek infer [--threads N] [--bp-schedule sweep|residual] <file.java>...
+//!                               infer specs, print them
 //! anek check <file.java>...     run PLURAL on the sources as-is
 //! anek lint [--json] [--verify-ir] <file.java>...
 //!                               run the deterministic dataflow lints
 //!                               (DF/PROT/SPEC rules) and optionally the IR
 //!                               verifier; exit non-zero on errors
-//! anek pipeline [--out DIR] [--verify-ir] <file.java>...
+//! anek pipeline [--out DIR] [--verify-ir] [--threads N]
+//!               [--bp-schedule sweep|residual] <file.java>...
 //!                               infer, apply, re-check; print the annotated
 //!                               program (or write one file per input into
 //!                               DIR) and report both warning counts
@@ -19,6 +21,7 @@
 //! ```
 
 use anek::analysis::{MethodId, Pfg, ProgramIndex};
+use anek::factor_graph::BpSchedule;
 use anek::plural::SpecTable;
 use anek::spec_lang::standard_api;
 use anek::Pipeline;
@@ -39,6 +42,49 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags shared by the inference-running subcommands.
+#[derive(Default)]
+struct InferFlags {
+    threads: Option<usize>,
+    schedule: Option<BpSchedule>,
+}
+
+impl InferFlags {
+    /// Consumes `--threads N` / `--bp-schedule S` from `args`, returning the
+    /// flags and the remaining arguments.
+    fn parse(args: &[String]) -> Result<(InferFlags, Vec<String>), Box<dyn std::error::Error>> {
+        let mut flags = InferFlags::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--threads" {
+                let n = it.next().ok_or("--threads needs a count (0 = one per core)")?;
+                flags.threads = Some(n.parse().map_err(|_| format!("--threads: bad count `{n}`"))?);
+            } else if a == "--bp-schedule" {
+                let s = it.next().ok_or("--bp-schedule needs `sweep` or `residual`")?;
+                flags.schedule = Some(
+                    BpSchedule::parse(s)
+                        .ok_or_else(|| format!("--bp-schedule: unknown schedule `{s}`"))?,
+                );
+            } else {
+                rest.push(a.clone());
+            }
+        }
+        Ok((flags, rest))
+    }
+
+    /// Applies the flags to a pipeline.
+    fn apply(&self, mut pipeline: Pipeline) -> Pipeline {
+        if let Some(t) = self.threads {
+            pipeline = pipeline.with_threads(t);
+        }
+        if let Some(s) = self.schedule {
+            pipeline = pipeline.with_bp_schedule(s);
+        }
+        pipeline
+    }
+}
+
 fn read_sources(paths: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
     if paths.is_empty() {
         return Err("no input files".into());
@@ -52,8 +98,9 @@ fn read_sources(paths: &[String]) -> Result<Vec<String>, Box<dyn std::error::Err
 fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match cmd {
         "infer" => {
-            let sources = read_sources(rest)?;
-            let pipeline = Pipeline::from_sources(&sources)?;
+            let (flags, files) = InferFlags::parse(rest)?;
+            let sources = read_sources(&files)?;
+            let pipeline = flags.apply(Pipeline::from_sources(&sources)?);
             let result = pipeline.infer();
             for (method, spec) in &result.specs {
                 if spec.is_empty() {
@@ -69,10 +116,13 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 }
             }
             eprintln!(
-                "inferred {} specs with {} model solves in {:?}",
+                "inferred {} specs with {} model solves in {:?} ({} threads, {} BP sweeps, {} message updates)",
                 result.annotation_count(),
                 result.solves,
-                result.elapsed
+                result.elapsed,
+                result.threads,
+                result.bp_iterations,
+                result.message_updates
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -128,6 +178,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             Ok(if errors == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         "pipeline" => {
+            let (flags, rest) = InferFlags::parse(rest)?;
             let mut out_dir: Option<String> = None;
             let mut verify_ir = false;
             let mut files: Vec<String> = Vec::new();
@@ -142,7 +193,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 }
             }
             let sources = read_sources(&files)?;
-            let pipeline = Pipeline::from_sources(&sources)?.with_verify_ir(verify_ir);
+            let pipeline = flags.apply(Pipeline::from_sources(&sources)?.with_verify_ir(verify_ir));
             let report = pipeline.run();
             match &out_dir {
                 Some(dir) => {

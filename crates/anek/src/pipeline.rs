@@ -76,6 +76,19 @@ impl Pipeline {
         self
     }
 
+    /// Sets the inference worker-thread count (`0` = one per core). Any
+    /// value produces byte-identical results; only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Pipeline {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Selects the BP message schedule used by every model solve.
+    pub fn with_bp_schedule(mut self, schedule: factor_graph::BpSchedule) -> Pipeline {
+        self.config.bp.schedule = schedule;
+        self
+    }
+
     /// Forces stage-boundary IR verification on (release builds skip it by
     /// default; debug builds always verify).
     pub fn with_verify_ir(mut self, verify_ir: bool) -> Pipeline {

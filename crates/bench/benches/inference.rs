@@ -19,6 +19,23 @@ fn bench_infer_small_corpus(b: &mut Bench) {
         let cfg = InferConfig { max_iters: 2 * corpus.stats.methods, ..InferConfig::default() };
         Pipeline::new(black_box(&corpus.units).clone()).with_config(cfg).infer()
     });
+    // The parallel worklist at several thread counts (byte-identical
+    // results; only wall-clock changes) and the residual BP schedule.
+    for threads in [2usize, 4] {
+        b.bench_function(&format!("small_corpus_threads{threads}"), || {
+            let cfg = InferConfig {
+                max_iters: 2 * corpus.stats.methods,
+                threads,
+                ..InferConfig::default()
+            };
+            Pipeline::new(black_box(&corpus.units).clone()).with_config(cfg).infer()
+        });
+    }
+    b.bench_function("small_corpus_residual", || {
+        let mut cfg = InferConfig { max_iters: 2 * corpus.stats.methods, ..InferConfig::default() };
+        cfg.bp.schedule = factor_graph::BpSchedule::Residual;
+        Pipeline::new(black_box(&corpus.units).clone()).with_config(cfg).infer()
+    });
 }
 
 fn bench_logical_budget(b: &mut Bench) {
@@ -35,4 +52,5 @@ fn main() {
     bench_infer_figure3(&mut b);
     bench_infer_small_corpus(&mut b);
     bench_logical_budget(&mut b);
+    b.write_json("BENCH_micro.json").expect("write BENCH_micro.json");
 }

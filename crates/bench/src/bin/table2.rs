@@ -11,11 +11,17 @@
 //! | Anek Logical | N/A         | N/A      | DNF        |
 //!
 //! Run: `cargo run --release -p bench --bin table2 [-- --small]`
+//!
+//! Besides the human-readable table, writes `BENCH_infer.json`: wall time,
+//! model solves, BP iterations and message updates for the inference at
+//! threads {1, 8} under both BP schedules.
 
-use anek::anek_core::{solve_logical, InferConfig, LogicalOutcome};
+use anek::anek_core::{solve_logical, InferConfig, InferResult, LogicalOutcome};
+use anek::factor_graph::BpSchedule;
 use anek::plural::{check, SpecTable};
 use anek::spec_lang::standard_api;
 use anek::Pipeline;
+use bench::microbench::json_str;
 use bench::{fmt_duration, row, Scale};
 
 fn main() {
@@ -38,10 +44,34 @@ fn main() {
     }
     let gold = check(&corpus.units, &api, &gold_table);
 
-    // ---- Anek: infer with the modular probabilistic algorithm ----
-    let mut pipeline = Pipeline::new(corpus.units.clone());
-    pipeline.config.max_iters = 3 * corpus.stats.methods;
-    let inference = pipeline.infer();
+    // ---- Anek: infer with the modular probabilistic algorithm, across
+    //      the thread/schedule matrix (sweep @ 1 thread is the paper
+    //      configuration and fills the table) ----
+    let matrix = [
+        (1usize, BpSchedule::Sweep),
+        (8, BpSchedule::Sweep),
+        (1, BpSchedule::Residual),
+        (8, BpSchedule::Residual),
+    ];
+    let mut runs: Vec<(usize, BpSchedule, InferResult)> = Vec::new();
+    for (threads, schedule) in matrix {
+        let mut cfg = InferConfig { threads, ..InferConfig::default() };
+        cfg.max_iters = 3 * corpus.stats.methods;
+        cfg.bp.schedule = schedule;
+        let result = Pipeline::new(corpus.units.clone()).with_config(cfg).infer();
+        eprintln!(
+            "anek infer [threads={threads} schedule={schedule}]: {} in {:?} \
+             ({} solves, {} BP iterations, {} message updates, {} discarded speculations)",
+            result.annotation_count(),
+            result.elapsed,
+            result.solves,
+            result.bp_iterations,
+            result.message_updates,
+            result.discarded_solves
+        );
+        runs.push((threads, schedule, result));
+    }
+    let inference = runs[0].2.clone();
     let anek_table = SpecTable::unannotated(&corpus.units).overlay_inferred(&inference.specs);
     let anek = check(&corpus.units, &api, &anek_table);
     // Count protocol-relevant annotations: non-empty inferred specs on the
@@ -127,4 +157,42 @@ fn main() {
     println!(
         "Warning delta vs hand annotations: {extra:+} (paper: +1, from ANEK's branch-insensitivity)."
     );
+
+    write_bench_json(scale, &corpus.stats, &runs).expect("write BENCH_infer.json");
+}
+
+/// Emits the machine-readable inference benchmark record.
+fn write_bench_json(
+    scale: Scale,
+    stats: &corpus::CorpusStats,
+    runs: &[(usize, BpSchedule, InferResult)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n  \"bench\": \"infer\",\n  \"scale\": {},\n  \"classes\": {},\n  \"methods\": {},\n  \"runs\": [",
+        json_str(&format!("{scale:?}").to_lowercase()),
+        stats.classes,
+        stats.methods
+    ));
+    for (i, (threads, schedule, r)) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"threads\": {threads}, \"schedule\": {}, \"wall_ms\": {:.3}, \
+             \"solves\": {}, \"bp_iterations\": {}, \"message_updates\": {}, \
+             \"discarded_solves\": {}, \"annotations\": {}}}",
+            json_str(&schedule.to_string()),
+            r.elapsed.as_secs_f64() * 1e3,
+            r.solves,
+            r.bp_iterations,
+            r.message_updates,
+            r.discarded_solves,
+            r.annotation_count()
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_infer.json", &s)?;
+    eprintln!("wrote {} runs to BENCH_infer.json", runs.len());
+    Ok(())
 }

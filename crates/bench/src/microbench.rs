@@ -17,9 +17,25 @@ const SAMPLE_TARGET: Duration = Duration::from_millis(150);
 /// Warm-up budget before calibration.
 const WARMUP: Duration = Duration::from_millis(200);
 
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: u128,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: u128,
+    /// Iterations per timed sample (calibrated).
+    pub iters_per_sample: u64,
+}
+
 /// A named group of benchmarks (mirrors the Criterion API shape we used).
 pub struct Bench {
     group: String,
+    results: Vec<BenchResult>,
 }
 
 impl Bench {
@@ -27,7 +43,7 @@ impl Bench {
     pub fn new(group: impl Into<String>) -> Bench {
         let group = group.into();
         println!("== {group} ==");
-        Bench { group }
+        Bench { group, results: Vec::new() }
     }
 
     /// Times `f`, printing median time per iteration.
@@ -64,8 +80,72 @@ impl Bench {
             fmt(min),
             fmt(max),
         );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            iters_per_sample,
+        });
         self
     }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders the group's results as a machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{{\n  \"group\": {},\n  \"results\": [", json_str(&self.group)));
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"iters_per_sample\": {}}}",
+                json_str(&r.name),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters_per_sample
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Writes [`Bench::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        println!("wrote {} results to {path}", self.results.len());
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON literal (the offline build has no serde).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn fmt(d: Duration) -> String {

@@ -4,38 +4,81 @@
 //!
 //! * [`FactorGraph::solve`] — the sum-product algorithm on the factor graph
 //!   (loopy belief propagation), the approximate marginal computation the
-//!   paper relies on (§3.4, citing Kschischang et al. \[14\]).
+//!   paper relies on (§3.4, citing Kschischang et al. \[14\]). Message
+//!   passing runs on the flat-arena kernel in [`crate::kernel`]; see
+//!   [`BpSchedule`] for the available message schedules.
 //! * [`FactorGraph::solve_exact`] — brute-force enumeration of the joint,
 //!   used to validate BP on small graphs and by the "Logical"-style exact
 //!   baselines.
 
 use crate::factor::{Factor, VarId};
+use crate::kernel::CompiledGraph;
+
+/// The message-update schedule used by loopy belief propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BpSchedule {
+    /// Synchronous two-phase sweeps over all messages. The historical
+    /// behavior; deterministic and bit-for-bit stable across releases.
+    #[default]
+    Sweep,
+    /// Residual belief propagation: update the factor→variable message with
+    /// the largest pending change first. Typically converges in far fewer
+    /// message updates on large loopy graphs; same fixed points as `Sweep`.
+    Residual,
+}
+
+impl BpSchedule {
+    /// Parses a schedule name as accepted by the `--bp-schedule` CLI flag.
+    pub fn parse(s: &str) -> Option<BpSchedule> {
+        match s {
+            "sweep" => Some(BpSchedule::Sweep),
+            "residual" => Some(BpSchedule::Residual),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BpSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BpSchedule::Sweep => "sweep",
+            BpSchedule::Residual => "residual",
+        })
+    }
+}
 
 /// Options controlling loopy belief propagation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BpOptions {
-    /// Maximum message-passing sweeps.
+    /// Maximum message-passing sweeps (under [`BpSchedule::Residual`], the
+    /// equivalent update budget: `max_iterations * num_edges`).
     pub max_iterations: usize,
     /// Convergence threshold on the max-change of any marginal.
     pub tolerance: f64,
     /// Damping in `[0, 1)`: new message = (1-d)*computed + d*old.
     pub damping: f64,
+    /// Message-update schedule.
+    pub schedule: BpSchedule,
 }
 
 impl Default for BpOptions {
     fn default() -> BpOptions {
-        BpOptions { max_iterations: 50, tolerance: 1e-6, damping: 0.0 }
+        BpOptions { max_iterations: 50, tolerance: 1e-6, damping: 0.0, schedule: BpSchedule::Sweep }
     }
 }
 
 /// The result of marginal inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Marginals {
-    probs: Vec<f64>,
-    /// Number of sweeps actually performed.
+    pub(crate) probs: Vec<f64>,
+    /// Number of sweeps actually performed (under the residual schedule,
+    /// the sweep-equivalent count `ceil(updates / num_edges)`).
     pub iterations: usize,
     /// Whether the tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Total factor→variable message updates applied. The unit both
+    /// schedules share: one sweep costs `num_edges` updates.
+    pub updates: usize,
 }
 
 impl Marginals {
@@ -126,199 +169,21 @@ impl FactorGraph {
     /// Returns approximate marginals for every variable. On tree-structured
     /// graphs the result is exact once converged; on loopy graphs it is the
     /// standard approximation the paper's `Solve` procedure computes.
+    ///
+    /// Compiles the graph into a [`CompiledGraph`] arena and solves it; a
+    /// caller that solves the same graph repeatedly should compile once and
+    /// reuse.
     pub fn solve(&self, opts: &BpOptions) -> Marginals {
-        let n_vars = self.names.len();
-        let _n_factors = self.factors.len();
-
-        // Edge lists: for each factor, the indices of its variables; for
-        // each variable, (factor index, position within factor scope).
-        let mut var_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vars];
-        for (fi, f) in self.factors.iter().enumerate() {
-            for (pos, v) in f.scope().iter().enumerate() {
-                var_edges[v.0 as usize].push((fi, pos));
-            }
-        }
-
-        // Messages are Bernoulli distributions stored as p(true), normalized.
-        // msg_fv[fi][pos]: factor -> variable message.
-        // msg_vf[fi][pos]: variable -> factor message.
-        let mut msg_fv: Vec<Vec<f64>> =
-            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
-        let mut msg_vf: Vec<Vec<f64>> =
-            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
-
-        let mut marginals = vec![0.5f64; n_vars];
-        let mut iterations = 0;
-        let mut converged = false;
-
-        for it in 0..opts.max_iterations {
-            iterations = it + 1;
-
-            // Variable -> factor messages: product of incoming factor
-            // messages except the target factor.
-            for (vi, edges) in var_edges.iter().enumerate() {
-                for &(fi, pos) in edges {
-                    let mut p_t = 1.0f64;
-                    let mut p_f = 1.0f64;
-                    for &(ofi, opos) in edges {
-                        if ofi == fi && opos == pos {
-                            continue;
-                        }
-                        let m = msg_fv[ofi][opos];
-                        p_t *= m;
-                        p_f *= 1.0 - m;
-                    }
-                    let z = p_t + p_f;
-                    let new = if z > 0.0 { p_t / z } else { 0.5 };
-                    msg_vf[fi][pos] = damp(msg_vf[fi][pos], new, opts.damping);
-                }
-                let _ = vi;
-            }
-
-            // Factor -> variable messages: marginalize the potential against
-            // the other variables' messages.
-            for (fi, f) in self.factors.iter().enumerate() {
-                let table = f.table();
-                for (pos, slot) in msg_fv[fi].iter_mut().enumerate() {
-                    let mut sum_t = 0.0f64;
-                    let mut sum_f = 0.0f64;
-                    for (idx, &pot) in table.iter().enumerate() {
-                        if pot == 0.0 {
-                            continue;
-                        }
-                        let mut w = pot;
-                        for (opos, _) in f.scope().iter().enumerate() {
-                            if opos == pos {
-                                continue;
-                            }
-                            let bit = idx & (1 << opos) != 0;
-                            let m = msg_vf[fi][opos];
-                            w *= if bit { m } else { 1.0 - m };
-                        }
-                        if idx & (1 << pos) != 0 {
-                            sum_t += w;
-                        } else {
-                            sum_f += w;
-                        }
-                    }
-                    let z = sum_t + sum_f;
-                    let new = if z > 0.0 { sum_t / z } else { 0.5 };
-                    *slot = damp(*slot, new, opts.damping);
-                }
-            }
-
-            // Beliefs and convergence check.
-            let mut max_delta = 0.0f64;
-            for (vi, edges) in var_edges.iter().enumerate() {
-                let mut p_t = 1.0f64;
-                let mut p_f = 1.0f64;
-                for &(fi, pos) in edges {
-                    let m = msg_fv[fi][pos];
-                    p_t *= m;
-                    p_f *= 1.0 - m;
-                }
-                let z = p_t + p_f;
-                let b = if z > 0.0 { p_t / z } else { 0.5 };
-                max_delta = max_delta.max((b - marginals[vi]).abs());
-                marginals[vi] = b;
-            }
-            if max_delta < opts.tolerance {
-                converged = true;
-                break;
-            }
-        }
-
-        Marginals { probs: marginals, iterations, converged }
+        CompiledGraph::compile(self).solve(opts)
     }
 
-    /// Max-product (MAP) inference: the same message-passing loop with
+    /// Max-product (MAP) inference: the same message-passing core with
     /// `max` in place of `sum`, yielding for each variable the value it
     /// takes in the (approximately) most likely joint assignment. Useful as
     /// an alternative extraction rule: instead of thresholding marginals,
     /// read off the single best specification.
     pub fn solve_map(&self, opts: &BpOptions) -> Marginals {
-        let n_vars = self.names.len();
-        let mut var_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vars];
-        for (fi, f) in self.factors.iter().enumerate() {
-            for (pos, v) in f.scope().iter().enumerate() {
-                var_edges[v.0 as usize].push((fi, pos));
-            }
-        }
-        let mut msg_fv: Vec<Vec<f64>> =
-            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
-        let mut msg_vf: Vec<Vec<f64>> =
-            self.factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
-        let mut beliefs = vec![0.5f64; n_vars];
-        let mut iterations = 0;
-        let mut converged = false;
-        for it in 0..opts.max_iterations {
-            iterations = it + 1;
-            for edges in &var_edges {
-                for &(fi, pos) in edges {
-                    let mut p_t = 1.0f64;
-                    let mut p_f = 1.0f64;
-                    for &(ofi, opos) in edges {
-                        if ofi == fi && opos == pos {
-                            continue;
-                        }
-                        let m = msg_fv[ofi][opos];
-                        p_t *= m;
-                        p_f *= 1.0 - m;
-                    }
-                    let z = p_t + p_f;
-                    let new = if z > 0.0 { p_t / z } else { 0.5 };
-                    msg_vf[fi][pos] = damp(msg_vf[fi][pos], new, opts.damping);
-                }
-            }
-            for (fi, f) in self.factors.iter().enumerate() {
-                let table = f.table();
-                for (pos, slot) in msg_fv[fi].iter_mut().enumerate() {
-                    let mut best_t = 0.0f64;
-                    let mut best_f = 0.0f64;
-                    for (idx, &pot) in table.iter().enumerate() {
-                        if pot == 0.0 {
-                            continue;
-                        }
-                        let mut w = pot;
-                        for (opos, _) in f.scope().iter().enumerate() {
-                            if opos == pos {
-                                continue;
-                            }
-                            let bit = idx & (1 << opos) != 0;
-                            let m = msg_vf[fi][opos];
-                            w *= if bit { m } else { 1.0 - m };
-                        }
-                        if idx & (1 << pos) != 0 {
-                            best_t = best_t.max(w);
-                        } else {
-                            best_f = best_f.max(w);
-                        }
-                    }
-                    let z = best_t + best_f;
-                    let new = if z > 0.0 { best_t / z } else { 0.5 };
-                    *slot = damp(*slot, new, opts.damping);
-                }
-            }
-            let mut max_delta = 0.0f64;
-            for (vi, edges) in var_edges.iter().enumerate() {
-                let mut p_t = 1.0f64;
-                let mut p_f = 1.0f64;
-                for &(fi, pos) in edges {
-                    let m = msg_fv[fi][pos];
-                    p_t *= m;
-                    p_f *= 1.0 - m;
-                }
-                let z = p_t + p_f;
-                let b = if z > 0.0 { p_t / z } else { 0.5 };
-                max_delta = max_delta.max((b - beliefs[vi]).abs());
-                beliefs[vi] = b;
-            }
-            if max_delta < opts.tolerance {
-                converged = true;
-                break;
-            }
-        }
-        Marginals { probs: beliefs, iterations, converged }
+        CompiledGraph::compile(self).solve_map(opts)
     }
 
     /// Exact MAP by enumeration: the single most likely joint assignment.
@@ -388,12 +253,8 @@ impl FactorGraph {
         }
         let probs =
             weight_true.iter().map(|&wt| if total > 0.0 { wt / total } else { 0.5 }).collect();
-        Marginals { probs, iterations: 1, converged: true }
+        Marginals { probs, iterations: 1, converged: true, updates: 0 }
     }
-}
-
-fn damp(old: f64, new: f64, d: f64) -> f64 {
-    d * old + (1.0 - d) * new
 }
 
 #[cfg(test)]

@@ -1,0 +1,535 @@
+//! The flat-arena belief-propagation kernel.
+//!
+//! [`CompiledGraph`] lowers a [`FactorGraph`] into contiguous CSR arrays —
+//! one edge per (factor, scope-position) pair, factor tables laid out flat,
+//! and a variable→edge adjacency index — so the message-passing loops touch
+//! only dense `f64`/`u32` slices. A single core parameterized by the
+//! sum/max semiring serves both marginal ([`CompiledGraph::solve`]) and MAP
+//! ([`CompiledGraph::solve_map`]) inference, with specialized paths for
+//! unary and pairwise factors that skip the generic `2^n` table walk.
+//!
+//! Two message schedules are provided (see [`BpSchedule`]):
+//!
+//! * **Sweep** — the classic synchronous two-phase sweep. This reproduces
+//!   the pre-arena nested-`Vec` solver bit-for-bit: identical update order,
+//!   identical floating-point accumulation order.
+//! * **Residual** — residual belief propagation (Elidan et al., UAI 2006):
+//!   factor→variable messages are updated highest-residual first from a
+//!   priority queue, which converges in far fewer message updates on large
+//!   loopy graphs.
+//!
+//! The kernel also supports *stamped* solves: a compiled skeleton plus a
+//! list of extra unary potentials supplied per solve. Stamped extras behave
+//! exactly as if `Factor::unary` factors had been appended after every
+//! skeleton factor, which is what lets callers cache a method's static
+//! factor-graph skeleton and re-solve with fresh evidence without
+//! recompiling (see `anek-core`'s incremental `ANEK-INFER`).
+
+use crate::factor::VarId;
+use crate::graph::{BpOptions, BpSchedule, FactorGraph, Marginals};
+use std::collections::BinaryHeap;
+
+/// A [`FactorGraph`] compiled into flat arena form.
+///
+/// Compilation is cheap (one linear pass) but not free; callers that solve
+/// the same graph repeatedly — possibly with different stamped extras —
+/// should compile once and reuse.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    n_vars: usize,
+    /// Per factor: half-open edge range `f_off[fi]..f_off[fi+1]`.
+    f_off: Vec<u32>,
+    /// Per factor: offset of its table in `tables` (length `1 << arity`).
+    t_off: Vec<u32>,
+    /// All factor tables, concatenated.
+    tables: Vec<f64>,
+    /// Per edge: the variable it connects.
+    edge_var: Vec<u32>,
+    /// Per edge: the factor that owns it.
+    edge_factor: Vec<u32>,
+    /// Per variable: half-open range into `v_edges`.
+    v_off: Vec<u32>,
+    /// Edge ids grouped by variable, ascending within each group (this is
+    /// exactly the insertion order the nested solver used).
+    v_edges: Vec<u32>,
+}
+
+/// Per-solve adjacency for stamped extra unary potentials: extras grouped
+/// by variable, preserving stamp order within each variable.
+struct ExtraIndex {
+    /// `p(true)` per extra, in stamp order.
+    ps: Vec<f64>,
+    x_off: Vec<u32>,
+    x_idx: Vec<u32>,
+}
+
+impl ExtraIndex {
+    fn build(n_vars: usize, extras: &[(VarId, f64)]) -> ExtraIndex {
+        let mut x_off = vec![0u32; n_vars + 1];
+        for (v, _) in extras {
+            assert!((v.0 as usize) < n_vars, "stamped extra references unknown variable {v}");
+            x_off[v.0 as usize + 1] += 1;
+        }
+        for i in 0..n_vars {
+            x_off[i + 1] += x_off[i];
+        }
+        let mut cursor = x_off.clone();
+        let mut x_idx = vec![0u32; extras.len()];
+        for (i, (v, _)) in extras.iter().enumerate() {
+            x_idx[cursor[v.0 as usize] as usize] = i as u32;
+            cursor[v.0 as usize] += 1;
+        }
+        ExtraIndex { ps: extras.iter().map(|&(_, p)| p).collect(), x_off, x_idx }
+    }
+
+    #[inline]
+    fn of(&self, v: usize) -> &[u32] {
+        &self.x_idx[self.x_off[v] as usize..self.x_off[v + 1] as usize]
+    }
+}
+
+/// Synchronous sweeps run before the residual schedule starts prioritizing
+/// (see the warm-start note in [`CompiledGraph::solve_stamped`]'s residual
+/// path).
+const WARM_SWEEPS: usize = 2;
+
+#[inline]
+fn damp(old: f64, new: f64, d: f64) -> f64 {
+    d * old + (1.0 - d) * new
+}
+
+#[inline]
+fn normalize(p_t: f64, p_f: f64) -> f64 {
+    let z = p_t + p_f;
+    if z > 0.0 {
+        p_t / z
+    } else {
+        0.5
+    }
+}
+
+impl CompiledGraph {
+    /// Lowers a graph into arena form.
+    pub fn compile(g: &FactorGraph) -> CompiledGraph {
+        let n_vars = g.num_vars();
+        let factors = g.factors();
+        let n_edges: usize = factors.iter().map(|f| f.scope().len()).sum();
+        let mut f_off = Vec::with_capacity(factors.len() + 1);
+        let mut t_off = Vec::with_capacity(factors.len() + 1);
+        let mut edge_var = Vec::with_capacity(n_edges);
+        let mut edge_factor = Vec::with_capacity(n_edges);
+        let mut tables = Vec::new();
+        f_off.push(0u32);
+        t_off.push(0u32);
+        for (fi, f) in factors.iter().enumerate() {
+            for v in f.scope() {
+                edge_var.push(v.0);
+                edge_factor.push(fi as u32);
+            }
+            tables.extend_from_slice(f.table());
+            f_off.push(edge_var.len() as u32);
+            t_off.push(tables.len() as u32);
+        }
+        // Counting sort: v_edges grouped by variable, ascending edge id —
+        // the same order the nested solver's `var_edges` push loop produced.
+        let mut v_off = vec![0u32; n_vars + 1];
+        for &v in &edge_var {
+            v_off[v as usize + 1] += 1;
+        }
+        for i in 0..n_vars {
+            v_off[i + 1] += v_off[i];
+        }
+        let mut cursor = v_off.clone();
+        let mut v_edges = vec![0u32; n_edges];
+        for (e, &v) in edge_var.iter().enumerate() {
+            v_edges[cursor[v as usize] as usize] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        CompiledGraph { n_vars, f_off, t_off, tables, edge_var, edge_factor, v_off, v_edges }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of (factor, position) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_var.len()
+    }
+
+    /// Sum-product inference (marginals).
+    pub fn solve(&self, opts: &BpOptions) -> Marginals {
+        self.solve_stamped(&[], opts)
+    }
+
+    /// Max-product inference (per-variable MAP beliefs).
+    pub fn solve_map(&self, opts: &BpOptions) -> Marginals {
+        self.solve_map_stamped(&[], opts)
+    }
+
+    /// Sum-product inference with extra unary potentials stamped onto the
+    /// compiled skeleton. Equivalent — bit-for-bit under
+    /// [`BpSchedule::Sweep`] — to appending `Factor::unary(var, p)` for each
+    /// extra and solving the extended graph.
+    pub fn solve_stamped(&self, extras: &[(VarId, f64)], opts: &BpOptions) -> Marginals {
+        let extras = ExtraIndex::build(self.n_vars, extras);
+        match opts.schedule {
+            BpSchedule::Sweep => self.sweep::<false>(&extras, opts),
+            BpSchedule::Residual => self.residual::<false>(&extras, opts),
+        }
+    }
+
+    /// Max-product inference with stamped extras.
+    pub fn solve_map_stamped(&self, extras: &[(VarId, f64)], opts: &BpOptions) -> Marginals {
+        let extras = ExtraIndex::build(self.n_vars, extras);
+        match opts.schedule {
+            BpSchedule::Sweep => self.sweep::<true>(&extras, opts),
+            BpSchedule::Residual => self.residual::<true>(&extras, opts),
+        }
+    }
+
+    #[inline]
+    fn var_edges(&self, v: usize) -> &[u32] {
+        &self.v_edges[self.v_off[v] as usize..self.v_off[v + 1] as usize]
+    }
+
+    /// The synchronous two-phase sweep schedule (bit-for-bit compatible
+    /// with the historical nested-`Vec` solver).
+    fn sweep<const MAX: bool>(&self, extras: &ExtraIndex, opts: &BpOptions) -> Marginals {
+        let ne = self.edge_var.len();
+        let nf = self.f_off.len() - 1;
+        let nx = extras.ps.len();
+        let d = opts.damping;
+        let mut msg_fv = vec![0.5f64; ne];
+        let mut msg_vf = vec![0.5f64; ne];
+        let mut x_msg = vec![0.5f64; nx];
+        let mut marginals = vec![0.5f64; self.n_vars];
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut updates = 0usize;
+
+        for it in 0..opts.max_iterations {
+            iterations = it + 1;
+
+            // Variable → factor messages: product of incoming messages
+            // except the target edge (extras always contribute; they have no
+            // outgoing variable message of their own to exclude).
+            for v in 0..self.n_vars {
+                let es = self.var_edges(v);
+                let xs = extras.of(v);
+                for &e in es {
+                    let mut p_t = 1.0f64;
+                    let mut p_f = 1.0f64;
+                    for &o in es {
+                        if o == e {
+                            continue;
+                        }
+                        let m = msg_fv[o as usize];
+                        p_t *= m;
+                        p_f *= 1.0 - m;
+                    }
+                    for &x in xs {
+                        let m = x_msg[x as usize];
+                        p_t *= m;
+                        p_f *= 1.0 - m;
+                    }
+                    let new = normalize(p_t, p_f);
+                    let slot = &mut msg_vf[e as usize];
+                    *slot = damp(*slot, new, d);
+                }
+            }
+
+            // Factor → variable messages.
+            for fi in 0..nf {
+                let e0 = self.f_off[fi] as usize;
+                let e1 = self.f_off[fi + 1] as usize;
+                for pos in 0..(e1 - e0) {
+                    let new = self.factor_message_local::<MAX>(fi, pos, &msg_vf[e0..e1]);
+                    let slot = &mut msg_fv[e0 + pos];
+                    *slot = damp(*slot, new, d);
+                }
+            }
+            // Stamped extras behave as unary factors appended after every
+            // skeleton factor: constant normalized message, damped in.
+            for (x, &p) in extras.ps.iter().enumerate() {
+                let new = normalize(p, 1.0 - p);
+                let slot = &mut x_msg[x];
+                *slot = damp(*slot, new, d);
+            }
+            updates += ne + nx;
+
+            // Beliefs and convergence.
+            let mut max_delta = 0.0f64;
+            for (v, belief) in marginals.iter_mut().enumerate() {
+                let mut p_t = 1.0f64;
+                let mut p_f = 1.0f64;
+                for &e in self.var_edges(v) {
+                    let m = msg_fv[e as usize];
+                    p_t *= m;
+                    p_f *= 1.0 - m;
+                }
+                for &x in extras.of(v) {
+                    let m = x_msg[x as usize];
+                    p_t *= m;
+                    p_f *= 1.0 - m;
+                }
+                let b = normalize(p_t, p_f);
+                max_delta = max_delta.max((b - *belief).abs());
+                *belief = b;
+            }
+            if max_delta < opts.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        Marginals { probs: marginals, iterations, converged, updates }
+    }
+
+    /// The variable→factor message for edge `e`, computed on demand from
+    /// the current factor→variable messages (asynchronous form).
+    fn vf_message(&self, e: usize, msg_fv: &[f64], x_msg: &[f64], extras: &ExtraIndex) -> f64 {
+        let v = self.edge_var[e] as usize;
+        let mut p_t = 1.0f64;
+        let mut p_f = 1.0f64;
+        for &o in self.var_edges(v) {
+            if o as usize == e {
+                continue;
+            }
+            let m = msg_fv[o as usize];
+            p_t *= m;
+            p_f *= 1.0 - m;
+        }
+        for &x in extras.of(v) {
+            let m = x_msg[x as usize];
+            p_t *= m;
+            p_f *= 1.0 - m;
+        }
+        normalize(p_t, p_f)
+    }
+
+    /// The damped candidate update for factor→variable message `e`, read
+    /// from a cache of current variable→factor messages (`msg_vf[o]` must
+    /// hold [`CompiledGraph::vf_message`] of `o` for every edge `o` of `e`'s
+    /// factor).
+    fn candidate_cached<const MAX: bool>(
+        &self,
+        e: usize,
+        msg_fv: &[f64],
+        msg_vf: &[f64],
+        d: f64,
+    ) -> f64 {
+        let fi = self.edge_factor[e] as usize;
+        let e0 = self.f_off[fi] as usize;
+        let e1 = self.f_off[fi + 1] as usize;
+        let new = self.factor_message_local::<MAX>(fi, e - e0, &msg_vf[e0..e1]);
+        damp(msg_fv[e], new, d)
+    }
+
+    /// One factor→variable message for factor `fi`, target scope position
+    /// `pos`, reading the incoming variable→factor messages from a
+    /// factor-local slice (`local[opos]` for scope position `opos`).
+    ///
+    /// `MAX` selects max-product; otherwise sum-product. The arithmetic
+    /// replicates the pre-arena solver exactly: accumulation in ascending
+    /// table-index order, `z > 0` normalization, and unary/pairwise fast
+    /// paths that are operation-for-operation equal to the generic walk
+    /// (zero-potential rows contribute exactly `+0.0` / lose every `max`,
+    /// so skipping them never changes a bit).
+    #[inline]
+    fn factor_message_local<const MAX: bool>(&self, fi: usize, pos: usize, local: &[f64]) -> f64 {
+        let n = local.len();
+        let table = &self.tables[self.t_off[fi] as usize..self.t_off[fi + 1] as usize];
+        match n {
+            1 => normalize(table[1], table[0]),
+            2 => {
+                let m = local[1 - pos];
+                let om = 1.0 - m;
+                let (t_lo, t_hi, f_lo, f_hi) = if pos == 0 {
+                    (table[1] * om, table[3] * m, table[0] * om, table[2] * m)
+                } else {
+                    (table[2] * om, table[3] * m, table[0] * om, table[1] * m)
+                };
+                let (p_t, p_f) = if MAX {
+                    (0.0f64.max(t_lo).max(t_hi), 0.0f64.max(f_lo).max(f_hi))
+                } else {
+                    (t_lo + t_hi, f_lo + f_hi)
+                };
+                normalize(p_t, p_f)
+            }
+            _ => {
+                let mut acc_t = 0.0f64;
+                let mut acc_f = 0.0f64;
+                for (idx, &pot) in table.iter().enumerate() {
+                    if pot == 0.0 {
+                        continue;
+                    }
+                    let mut w = pot;
+                    for (opos, &m) in local.iter().enumerate() {
+                        if opos == pos {
+                            continue;
+                        }
+                        let bit = idx & (1 << opos) != 0;
+                        w *= if bit { m } else { 1.0 - m };
+                    }
+                    if idx & (1 << pos) != 0 {
+                        acc_t = if MAX { acc_t.max(w) } else { acc_t + w };
+                    } else {
+                        acc_f = if MAX { acc_f.max(w) } else { acc_f + w };
+                    }
+                }
+                normalize(acc_t, acc_f)
+            }
+        }
+    }
+
+    /// Residual-prioritized belief propagation: repeatedly apply the
+    /// factor→variable message with the largest pending change.
+    ///
+    /// `max_iterations` bounds the *sweep-equivalent* work: the update
+    /// budget is `max_iterations * num_edges`, so a `BpOptions` tuned for
+    /// the sweep schedule spends at most comparable effort here.
+    fn residual<const MAX: bool>(&self, extras: &ExtraIndex, opts: &BpOptions) -> Marginals {
+        let ne = self.edge_var.len();
+        let d = opts.damping;
+        let mut msg_fv = vec![0.5f64; ne];
+        // Extras are constant under the asynchronous schedule: install their
+        // normalized value up front.
+        let x_msg: Vec<f64> = extras.ps.iter().map(|&p| normalize(p, 1.0 - p)).collect();
+        let budget = opts.max_iterations.saturating_mul(ne.max(1));
+        let mut updates = 0usize;
+        // Warm start: a few synchronous sweeps before greedy prioritization.
+        // Loopy graphs with near-symmetric structure (e.g. soft one-hot
+        // constraints) have several BP fixed points; updating
+        // highest-residual-first from a cold uniform start breaks the
+        // symmetry towards whichever strong local factor is popped first and
+        // can land in a different basin than the synchronous schedule. A
+        // couple of Jacobi sweeps propagate all evidence one hop before any
+        // greedy choice is made, after which prioritization only
+        // *accelerates* convergence within the sweep's basin.
+        let mut msg_vf = vec![0.5f64; ne];
+        for _ in 0..WARM_SWEEPS.min(opts.max_iterations) {
+            for (e, m) in msg_vf.iter_mut().enumerate() {
+                *m = self.vf_message(e, &msg_fv, &x_msg, extras);
+            }
+            let next: Vec<f64> =
+                (0..ne).map(|e| self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d)).collect();
+            msg_fv = next;
+            updates += ne;
+        }
+        // Cached state, kept current as messages are applied: `msg_vf[e]`
+        // is the variable→factor message along `e`; `cand[e]`/`resid[e]`
+        // are the pending damped update of factor→variable message `e` and
+        // its residual. A heap entry is *stale* (superseded by a later
+        // push) exactly when its residual no longer bit-matches `resid`.
+        for (e, m) in msg_vf.iter_mut().enumerate() {
+            *m = self.vf_message(e, &msg_fv, &x_msg, extras);
+        }
+        let mut cand = vec![0.0f64; ne];
+        let mut resid = vec![0.0f64; ne];
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(ne * 2);
+        for e in 0..ne {
+            cand[e] = self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d);
+            resid[e] = (cand[e] - msg_fv[e]).abs();
+            if resid[e] >= opts.tolerance {
+                heap.push(HeapEntry { residual: resid[e], edge: e as u32 });
+            }
+        }
+        let mut converged = true;
+        while let Some(entry) = heap.pop() {
+            let e = entry.edge as usize;
+            if entry.residual.to_bits() != resid[e].to_bits() || resid[e] < opts.tolerance {
+                continue; // superseded by a newer push for this edge
+            }
+            if updates >= budget {
+                converged = false;
+                break;
+            }
+            msg_fv[e] = cand[e];
+            updates += 1;
+            // `msg_fv[e]` feeds the variable→factor messages of `v`'s other
+            // edges (its own `msg_vf[e]` excludes it), which in turn feed
+            // the pending updates of those factors' messages to their other
+            // variables. This edge's own pending update only changes under
+            // damping (the geometric tail towards the undamped value).
+            let v = self.edge_var[e] as usize;
+            let f = self.edge_factor[e];
+            for &o in self.var_edges(v) {
+                if o as usize != e {
+                    msg_vf[o as usize] = self.vf_message(o as usize, &msg_fv, &x_msg, extras);
+                }
+            }
+            let mut repush = |e3: usize, cand: &mut [f64], resid: &mut [f64]| {
+                cand[e3] = self.candidate_cached::<MAX>(e3, &msg_fv, &msg_vf, d);
+                resid[e3] = (cand[e3] - msg_fv[e3]).abs();
+                if resid[e3] >= opts.tolerance {
+                    heap.push(HeapEntry { residual: resid[e3], edge: e3 as u32 });
+                }
+            };
+            repush(e, &mut cand, &mut resid);
+            for &e2 in self.var_edges(v) {
+                let f2 = self.edge_factor[e2 as usize];
+                if f2 == f {
+                    continue;
+                }
+                let b0 = self.f_off[f2 as usize];
+                let b1 = self.f_off[f2 as usize + 1];
+                for e3 in b0..b1 {
+                    if self.edge_var[e3 as usize] as usize != v {
+                        repush(e3 as usize, &mut cand, &mut resid);
+                    }
+                }
+            }
+        }
+
+        let mut marginals = vec![0.5f64; self.n_vars];
+        for (v, belief) in marginals.iter_mut().enumerate() {
+            let mut p_t = 1.0f64;
+            let mut p_f = 1.0f64;
+            for &e in self.var_edges(v) {
+                let m = msg_fv[e as usize];
+                p_t *= m;
+                p_f *= 1.0 - m;
+            }
+            for &x in extras.of(v) {
+                let m = x_msg[x as usize];
+                p_t *= m;
+                p_f *= 1.0 - m;
+            }
+            *belief = normalize(p_t, p_f);
+        }
+        let iterations = updates.div_ceil(ne.max(1)).max(1);
+        Marginals { probs: marginals, iterations, converged, updates }
+    }
+}
+
+/// Max-heap entry ordered by residual, tie-broken by edge id so the
+/// schedule (and therefore the result) is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    residual: f64,
+    edge: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &HeapEntry) -> bool {
+        self.residual == other.residual && self.edge == other.edge
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &HeapEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
+        // Residuals are finite by construction (potentials are finite and
+        // non-negative, messages live in [0, 1]).
+        self.residual
+            .partial_cmp(&other.residual)
+            .expect("finite residual")
+            .then_with(|| other.edge.cmp(&self.edge))
+    }
+}

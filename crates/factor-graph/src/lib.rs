@@ -25,6 +25,8 @@
 
 pub mod factor;
 pub mod graph;
+pub mod kernel;
 
 pub use factor::{Factor, VarId, MAX_SCOPE};
-pub use graph::{BpOptions, FactorGraph, Marginals};
+pub use graph::{BpOptions, BpSchedule, FactorGraph, Marginals};
+pub use kernel::CompiledGraph;

@@ -1,0 +1,317 @@
+//! Parity tests for the flat-arena kernel.
+//!
+//! The arena rewrite is only allowed to change *how fast* sum/max BP runs,
+//! never *what it computes*: under [`BpSchedule::Sweep`] the kernel must
+//! reproduce the historical nested-`Vec` solver bit-for-bit. This file
+//! keeps a verbatim copy of that solver (`reference` module below) and
+//! drives both implementations over randomized graphs, comparing raw
+//! `f64::to_bits`. It also checks the two semantic properties of the new
+//! machinery: stamped extras are exactly appended unary factors, and the
+//! residual schedule reaches the same fixed points with fewer updates.
+
+use factor_graph::{BpOptions, BpSchedule, CompiledGraph, Factor, FactorGraph, VarId};
+use prng::Rng;
+
+/// The pre-arena solver, kept as the bit-exactness oracle.
+mod reference {
+    use factor_graph::{BpOptions, FactorGraph};
+
+    fn damp(old: f64, new: f64, d: f64) -> f64 {
+        d * old + (1.0 - d) * new
+    }
+
+    /// One synchronous BP run; `MAX` selects max-product.
+    pub fn solve<const MAX: bool>(g: &FactorGraph, opts: &BpOptions) -> (Vec<f64>, usize, bool) {
+        let n_vars = g.num_vars();
+        let factors = g.factors();
+        let mut var_edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vars];
+        for (fi, f) in factors.iter().enumerate() {
+            for (pos, v) in f.scope().iter().enumerate() {
+                var_edges[v.0 as usize].push((fi, pos));
+            }
+        }
+        let mut msg_fv: Vec<Vec<f64>> =
+            factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+        let mut msg_vf: Vec<Vec<f64>> =
+            factors.iter().map(|f| vec![0.5; f.scope().len()]).collect();
+        let mut marginals = vec![0.5f64; n_vars];
+        let mut iterations = 0;
+        let mut converged = false;
+        for it in 0..opts.max_iterations {
+            iterations = it + 1;
+            for edges in &var_edges {
+                for &(fi, pos) in edges {
+                    let mut p_t = 1.0f64;
+                    let mut p_f = 1.0f64;
+                    for &(ofi, opos) in edges {
+                        if ofi == fi && opos == pos {
+                            continue;
+                        }
+                        let m = msg_fv[ofi][opos];
+                        p_t *= m;
+                        p_f *= 1.0 - m;
+                    }
+                    let z = p_t + p_f;
+                    let new = if z > 0.0 { p_t / z } else { 0.5 };
+                    msg_vf[fi][pos] = damp(msg_vf[fi][pos], new, opts.damping);
+                }
+            }
+            for (fi, f) in factors.iter().enumerate() {
+                let table = f.table();
+                for (pos, slot) in msg_fv[fi].iter_mut().enumerate() {
+                    let mut acc_t = 0.0f64;
+                    let mut acc_f = 0.0f64;
+                    for (idx, &pot) in table.iter().enumerate() {
+                        if pot == 0.0 {
+                            continue;
+                        }
+                        let mut w = pot;
+                        for (opos, _) in f.scope().iter().enumerate() {
+                            if opos == pos {
+                                continue;
+                            }
+                            let bit = idx & (1 << opos) != 0;
+                            let m = msg_vf[fi][opos];
+                            w *= if bit { m } else { 1.0 - m };
+                        }
+                        if idx & (1 << pos) != 0 {
+                            acc_t = if MAX { acc_t.max(w) } else { acc_t + w };
+                        } else {
+                            acc_f = if MAX { acc_f.max(w) } else { acc_f + w };
+                        }
+                    }
+                    let z = acc_t + acc_f;
+                    let new = if z > 0.0 { acc_t / z } else { 0.5 };
+                    *slot = damp(*slot, new, opts.damping);
+                }
+            }
+            let mut max_delta = 0.0f64;
+            for (vi, edges) in var_edges.iter().enumerate() {
+                let mut p_t = 1.0f64;
+                let mut p_f = 1.0f64;
+                for &(fi, pos) in edges {
+                    let m = msg_fv[fi][pos];
+                    p_t *= m;
+                    p_f *= 1.0 - m;
+                }
+                let z = p_t + p_f;
+                let b = if z > 0.0 { p_t / z } else { 0.5 };
+                max_delta = max_delta.max((b - marginals[vi]).abs());
+                marginals[vi] = b;
+            }
+            if max_delta < opts.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        (marginals, iterations, converged)
+    }
+}
+
+/// A random mixed graph: unary priors, pairwise (in)equalities, and some
+/// wider soft constraints, in interleaved insertion order.
+fn random_graph(rng: &mut Rng, n_vars: usize, n_factors: usize) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let vars: Vec<VarId> = (0..n_vars).map(|i| g.add_var(format!("v{i}"))).collect();
+    for _ in 0..n_factors {
+        match rng.gen_index(0..4) {
+            0 => {
+                let v = *rng.pick(&vars);
+                let p = 0.05 + 0.9 * rng.gen_f64();
+                g.add_factor(Factor::unary(v, p));
+            }
+            1 => {
+                let a = *rng.pick(&vars);
+                let b = *rng.pick(&vars);
+                if a == b {
+                    continue;
+                }
+                let h = 0.55 + 0.44 * rng.gen_f64();
+                let eq = rng.gen_bool(0.7);
+                g.add_factor(Factor::soft(vec![a, b], h, move |x| (x[0] == x[1]) == eq));
+            }
+            2 => {
+                // Hard XOR-ish rows: exercises the zero-potential skip.
+                let a = *rng.pick(&vars);
+                let b = *rng.pick(&vars);
+                if a == b {
+                    continue;
+                }
+                g.add_factor(Factor::from_fn(vec![a, b], |x| if x[0] != x[1] { 1.0 } else { 0.0 }));
+            }
+            _ => {
+                let k = rng.gen_index(3..5).min(n_vars);
+                let mut scope: Vec<VarId> = Vec::new();
+                for &v in &vars {
+                    if scope.len() < k && rng.gen_bool(0.5) {
+                        scope.push(v);
+                    }
+                }
+                if scope.len() < 3 {
+                    continue;
+                }
+                let h = 0.6 + 0.35 * rng.gen_f64();
+                g.add_factor(Factor::soft(scope, h, |x| x.iter().filter(|b| **b).count() == 1));
+            }
+        }
+    }
+    g
+}
+
+fn assert_bit_equal(ours: &[f64], theirs: &[f64], what: &str) {
+    assert_eq!(ours.len(), theirs.len(), "{what}: length");
+    for (i, (a, b)) in ours.iter().zip(theirs).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: var {i} differs: {a:e} ({:016x}) vs {b:e} ({:016x})",
+            a.to_bits(),
+            b.to_bits()
+        );
+    }
+}
+
+#[test]
+fn sweep_matches_reference_bit_for_bit() {
+    prng::forall("sweep-parity", 40, |rng| {
+        let n_vars = rng.gen_index(1..25);
+        let n_factors = rng.gen_index(0..40);
+        let g = random_graph(rng, n_vars, n_factors);
+        let opts = BpOptions {
+            max_iterations: rng.gen_index(1..60),
+            damping: *rng.pick(&[0.0, 0.1, 0.3]),
+            ..BpOptions::default()
+        };
+        let (ref_sum, ref_it, ref_conv) = reference::solve::<false>(&g, &opts);
+        let sum = g.solve(&opts);
+        assert_bit_equal(sum.as_slice(), &ref_sum, "sum");
+        assert_eq!(sum.iterations, ref_it);
+        assert_eq!(sum.converged, ref_conv);
+        let (ref_max, _, _) = reference::solve::<true>(&g, &opts);
+        let map = g.solve_map(&opts);
+        assert_bit_equal(map.as_slice(), &ref_max, "max");
+    });
+}
+
+#[test]
+fn stamped_extras_equal_appended_unary_factors() {
+    prng::forall("stamp-parity", 40, |rng| {
+        let n_vars = rng.gen_index(2..20);
+        let n_factors = rng.gen_index(0..25);
+        let g = random_graph(rng, n_vars, n_factors);
+        // Random unary extras, some repeated on the same variable.
+        let n_extras = rng.gen_index(0..8);
+        let extras: Vec<(VarId, f64)> = (0..n_extras)
+            .map(|_| (VarId(rng.gen_index(0..n_vars) as u32), 0.05 + 0.9 * rng.gen_f64()))
+            .collect();
+        let mut extended = g.clone();
+        for &(v, p) in &extras {
+            extended.add_factor(Factor::unary(v, p));
+        }
+        let opts = BpOptions {
+            max_iterations: rng.gen_index(1..50),
+            damping: *rng.pick(&[0.0, 0.1]),
+            ..BpOptions::default()
+        };
+        let compiled = CompiledGraph::compile(&g);
+        let stamped = compiled.solve_stamped(&extras, &opts);
+        let appended = extended.solve(&opts);
+        assert_bit_equal(stamped.as_slice(), appended.as_slice(), "stamped sum");
+        assert_eq!(stamped.iterations, appended.iterations);
+        assert_eq!(stamped.converged, appended.converged);
+        let stamped_map = compiled.solve_map_stamped(&extras, &opts);
+        let appended_map = extended.solve_map(&opts);
+        assert_bit_equal(stamped_map.as_slice(), appended_map.as_slice(), "stamped max");
+    });
+}
+
+/// A random tree: each variable links to one earlier variable.
+fn random_tree(rng: &mut Rng, n_vars: usize) -> FactorGraph {
+    let mut g = FactorGraph::new();
+    let vars: Vec<VarId> = (0..n_vars).map(|i| g.add_var(format!("t{i}"))).collect();
+    g.add_factor(Factor::unary(vars[0], 0.05 + 0.9 * rng.gen_f64()));
+    for i in 1..n_vars {
+        let parent = vars[rng.gen_index(0..i)];
+        let h = 0.6 + 0.35 * rng.gen_f64();
+        let eq = rng.gen_bool(0.8);
+        g.add_factor(Factor::soft(vec![parent, vars[i]], h, move |x| (x[0] == x[1]) == eq));
+        if rng.gen_bool(0.4) {
+            g.add_factor(Factor::unary(vars[i], 0.1 + 0.8 * rng.gen_f64()));
+        }
+    }
+    g
+}
+
+#[test]
+fn residual_matches_exact_on_trees() {
+    prng::forall("residual-trees", 30, |rng| {
+        let n_vars = rng.gen_index(2..12);
+        let g = random_tree(rng, n_vars);
+        let opts = BpOptions {
+            max_iterations: 500,
+            tolerance: 1e-9,
+            damping: 0.0,
+            schedule: BpSchedule::Residual,
+        };
+        let residual = g.solve(&opts);
+        assert!(residual.converged, "residual BP must converge on trees");
+        let exact = g.solve_exact();
+        for i in 0..n_vars {
+            let v = VarId(i as u32);
+            let (r, e) = (residual.prob(v), exact.prob(v));
+            assert!((r - e).abs() < 1e-6, "var {i}: residual={r} exact={e}");
+        }
+    });
+}
+
+#[test]
+fn residual_stays_in_loopy_tolerance_band() {
+    // The same 4-cycle the sweep solver is tested on: loopy BP is allowed to
+    // be overconfident but must stay in the right direction and within 0.1.
+    let mut g = FactorGraph::new();
+    let xs: Vec<_> = (0..4).map(|i| g.add_var(format!("x{i}"))).collect();
+    g.add_factor(Factor::unary(xs[0], 0.9));
+    for i in 0..4 {
+        let (a, b) = (xs[i], xs[(i + 1) % 4]);
+        g.add_factor(Factor::soft(vec![a, b], 0.85, |v| v[0] == v[1]));
+    }
+    let exact = g.solve_exact();
+    let residual = g.solve(&BpOptions {
+        max_iterations: 200,
+        schedule: BpSchedule::Residual,
+        ..BpOptions::default()
+    });
+    for &x in &xs {
+        let (pr, pe) = (residual.prob(x), exact.prob(x));
+        assert!((pr - pe).abs() < 0.1, "{x}: residual={pr} exact={pe}");
+        assert!(pr > 0.5, "{x} leans true");
+    }
+}
+
+#[test]
+fn residual_uses_fewer_updates_than_sweep_on_loopy_graphs() {
+    // A long cycle with sparse evidence: the sweep schedule keeps touching
+    // every message each round while information crawls around the loop.
+    let mut g = FactorGraph::new();
+    let n = 40;
+    let xs: Vec<_> = (0..n).map(|i| g.add_var(format!("c{i}"))).collect();
+    g.add_factor(Factor::unary(xs[0], 0.95));
+    for i in 0..n {
+        let (a, b) = (xs[i], xs[(i + 1) % n]);
+        g.add_factor(Factor::soft(vec![a, b], 0.9, |v| v[0] == v[1]));
+    }
+    let opts =
+        BpOptions { max_iterations: 400, tolerance: 1e-6, damping: 0.0, ..Default::default() };
+    let sweep = g.solve(&opts);
+    let residual = g.solve(&BpOptions { schedule: BpSchedule::Residual, ..opts });
+    assert!(sweep.converged && residual.converged);
+    assert!(
+        residual.updates < sweep.updates,
+        "residual should need fewer updates: {} vs {}",
+        residual.updates,
+        sweep.updates
+    );
+    for &x in &xs {
+        assert!((residual.prob(x) - sweep.prob(x)).abs() < 1e-4, "{x}");
+    }
+}

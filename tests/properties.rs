@@ -95,7 +95,12 @@ fn bp_close_to_exact_on_random_chains() {
             g.add_factor(Factor::soft(vec![w[0], w[1]], *h, |a| a[0] == a[1]));
         }
         let exact = g.solve_exact();
-        let bp = g.solve(&BpOptions { max_iterations: 200, tolerance: 1e-9, damping: 0.0 });
+        let bp = g.solve(&BpOptions {
+            max_iterations: 200,
+            tolerance: 1e-9,
+            damping: 0.0,
+            ..BpOptions::default()
+        });
         for &v in &vars {
             assert!(
                 (bp.prob(v) - exact.prob(v)).abs() < 1e-4,
