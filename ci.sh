@@ -44,6 +44,60 @@ if [[ $fast -eq 0 ]]; then
   fi
   echo "determinism gate ok: identical specs for threads 1 and 4"
 
+  step "fault-injection gate (partial results, exit 3, threads 1 vs 4)"
+  mkdir -p "$tmp/faults"
+  cat >"$tmp/faults/Row.java" <<'EOF'
+class Row {
+    Collection<Integer> entries;
+    Iterator<Integer> createColIter() { return entries.iterator(); }
+    void add(int val) { }
+}
+EOF
+  cat >"$tmp/faults/App.java" <<'EOF'
+class App {
+    Row copy(Row original) {
+        Iterator<Integer> iter = original.createColIter();
+        Row result = new Row();
+        while (iter.hasNext()) { result.add(iter.next()); }
+        return result;
+    }
+}
+EOF
+  cat >"$tmp/faults/plan.txt" <<'EOF'
+seed 42
+panic App.copy
+nan Row.add
+EOF
+  # A poisoned method must cost exactly itself: the run completes, prints a
+  # partial report, and signals partial results with the documented exit 3.
+  set +e
+  ./target/release/anek infer --threads 1 --inject "$tmp/faults/plan.txt" --outcomes \
+    "$tmp/faults/Row.java" "$tmp/faults/App.java" 2>/dev/null >"$tmp/faults/out.t1"
+  rc1=$?
+  ./target/release/anek infer --threads 4 --inject "$tmp/faults/plan.txt" --outcomes \
+    "$tmp/faults/Row.java" "$tmp/faults/App.java" 2>/dev/null >"$tmp/faults/out.t4"
+  rc4=$?
+  set -e
+  if [[ "$rc1" != 3 || "$rc4" != 3 ]]; then
+    echo "fault gate failed: expected exit 3 (partial results), got $rc1 / $rc4" >&2
+    exit 1
+  fi
+  if ! diff -u "$tmp/faults/out.t1" "$tmp/faults/out.t4"; then
+    echo "fault gate failed: faulted outcome tables differ between threads 1 and 4" >&2
+    exit 1
+  fi
+  if ! grep -q 'App.copy	failed	solve panicked: injected fault' "$tmp/faults/out.t1"; then
+    echo "fault gate failed: injected panic not reported in the outcome table" >&2
+    cat "$tmp/faults/out.t1" >&2
+    exit 1
+  fi
+  if ! grep -q 'Row.createColIter' "$tmp/faults/out.t1"; then
+    echo "fault gate failed: healthy methods missing from the partial report" >&2
+    cat "$tmp/faults/out.t1" >&2
+    exit 1
+  fi
+  echo "fault gate ok: partial report, exit 3, byte-identical across thread counts"
+
   step "bench smoke (table2 --small + BENCH_infer.json)"
   (cd "$tmp" && "$OLDPWD/target/release/table2" --small >/dev/null)
   if ! grep -q '"bench": "infer"' "$tmp/BENCH_infer.json"; then

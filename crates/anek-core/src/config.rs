@@ -1,6 +1,73 @@
-//! Tunable parameters of the inference (the paper's `h`, `t` and `MaxIters`).
+//! Tunable parameters of the inference (the paper's `h`, `t` and `MaxIters`)
+//! plus the robustness knobs (model-size cap, degraded-mode fallback, and
+//! the deterministic fault-injection switches the harness in
+//! `corpus::faults` drives).
 
+use analysis::types::MethodId;
 use factor_graph::{BpOptions, BpSchedule};
+
+/// Deterministic fault-injection switches, normally all empty.
+///
+/// The fault harness (`corpus::faults::FaultPlan`) compiles its method
+/// patterns into this struct; the model builder and the worklist consult it
+/// to poison exactly the selected methods. A pattern is either an exact
+/// `Class.method`, a class wildcard `Class.*`, or the global `*`.
+///
+/// Injection is *structural*, not scripted at the call level: a NaN entry
+/// asks the model builder to emit a genuinely poisoned factor table, an
+/// oversize entry pads the method's factor graph with real (unconstrained)
+/// variables, and a panic entry raises a real panic inside the solve —
+/// every fault travels through the same code paths an organic defect would.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultInjection {
+    /// Methods whose solve panics (caught at the per-method boundary).
+    pub panic_methods: Vec<String>,
+    /// Methods whose skeleton receives a NaN-poisoned unary factor.
+    pub nan_methods: Vec<String>,
+    /// Methods whose factor graph is padded with this many extra variables
+    /// (tripping `InferConfig::max_model_vars` when large enough).
+    pub oversize_methods: Vec<(String, usize)>,
+}
+
+impl FaultInjection {
+    /// Whether no fault is configured at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_methods.is_empty()
+            && self.nan_methods.is_empty()
+            && self.oversize_methods.is_empty()
+    }
+
+    fn matches(pattern: &str, id: &MethodId) -> bool {
+        if pattern == "*" {
+            return true;
+        }
+        match pattern.split_once('.') {
+            Some((class, "*")) => class == id.class,
+            Some((class, method)) => class == id.class && method == id.method,
+            None => false,
+        }
+    }
+
+    /// Whether `id`'s solve should panic.
+    pub fn should_panic(&self, id: &MethodId) -> bool {
+        self.panic_methods.iter().any(|p| FaultInjection::matches(p, id))
+    }
+
+    /// Whether `id`'s skeleton gets a NaN factor.
+    pub fn nan_factor(&self, id: &MethodId) -> bool {
+        self.nan_methods.iter().any(|p| FaultInjection::matches(p, id))
+    }
+
+    /// Extra padding variables for `id`'s factor graph (0 = none).
+    pub fn oversize_extra(&self, id: &MethodId) -> usize {
+        self.oversize_methods
+            .iter()
+            .filter(|(p, _)| FaultInjection::matches(p, id))
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 /// Configuration of the ANEK inference.
 ///
@@ -56,6 +123,19 @@ pub struct InferConfig {
     /// per available core, `1` forces the sequential path. Results are
     /// identical for every value (see `infer`'s determinism notes).
     pub threads: usize,
+    /// Hard cap on factor-graph variables per method model. A method whose
+    /// model exceeds it is refused before solving and reported as
+    /// `Failed { ModelTooLarge }`; every other method proceeds normally.
+    pub max_model_vars: usize,
+    /// When `true`, methods whose final solve did not converge publish
+    /// their INIT prior-marginal summary instead of the non-converged
+    /// marginals (reported as `Degraded { PriorFallback }`). Defaults to
+    /// `false`, which keeps the paper's behavior of trusting the truncated
+    /// solve — and keeps healthy-corpus output bit-identical.
+    pub degraded_fallback: bool,
+    /// Deterministic fault injection (normally empty; see
+    /// [`FaultInjection`]).
+    pub faults: FaultInjection,
 }
 
 impl Default for InferConfig {
@@ -82,8 +162,12 @@ impl Default for InferConfig {
                 tolerance: 1e-4,
                 damping: 0.1,
                 schedule: BpSchedule::Sweep,
+                update_budget: None,
             },
             threads: 1,
+            max_model_vars: 1 << 20,
+            degraded_fallback: false,
+            faults: FaultInjection::default(),
         }
     }
 }
@@ -112,6 +196,7 @@ impl InferConfig {
             self.threshold
         );
         assert!(self.max_iters > 0, "max_iters must be positive");
+        assert!(self.max_model_vars > 0, "max_model_vars must be positive");
     }
 }
 
@@ -136,5 +221,22 @@ mod tests {
     fn weak_strength_rejected() {
         let cfg = InferConfig { h_outgoing: 0.5, ..InferConfig::default() };
         cfg.validate();
+    }
+
+    #[test]
+    fn fault_patterns_match_exact_class_wildcard_and_global() {
+        let faults = FaultInjection {
+            panic_methods: vec!["App.copy".into()],
+            nan_methods: vec!["Row.*".into()],
+            oversize_methods: vec![("*".into(), 7)],
+        };
+        assert!(faults.should_panic(&MethodId::new("App", "copy")));
+        assert!(!faults.should_panic(&MethodId::new("App", "paste")));
+        assert!(faults.nan_factor(&MethodId::new("Row", "anything")));
+        assert!(!faults.nan_factor(&MethodId::new("App", "copy")));
+        assert_eq!(faults.oversize_extra(&MethodId::new("X", "y")), 7);
+        assert!(!FaultInjection::default().should_panic(&MethodId::new("App", "copy")));
+        assert!(FaultInjection::default().is_empty());
+        assert!(!faults.is_empty());
     }
 }

@@ -14,6 +14,7 @@
 use crate::config::InferConfig;
 use crate::infer::{merged_states, InferResult};
 use crate::model::{emit_skeleton, ModelCtx};
+use crate::outcome::{DegradeReason, MethodOutcome};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{CallRole, Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
@@ -147,6 +148,25 @@ pub fn infer_global(
         summaries.insert(id.clone(), summary);
     }
 
+    // One solve covers every method: the global graph's health is each
+    // method's health.
+    let mut reasons = Vec::new();
+    if !marginals.converged {
+        reasons.push(DegradeReason::BpNonConverged { iterations: marginals.iterations });
+    }
+    if marginals.guards.any() {
+        reasons.push(DegradeReason::NumericClamped {
+            non_finite: marginals.guards.non_finite,
+            zero_sum: marginals.guards.zero_sum,
+        });
+    }
+    let outcome = if reasons.is_empty() {
+        MethodOutcome::Ok { iterations: marginals.iterations }
+    } else {
+        MethodOutcome::Degraded { reasons }
+    };
+    let outcomes = per_method.keys().map(|id| (id.clone(), outcome.clone())).collect();
+
     InferResult {
         specs,
         summaries,
@@ -158,6 +178,9 @@ pub fn infer_global(
         message_updates: marginals.updates,
         discarded_solves: 0,
         threads: 1,
+        outcomes,
+        nonconverged_solves: usize::from(!marginals.converged),
+        numeric_guard_events: marginals.guards.non_finite + marginals.guards.zero_sum,
     }
 }
 

@@ -33,22 +33,40 @@
 
 use crate::config::InferConfig;
 use crate::model::{CallerEvidence, MethodSkeleton, ModelCtx};
+use crate::outcome::{panic_message, DegradeReason, InferError, MethodOutcome};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
+use factor_graph::GuardEvents;
 use java_syntax::ast::CompilationUnit;
 use java_syntax::ExprId;
 use spec_lang::{
     spec_of_method, ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry, StateSpace,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// What one model solve produces: the method's new summary, the call-site
-/// evidence it observed about each callee, and the BP work counters.
-type Outcome = (MethodSummary, BTreeMap<MethodId, BTreeMap<ExprId, CallerEvidence>>, usize, usize);
+/// What one completed model solve produces: the method's new summary, the
+/// call-site evidence it observed about each callee, and the BP health and
+/// work counters.
+#[derive(Debug, Clone)]
+struct Solved {
+    summary: MethodSummary,
+    call_evidence: BTreeMap<MethodId, BTreeMap<ExprId, CallerEvidence>>,
+    iterations: usize,
+    updates: usize,
+    converged: bool,
+    guards: GuardEvents,
+}
+
+/// A solve either completes (possibly with degradations recorded in its
+/// health fields) or fails with a structured error. Panics anywhere in the
+/// solve — skeleton build, stamping, message passing, read-out — are caught
+/// at this boundary and never cross a method.
+type SolveResult = Result<Solved, InferError>;
 
 /// The output of [`infer`].
 #[derive(Debug, Clone)]
@@ -78,12 +96,43 @@ pub struct InferResult {
     pub discarded_solves: usize,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Per-method outcome: `Ok`, `Degraded { reasons }` or
+    /// `Failed { error }` (see [`crate::outcome`]). Deterministic for any
+    /// thread count, like everything else here.
+    pub outcomes: BTreeMap<MethodId, MethodOutcome>,
+    /// Committed solves whose BP hit the iteration cap (or update budget)
+    /// without reaching the convergence tolerance.
+    pub nonconverged_solves: usize,
+    /// Total numeric-guard clamps across all committed solves (NaN,
+    /// infinite or zero-sum message mass absorbed by the kernel).
+    pub numeric_guard_events: usize,
 }
 
 impl InferResult {
     /// Count of non-empty inferred specifications.
     pub fn annotation_count(&self) -> usize {
         self.specs.values().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Methods whose outcome is `Degraded`.
+    pub fn degraded_count(&self) -> usize {
+        self.outcomes.values().filter(|o| o.is_degraded()).count()
+    }
+
+    /// Methods whose outcome is `Failed`.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.values().filter(|o| o.is_failed()).count()
+    }
+
+    /// Whether every method ended `Ok`.
+    pub fn fully_ok(&self) -> bool {
+        self.outcomes.values().all(MethodOutcome::is_ok)
+    }
+
+    /// The deterministic per-method outcome table
+    /// (see [`crate::outcome::render_outcome_table`]).
+    pub fn outcome_table(&self) -> String {
+        crate::outcome::render_outcome_table(&self.outcomes)
     }
 }
 
@@ -113,17 +162,38 @@ struct MethodUnit {
     pfg: Arc<Pfg>,
     spec: MethodSpec,
     is_constructor: bool,
-    skeleton: OnceLock<MethodSkeleton>,
+    skeleton: OnceLock<Result<MethodSkeleton, String>>,
 }
 
 impl MethodUnit {
     /// The compiled skeleton, built on first use (any thread may win the
     /// race; the build is a pure function of static inputs, so every
     /// contender produces the identical value).
-    fn skeleton(&self, ctx: ModelCtx<'_>, cfg: &InferConfig) -> &MethodSkeleton {
-        self.skeleton.get_or_init(|| {
-            MethodSkeleton::build(ctx, Arc::clone(&self.pfg), &self.spec, self.is_constructor, cfg)
-        })
+    ///
+    /// A panic during the build is caught *inside* the `OnceLock`
+    /// initializer and cached as an error — re-solves of the method see the
+    /// identical message instead of a poisoned lock, which keeps the
+    /// outcome table byte-identical for every thread count.
+    fn skeleton(
+        &self,
+        ctx: ModelCtx<'_>,
+        cfg: &InferConfig,
+    ) -> Result<&MethodSkeleton, InferError> {
+        self.skeleton
+            .get_or_init(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    MethodSkeleton::build(
+                        ctx,
+                        Arc::clone(&self.pfg),
+                        &self.spec,
+                        self.is_constructor,
+                        cfg,
+                    )
+                }))
+                .map_err(|p| panic_message(p.as_ref()))
+            })
+            .as_ref()
+            .map_err(|message| InferError::SolvePanicked { message: message.clone() })
     }
 }
 
@@ -248,23 +318,49 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
     let mut bp_iterations = 0usize;
     let mut message_updates = 0usize;
     let mut discarded_solves = 0usize;
+    let mut nonconverged_solves = 0usize;
+    let mut numeric_guard_events = 0usize;
+    // Fault-isolation state: methods whose solve failed are frozen at their
+    // last committed summary and never re-solved or re-queued; the health
+    // of every other method's *latest committed* solve feeds the outcomes.
+    let mut failed: BTreeMap<MethodId, InferError> = BTreeMap::new();
+    let mut last_health: BTreeMap<MethodId, (bool, usize, GuardEvents)> = BTreeMap::new();
     let empty_deps = BTreeSet::new();
     // Solves one method against the *current* summary/evidence state.
-    let solve_one =
-        |id: &MethodId,
-         summaries: &BTreeMap<MethodId, MethodSummary>,
-         evidence: &BTreeMap<MethodId, BTreeMap<(MethodId, ExprId), CallerEvidence>>|
-         -> Outcome {
-            let mu = &methods[id];
-            let skeleton = mu.skeleton(ctx, cfg);
+    // Panics anywhere inside — injected or organic — are caught here, at
+    // the per-method boundary, and become structured `Failed` outcomes.
+    let solve_one = |id: &MethodId,
+                     summaries: &BTreeMap<MethodId, MethodSummary>,
+                     evidence: &BTreeMap<
+        MethodId,
+        BTreeMap<(MethodId, ExprId), CallerEvidence>,
+    >|
+     -> SolveResult {
+        let mu = &methods[id];
+        catch_unwind(AssertUnwindSafe(|| -> SolveResult {
+            if cfg.faults.should_panic(id) {
+                panic!("injected fault: scripted panic in solve of {id}");
+            }
+            let skeleton = mu.skeleton(ctx, cfg)?;
+            let vars = skeleton.graph.num_vars();
+            if vars > cfg.max_model_vars {
+                return Err(InferError::ModelTooLarge { vars, limit: cfg.max_model_vars });
+            }
             let own_evidence: Vec<CallerEvidence> =
                 evidence.get(id).map(|m| m.values().cloned().collect()).unwrap_or_default();
             let extras = skeleton.stamp(ctx, summaries, &own_evidence);
             let marginals = skeleton.solve(&extras, cfg);
-            let new_summary = skeleton.read_summary(ctx, &marginals);
-            let call_evidence = skeleton.read_call_evidence(ctx, &marginals);
-            (new_summary, call_evidence, marginals.iterations, marginals.updates)
-        };
+            Ok(Solved {
+                summary: skeleton.read_summary(ctx, &marginals),
+                call_evidence: skeleton.read_call_evidence(ctx, &marginals),
+                iterations: marginals.iterations,
+                updates: marginals.updates,
+                converged: marginals.converged,
+                guards: marginals.guards,
+            })
+        }))
+        .unwrap_or_else(|p| Err(InferError::SolvePanicked { message: panic_message(p.as_ref()) }))
+    };
     while !pending.is_empty() && solves < cfg.max_iters {
         // Take one generation, truncated so `solves` respects MaxIters.
         let take = pending.len().min(cfg.max_iters - solves);
@@ -277,7 +373,7 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         // the one the sequential worklist performs, for any thread count.
         // With one worker the speculation is skipped and every solve runs
         // lazily at merge time (plain sequential Gauss-Seidel, no waste).
-        let speculated: Option<Vec<Outcome>> = (threads.min(generation.len()) > 1)
+        let speculated: Option<Vec<SolveResult>> = (threads.min(generation.len()) > 1)
             .then(|| map_parallel(threads, &generation, |id| solve_one(id, &summaries, &evidence)));
         solves += generation.len();
         // Merge sequentially, in generation order. Inputs dirtied by the
@@ -289,7 +385,7 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
             queued.remove(id);
             let deps = callees.get(id).unwrap_or(&empty_deps);
             let fresh = !dirty_evidence.contains(id) && deps.is_disjoint(&dirty_summaries);
-            let (new_summary, call_evidence, iters, updates) = match &speculated {
+            let solved: SolveResult = match &speculated {
                 Some(outcomes) if fresh => outcomes[pos].clone(),
                 Some(_) => {
                     // Speculation consumed stale inputs; redo sequentially.
@@ -298,11 +394,27 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                 }
                 None => solve_one(id, &summaries, &evidence),
             };
-            bp_iterations += iters;
-            message_updates += updates;
+            let s = match solved {
+                Ok(s) => s,
+                Err(error) => {
+                    // Fault isolation: freeze the method at its last
+                    // committed summary. It publishes nothing, so no other
+                    // method's inputs change; it is never re-queued, so a
+                    // deterministic fault costs exactly one failed solve.
+                    failed.insert(id.clone(), error);
+                    continue;
+                }
+            };
+            bp_iterations += s.iterations;
+            message_updates += s.updates;
+            if !s.converged {
+                nonconverged_solves += 1;
+            }
+            numeric_guard_events += s.guards.non_finite + s.guards.zero_sum;
+            last_health.insert(id.clone(), (s.converged, s.iterations, s.guards));
             let mut to_queue: Vec<MethodId> = Vec::new();
             // Publish evidence about callees observed at this method's sites.
-            for (callee, sites) in call_evidence {
+            for (callee, sites) in s.call_evidence {
                 let store = evidence.entry(callee.clone()).or_default();
                 let mut changed = false;
                 for (site, ev) in sites {
@@ -323,8 +435,8 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                 }
             }
             let old = &summaries[id];
-            if new_summary.max_delta(old) > cfg.summary_epsilon {
-                summaries.insert(id.clone(), new_summary);
+            if s.summary.max_delta(old) > cfg.summary_epsilon {
+                summaries.insert(id.clone(), s.summary);
                 dirty_summaries.insert(id.clone());
                 // Re-enqueue the method itself (per Figure 9 line 19) and
                 // its callers, whose models consumed the stale summary.
@@ -334,11 +446,53 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                 }
             }
             for q in to_queue {
-                if queued.insert(q.clone()) {
+                if !failed.contains_key(&q) && queued.insert(q.clone()) {
                     pending.push(q);
                 }
             }
         }
+    }
+
+    // ---- Outcome classification ----
+    let mut outcomes: BTreeMap<MethodId, MethodOutcome> = BTreeMap::new();
+    for (id, mu) in &methods {
+        if let Some(error) = failed.get(id) {
+            outcomes.insert(id.clone(), MethodOutcome::Failed { error: error.clone() });
+            continue;
+        }
+        let mut reasons: Vec<DegradeReason> = Vec::new();
+        let health = last_health.get(id).copied();
+        if let Some((converged, iterations, guards)) = health {
+            if !converged {
+                reasons.push(DegradeReason::BpNonConverged { iterations });
+            }
+            if guards.any() {
+                reasons.push(DegradeReason::NumericClamped {
+                    non_finite: guards.non_finite,
+                    zero_sum: guards.zero_sum,
+                });
+            }
+        }
+        if queued.contains(id) {
+            reasons.push(DegradeReason::WorklistTruncated);
+        }
+        // The configured fallback: a non-converged method republishes its
+        // INIT prior summary (uniform-h — soft constraints still give an
+        // answer) instead of the truncated solve's marginals.
+        if cfg.degraded_fallback
+            && reasons.iter().any(|r| matches!(r, DegradeReason::BpNonConverged { .. }))
+        {
+            summaries.insert(id.clone(), initial_summary(ctx, mu, cfg));
+            reasons.push(DegradeReason::PriorFallback);
+        }
+        let outcome = if reasons.is_empty() {
+            MethodOutcome::Ok { iterations: health.map_or(0, |(_, it, _)| it) }
+        } else {
+            reasons.sort();
+            reasons.dedup();
+            MethodOutcome::Degraded { reasons }
+        };
+        outcomes.insert(id.clone(), outcome);
     }
 
     // ---- Spec extraction (lines 22–29) ----
@@ -361,6 +515,9 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         message_updates,
         discarded_solves,
         threads,
+        outcomes,
+        nonconverged_solves,
+        numeric_guard_events,
     }
 }
 

@@ -43,12 +43,14 @@ pub mod global;
 pub mod infer;
 pub mod logical;
 pub mod model;
+pub mod outcome;
 pub mod summary;
 
 pub use compare::{compare_specs, DiffTally, SpecDiff};
-pub use config::InferConfig;
+pub use config::{FaultInjection, InferConfig};
 pub use global::infer_global;
 pub use infer::{infer, merged_states, InferResult};
 pub use logical::{solve_logical, LogicalOutcome, LogicalResult};
 pub use model::{CallerEvidence, MethodModel, MethodSkeleton, ModelCtx};
+pub use outcome::{render_outcome_table, DegradeReason, InferError, MethodOutcome};
 pub use summary::{MethodSummary, SlotProbs};

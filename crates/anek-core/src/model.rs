@@ -554,6 +554,21 @@ pub(crate) fn emit_skeleton(
         }
     }
 
+    // ---- Fault injection (`InferConfig::faults`; empty in normal runs) ----
+    // NaN poisoning goes through a genuine factor table so the kernel's
+    // numeric guards — not a shortcut — absorb it; oversize padding adds
+    // real (unconstrained) variables so the model-size cap trips on the
+    // actual graph.
+    if cfg.faults.nan_factor(&pfg.method) {
+        if let Some(slot) = node_vars.first() {
+            let v = slot.kind(PermissionKind::ALL[0]);
+            g.add_factor(Factor::from_raw_parts(vec![v], vec![f64::NAN, f64::NAN]));
+        }
+    }
+    for i in 0..cfg.faults.oversize_extra(&pfg.method) {
+        g.add_var(format!("{}:fault-pad{i}", pfg.method));
+    }
+
     (node_vars, edge_vars)
 }
 

@@ -83,7 +83,7 @@ impl SlotProbs {
     pub fn extract_state(&self, t: f64) -> Option<String> {
         const MARGIN: f64 = 1.2;
         let mut ranked: Vec<(&String, f64)> = self.states.iter().map(|(s, p)| (s, *p)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let (best, p_best) = ranked.first()?;
         if *p_best <= t {
             return None;

@@ -2,8 +2,17 @@
 //! paper's Eclipse plugin pipeline (Figure 10).
 //!
 //! ```text
-//! anek infer [--threads N] [--bp-schedule sweep|residual] <file.java>...
-//!                               infer specs, print them
+//! anek infer [--threads N] [--bp-schedule sweep|residual]
+//!            [--inject PLAN] [--outcomes] <file.java>...
+//!                               infer specs, print them; --inject replays a
+//!                               fault plan (corpus::faults format) and
+//!                               --outcomes appends the per-method outcome
+//!                               table (method<TAB>status<TAB>detail).
+//!                               Exit 0: every source parsed and every
+//!                               method solved. Exit 3: completed partially
+//!                               (a source was skipped or a method's solve
+//!                               failed); the printed specs cover the
+//!                               healthy remainder.
 //! anek check <file.java>...     run PLURAL on the sources as-is
 //! anek lint [--json] [--verify-ir] <file.java>...
 //!                               run the deterministic dataflow lints
@@ -47,11 +56,14 @@ fn main() -> ExitCode {
 struct InferFlags {
     threads: Option<usize>,
     schedule: Option<BpSchedule>,
+    inject: Option<corpus::FaultPlan>,
+    outcomes: bool,
 }
 
 impl InferFlags {
-    /// Consumes `--threads N` / `--bp-schedule S` from `args`, returning the
-    /// flags and the remaining arguments.
+    /// Consumes `--threads N` / `--bp-schedule S` / `--inject PLAN` /
+    /// `--outcomes` from `args`, returning the flags and the remaining
+    /// arguments.
     fn parse(args: &[String]) -> Result<(InferFlags, Vec<String>), Box<dyn std::error::Error>> {
         let mut flags = InferFlags::default();
         let mut rest = Vec::new();
@@ -66,6 +78,13 @@ impl InferFlags {
                     BpSchedule::parse(s)
                         .ok_or_else(|| format!("--bp-schedule: unknown schedule `{s}`"))?,
                 );
+            } else if a == "--inject" {
+                let path = it.next().ok_or("--inject needs a fault-plan file")?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                flags.inject =
+                    Some(corpus::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?);
+            } else if a == "--outcomes" {
+                flags.outcomes = true;
             } else {
                 rest.push(a.clone());
             }
@@ -80,6 +99,9 @@ impl InferFlags {
         }
         if let Some(s) = self.schedule {
             pipeline = pipeline.with_bp_schedule(s);
+        }
+        if let Some(plan) = &self.inject {
+            plan.apply_config(&mut pipeline.config);
         }
         pipeline
     }
@@ -99,8 +121,19 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
     match cmd {
         "infer" => {
             let (flags, files) = InferFlags::parse(rest)?;
-            let sources = read_sources(&files)?;
-            let pipeline = flags.apply(Pipeline::from_sources(&sources)?);
+            let mut sources = read_sources(&files)?;
+            // Fault injection corrupts sources *before* parsing; parsing is
+            // lenient under injection so a garbled file costs only itself.
+            let pipeline = if let Some(plan) = &flags.inject {
+                plan.apply_sources(&mut sources);
+                flags.apply(Pipeline::from_sources_lenient(&sources))
+            } else {
+                flags.apply(Pipeline::from_sources(&sources)?)
+            };
+            for s in &pipeline.skipped_sources {
+                let file = files.get(s.index).map_or("<source>", String::as_str);
+                eprintln!("warning: skipped {file}: {}", s.error);
+            }
             let result = pipeline.infer();
             for (method, spec) in &result.specs {
                 if spec.is_empty() {
@@ -115,6 +148,21 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                     println!("    ensures:  {}", spec.ensures);
                 }
             }
+            if flags.outcomes {
+                // The deterministic outcome table: skipped sources first
+                // (by input index), then one line per method. The CI fault
+                // gate byte-diffs this across thread counts.
+                println!("--- outcomes ---");
+                for s in &pipeline.skipped_sources {
+                    println!("source:{}\tskipped\t{}", s.index, s.error);
+                }
+                print!("{}", result.outcome_table());
+            }
+            for (method, outcome) in &result.outcomes {
+                if outcome.is_degraded() {
+                    eprintln!("warning: {method} degraded: {}", outcome.detail());
+                }
+            }
             eprintln!(
                 "inferred {} specs with {} model solves in {:?} ({} threads, {} BP sweeps, {} message updates)",
                 result.annotation_count(),
@@ -124,6 +172,14 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 result.bp_iterations,
                 result.message_updates
             );
+            if result.failed_count() > 0 || !pipeline.skipped_sources.is_empty() {
+                eprintln!(
+                    "partial result: {} methods failed, {} sources skipped (specs above cover the healthy remainder)",
+                    result.failed_count(),
+                    pipeline.skipped_sources.len()
+                );
+                return Ok(ExitCode::from(3));
+            }
             Ok(ExitCode::SUCCESS)
         }
         "check" => {

@@ -39,7 +39,7 @@ pub mod apply;
 pub mod pipeline;
 
 pub use apply::{apply_specs, render};
-pub use pipeline::{Pipeline, PipelineReport};
+pub use pipeline::{Pipeline, PipelineReport, SkippedSource};
 
 pub use analysis;
 pub use anek_core;

@@ -15,6 +15,16 @@ use plural::{check, CheckResult, SpecTable};
 use spec_lang::{spec_of_method, standard_api, ApiRegistry, MethodSpec};
 use std::collections::BTreeMap;
 
+/// A source rejected during lenient parsing
+/// ([`Pipeline::from_sources_lenient`]): the pipeline proceeds without it.
+#[derive(Debug, Clone)]
+pub struct SkippedSource {
+    /// Index of the source in the input slice.
+    pub index: usize,
+    /// Why it failed to parse.
+    pub error: ParseError,
+}
+
 /// A configured pipeline over one program.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -27,6 +37,9 @@ pub struct Pipeline {
     /// Run the IR verifier at stage boundaries even in release builds
     /// (debug builds always verify).
     pub verify_ir: bool,
+    /// Sources dropped by [`Pipeline::from_sources_lenient`]; empty for the
+    /// strict constructors.
+    pub skipped_sources: Vec<SkippedSource>,
 }
 
 /// The complete result of a pipeline run.
@@ -45,13 +58,35 @@ pub struct PipelineReport {
     /// IR-verifier findings from the stage boundaries (`IR001`–`IR003`);
     /// empty when verification is disabled or everything is well-formed.
     pub ir_diagnostics: Vec<Diagnostic>,
+    /// Sources the lenient constructor dropped; the report covers only the
+    /// parsed remainder.
+    pub skipped_sources: Vec<SkippedSource>,
+}
+
+impl PipelineReport {
+    /// The deterministic per-method outcome table of the inference stage
+    /// (see `anek_core::render_outcome_table`).
+    pub fn outcome_table(&self) -> String {
+        self.inference.outcome_table()
+    }
+
+    /// Whether every source parsed and every method's solve ended `Ok`.
+    pub fn fully_ok(&self) -> bool {
+        self.skipped_sources.is_empty() && self.inference.fully_ok()
+    }
 }
 
 impl Pipeline {
     /// Builds a pipeline from already-parsed units with the standard API
     /// model and default configuration.
     pub fn new(units: Vec<CompilationUnit>) -> Pipeline {
-        Pipeline { units, api: standard_api(), config: InferConfig::default(), verify_ir: false }
+        Pipeline {
+            units,
+            api: standard_api(),
+            config: InferConfig::default(),
+            verify_ir: false,
+            skipped_sources: Vec::new(),
+        }
     }
 
     /// Parses each source string into a unit.
@@ -62,6 +97,24 @@ impl Pipeline {
     pub fn from_sources<S: AsRef<str>>(sources: &[S]) -> Result<Pipeline, ParseError> {
         let units = sources.iter().map(|s| parse(s.as_ref())).collect::<Result<Vec<_>, _>>()?;
         Ok(Pipeline::new(units))
+    }
+
+    /// Parses each source string, skipping (and recording) the ones that
+    /// fail instead of aborting — the degraded-mode counterpart of
+    /// [`Pipeline::from_sources`]: a truncated or corrupted file costs only
+    /// its own methods, never the whole run.
+    pub fn from_sources_lenient<S: AsRef<str>>(sources: &[S]) -> Pipeline {
+        let mut units = Vec::new();
+        let mut skipped = Vec::new();
+        for (index, s) in sources.iter().enumerate() {
+            match parse(s.as_ref()) {
+                Ok(unit) => units.push(unit),
+                Err(error) => skipped.push(SkippedSource { index, error }),
+            }
+        }
+        let mut pipeline = Pipeline::new(units);
+        pipeline.skipped_sources = skipped;
+        pipeline
     }
 
     /// Replaces the API model.
@@ -104,6 +157,11 @@ impl Pipeline {
         let states = anek_core::merged_states(&self.units, &self.api);
         let ctx = ModelCtx { index: &index, api: &self.api, states: &states };
         let no_summaries = BTreeMap::new();
+        // Verify the organic models: injected faults (NaN tables, padding)
+        // deliberately violate IR invariants so the *solver* guards can be
+        // exercised — they must not abort the run at the verifier instead.
+        let config =
+            InferConfig { faults: anek_core::FaultInjection::default(), ..self.config.clone() };
         let mut diags = Vec::new();
         for unit in &self.units {
             for t in &unit.types {
@@ -123,7 +181,7 @@ impl Pipeline {
                         &own_spec,
                         m.is_constructor(),
                         &no_summaries,
-                        &self.config,
+                        &config,
                     );
                     diags.extend(lint::verify::verify_model(&model));
                 }
@@ -175,6 +233,7 @@ impl Pipeline {
             annotations_applied,
             annotated_source,
             ir_diagnostics,
+            skipped_sources: self.skipped_sources.clone(),
         }
     }
 }

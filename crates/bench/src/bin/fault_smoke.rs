@@ -1,0 +1,76 @@
+//! Fault-mode smoke: inference over the generated corpus with injected
+//! faults must complete, isolate the damage, and cost about the same as a
+//! clean run.
+//!
+//! Picks two real methods from a clean run, poisons one with a scripted
+//! panic and one with a NaN factor table, re-runs inference, and reports
+//! outcome counts plus both wall times. Exits non-zero if a fault escaped
+//! its method (a healthy spec changed, or the poisoned method is not the
+//! only failure).
+//!
+//! Run: `cargo run --release -p bench --bin fault_smoke [-- --small]`
+
+use anek::anek_core::{FaultInjection, InferConfig};
+use anek::Pipeline;
+use bench::{fmt_duration, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    println!("Fault-mode smoke on the {scale:?} corpus ({} methods).\n", corpus.stats.methods);
+
+    let clean = Pipeline::new(corpus.units.clone()).infer();
+    println!(
+        "clean:   {} specs, {} failed, {} degraded, {}",
+        clean.specs.len(),
+        clean.failed_count(),
+        clean.degraded_count(),
+        fmt_duration(clean.elapsed)
+    );
+    if clean.failed_count() != 0 {
+        eprintln!("clean run must have zero failures");
+        return ExitCode::FAILURE;
+    }
+
+    let mut methods = clean.summaries.keys();
+    let (Some(panicked), Some(poisoned)) = (methods.next(), methods.nth(1)) else {
+        eprintln!("corpus too small for the smoke");
+        return ExitCode::FAILURE;
+    };
+    let cfg = InferConfig {
+        faults: FaultInjection {
+            panic_methods: vec![panicked.to_string()],
+            nan_methods: vec![poisoned.to_string()],
+            ..FaultInjection::default()
+        },
+        ..InferConfig::default()
+    };
+    let faulted = Pipeline::new(corpus.units.clone()).with_config(cfg).infer();
+    println!(
+        "faulted: {} specs, {} failed, {} degraded, {} (panic: {panicked}, nan: {poisoned})",
+        faulted.specs.len(),
+        faulted.failed_count(),
+        faulted.degraded_count(),
+        fmt_duration(faulted.elapsed)
+    );
+
+    if faulted.failed_count() != 1 || !faulted.outcomes[panicked].is_failed() {
+        eprintln!("expected exactly the panicked method to fail:\n{}", faulted.outcome_table());
+        return ExitCode::FAILURE;
+    }
+    // Methods with no dependence on the poisoned pair keep their exact
+    // specs; count how many moved (callers/callees of the pair may).
+    let moved = clean
+        .specs
+        .iter()
+        .filter(|(id, spec)| {
+            *id != panicked && *id != poisoned && faulted.specs.get(id) != Some(spec)
+        })
+        .count();
+    println!(
+        "\nblast radius: {moved}/{} other specs changed; inference survived both faults.",
+        clean.specs.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,297 @@
+//! Deterministic fault-injection plans for the inference pipeline.
+//!
+//! A [`FaultPlan`] scripts every fault class the fault-isolated worklist
+//! must survive — scripted solve panics, NaN-poisoned factor tables,
+//! oversized models, garbled or truncated sources, and starved BP budgets —
+//! in a tiny line-based text format that `anek infer --inject <plan>`
+//! replays. Everything random (which bytes to garble) derives from the
+//! plan's seed through the in-tree [`prng`], so a plan file is a complete,
+//! replayable description of the failure scenario: same plan, same corpus,
+//! same outcome table, on every machine and for every `--threads` value.
+//!
+//! ## Plan format
+//!
+//! One directive per line; blank lines and `#` comments are ignored:
+//!
+//! ```text
+//! seed 42                 # base seed for source corruption (default 0)
+//! panic App.copy          # solve of App.copy panics (pattern: exact, Class.*, *)
+//! nan Row.*               # NaN unary factor in every Row method's model
+//! oversize App.big 4096   # pad App.big's factor graph with 4096 variables
+//! garble 0 12             # source #0: overwrite 12 random bytes
+//! truncate 1 50           # source #1: keep the first 50% of bytes
+//! bp-max-iters 2          # starve every solve's iteration cap
+//! update-budget 500       # hard per-solve message-update budget
+//! max-model-vars 100      # lower the model-size refusal cap
+//! ```
+
+use anek_core::config::FaultInjection;
+use anek_core::InferConfig;
+use prng::Rng;
+use std::fmt;
+
+/// A parsed, replayable fault-injection plan (see the module docs for the
+/// file format).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Base seed for the source-corruption streams.
+    pub seed: u64,
+    /// Method patterns whose solve panics.
+    pub panic_methods: Vec<String>,
+    /// Method patterns whose model gets a NaN factor.
+    pub nan_methods: Vec<String>,
+    /// Method patterns padded with extra factor-graph variables.
+    pub oversize_methods: Vec<(String, usize)>,
+    /// `(source index, bytes to overwrite)` pairs.
+    pub garble_sources: Vec<(usize, usize)>,
+    /// `(source index, percent of bytes kept)` pairs.
+    pub truncate_sources: Vec<(usize, usize)>,
+    /// Override for `BpOptions::max_iterations` (starves convergence).
+    pub bp_max_iterations: Option<usize>,
+    /// Override for `BpOptions::update_budget`.
+    pub update_budget: Option<usize>,
+    /// Override for `InferConfig::max_model_vars`.
+    pub max_model_vars: Option<usize>,
+}
+
+impl FaultPlan {
+    /// Parses the plan format. Returns the first offending line on error.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: `{raw}`", lineno + 1);
+            let mut words = line.split_whitespace();
+            let directive = words.next().unwrap_or("");
+            let args: Vec<&str> = words.collect();
+            let one = |args: &[&str]| -> Result<String, String> {
+                match args {
+                    [a] => Ok((*a).to_string()),
+                    _ => Err(err("expected one argument")),
+                }
+            };
+            let one_num = |args: &[&str]| -> Result<usize, String> {
+                one(args)?.parse().map_err(|_| err("expected a number"))
+            };
+            let two_nums = |args: &[&str]| -> Result<(usize, usize), String> {
+                match args {
+                    [a, b] => match (a.parse(), b.parse()) {
+                        (Ok(a), Ok(b)) => Ok((a, b)),
+                        _ => Err(err("expected two numbers")),
+                    },
+                    _ => Err(err("expected two arguments")),
+                }
+            };
+            match directive {
+                "seed" => plan.seed = one(&args)?.parse().map_err(|_| err("expected a number"))?,
+                "panic" => plan.panic_methods.push(one(&args)?),
+                "nan" => plan.nan_methods.push(one(&args)?),
+                "oversize" => match args[..] {
+                    [pat, n] => plan
+                        .oversize_methods
+                        .push((pat.to_string(), n.parse().map_err(|_| err("bad var count"))?)),
+                    _ => return Err(err("expected `oversize <pattern> <vars>`")),
+                },
+                "garble" => plan.garble_sources.push(two_nums(&args)?),
+                "truncate" => {
+                    let (idx, pct) = two_nums(&args)?;
+                    if pct > 100 {
+                        return Err(err("percent must be 0–100"));
+                    }
+                    plan.truncate_sources.push((idx, pct));
+                }
+                "bp-max-iters" => plan.bp_max_iterations = Some(one_num(&args)?),
+                "update-budget" => plan.update_budget = Some(one_num(&args)?),
+                "max-model-vars" => plan.max_model_vars = Some(one_num(&args)?),
+                _ => return Err(err("unknown directive")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan { seed: self.seed, ..FaultPlan::default() }
+    }
+
+    /// Applies the source-level faults (garbling, truncation) in place.
+    ///
+    /// Out-of-range source indices are ignored — a plan written for a large
+    /// corpus degrades gracefully on a smaller one. Corruption is drawn from
+    /// a child stream forked per directive, so adding a directive never
+    /// shifts the bytes an earlier one picks.
+    pub fn apply_sources(&self, sources: &mut [String]) {
+        let mut rng = Rng::new(self.seed);
+        for &(idx, edits) in &self.garble_sources {
+            let mut child = rng.fork();
+            let Some(src) = sources.get_mut(idx) else { continue };
+            *src = garble(src, edits, &mut child);
+        }
+        for &(idx, pct) in &self.truncate_sources {
+            let Some(src) = sources.get_mut(idx) else { continue };
+            let keep = src.len() * pct / 100;
+            // Cut on a char boundary at or below the target length.
+            let mut cut = keep.min(src.len());
+            while !src.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            src.truncate(cut);
+        }
+    }
+
+    /// Applies the model- and solver-level faults to an [`InferConfig`].
+    pub fn apply_config(&self, cfg: &mut InferConfig) {
+        cfg.faults = FaultInjection {
+            panic_methods: self.panic_methods.clone(),
+            nan_methods: self.nan_methods.clone(),
+            oversize_methods: self.oversize_methods.clone(),
+        };
+        if let Some(n) = self.bp_max_iterations {
+            cfg.bp.max_iterations = n;
+        }
+        if let Some(n) = self.update_budget {
+            cfg.bp.update_budget = Some(n);
+        }
+        if let Some(n) = self.max_model_vars {
+            cfg.max_model_vars = n;
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Renders the plan back into its file format (`parse` ∘ `to_string`
+    /// is the identity on the plan value).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "seed {}", self.seed)?;
+        for p in &self.panic_methods {
+            writeln!(f, "panic {p}")?;
+        }
+        for p in &self.nan_methods {
+            writeln!(f, "nan {p}")?;
+        }
+        for (p, n) in &self.oversize_methods {
+            writeln!(f, "oversize {p} {n}")?;
+        }
+        for (i, n) in &self.garble_sources {
+            writeln!(f, "garble {i} {n}")?;
+        }
+        for (i, n) in &self.truncate_sources {
+            writeln!(f, "truncate {i} {n}")?;
+        }
+        if let Some(n) = self.bp_max_iterations {
+            writeln!(f, "bp-max-iters {n}")?;
+        }
+        if let Some(n) = self.update_budget {
+            writeln!(f, "update-budget {n}")?;
+        }
+        if let Some(n) = self.max_model_vars {
+            writeln!(f, "max-model-vars {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Overwrites `edits` random byte positions of `src` with random printable
+/// ASCII. Operates on bytes but writes only single-byte characters, so the
+/// result may split a multi-byte character — which is the point: the parser
+/// must survive arbitrary corruption, and [`garble`] keeps whatever it
+/// produces a valid `String` by replacing any torn character wholesale.
+pub fn garble(src: &str, edits: usize, rng: &mut Rng) -> String {
+    if src.is_empty() {
+        return String::new();
+    }
+    // Work on chars (not raw bytes) so the output stays valid UTF-8 while
+    // still hitting every position a fuzzer could reach in ASCII sources.
+    let mut chars: Vec<char> = src.chars().collect();
+    const JUNK: &[u8] = b"{}();\"\\@#$%~`^|\x01\x7f012ABz \n";
+    for _ in 0..edits {
+        let at = rng.gen_index(0..chars.len());
+        chars[at] = *rng.pick(JUNK) as char;
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN: &str = "\
+# exercise every directive
+seed 7
+panic App.copy
+nan Row.*
+oversize App.big 4096
+garble 0 12
+truncate 1 50
+bp-max-iters 2
+update-budget 500
+max-model-vars 100
+";
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let plan = FaultPlan::parse(PLAN).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_methods, vec!["App.copy"]);
+        assert_eq!(plan.oversize_methods, vec![("App.big".to_string(), 4096)]);
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        for bad in ["bogus x", "oversize App.big", "truncate 0 150", "seed x"] {
+            assert!(FaultPlan::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_lines_ignored() {
+        let plan = FaultPlan::parse("\n# only a comment\n   \n").unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn apply_sources_is_deterministic() {
+        let plan = FaultPlan::parse("seed 3\ngarble 0 8\ntruncate 1 25\n").unwrap();
+        let original = vec!["class A { void m() { } }".to_string(), "0123456789abcdef".repeat(4)];
+        let mut a = original.clone();
+        let mut b = original.clone();
+        plan.apply_sources(&mut a);
+        plan.apply_sources(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a[0], original[0], "garbling changed the source");
+        assert_eq!(a[1].len(), original[1].len() / 4, "25% kept");
+    }
+
+    #[test]
+    fn apply_sources_ignores_out_of_range_indices() {
+        let plan = FaultPlan::parse("garble 9 5\ntruncate 9 10\n").unwrap();
+        let mut sources = vec!["class A { }".to_string()];
+        plan.apply_sources(&mut sources);
+        assert_eq!(sources[0], "class A { }");
+    }
+
+    #[test]
+    fn apply_config_sets_every_knob() {
+        let plan = FaultPlan::parse(PLAN).unwrap();
+        let mut cfg = InferConfig::default();
+        plan.apply_config(&mut cfg);
+        assert_eq!(cfg.bp.max_iterations, 2);
+        assert_eq!(cfg.bp.update_budget, Some(500));
+        assert_eq!(cfg.max_model_vars, 100);
+        assert_eq!(cfg.faults.panic_methods, vec!["App.copy"]);
+        assert!(!cfg.faults.is_empty());
+    }
+
+    #[test]
+    fn garble_output_stays_valid_and_same_char_count() {
+        let mut rng = Rng::new(11);
+        let src = "class A { void m(Iterator<Integer> it) { it.next(); } }";
+        let out = garble(src, 10, &mut rng);
+        assert_eq!(out.chars().count(), src.chars().count());
+    }
+}

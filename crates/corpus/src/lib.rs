@@ -10,7 +10,9 @@
 //! * [`generator`] — the deterministic PMD-stand-in corpus reproducing
 //!   Table 1's shape (classes, methods, `next()` call sites, bug sites),
 //!   plus the gold ("Bierhoff") annotations and ground-truth specs;
-//! * [`table3`] — the 400-line branchy program in modular and inlined forms.
+//! * [`table3`] — the 400-line branchy program in modular and inlined forms;
+//! * [`faults`] — deterministic fault-injection plans (`anek infer
+//!   --inject`) driving the robustness harness.
 //!
 //! ## Example
 //!
@@ -24,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod figures;
 pub mod generator;
 pub mod regression;
 pub mod table3;
 
+pub use faults::FaultPlan;
 pub use figures::{figure2, figure3_unit, figure7_unit, FIGURE3, FIGURE7};
 pub use generator::{generate, CorpusStats, PmdConfig, PmdCorpus};
 pub use regression::{suite, Expectation, RegressionCase};

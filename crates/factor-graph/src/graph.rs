@@ -59,11 +59,47 @@ pub struct BpOptions {
     pub damping: f64,
     /// Message-update schedule.
     pub schedule: BpSchedule,
+    /// Optional hard per-solve budget on message updates, counted in the
+    /// same unit as [`Marginals::updates`]. Unlike a wall-clock deadline
+    /// this is deterministic: the same graph and options stop at the same
+    /// update on every run. `None` (the default) leaves `max_iterations`
+    /// as the only bound.
+    pub update_budget: Option<usize>,
 }
 
 impl Default for BpOptions {
     fn default() -> BpOptions {
-        BpOptions { max_iterations: 50, tolerance: 1e-6, damping: 0.0, schedule: BpSchedule::Sweep }
+        BpOptions {
+            max_iterations: 50,
+            tolerance: 1e-6,
+            damping: 0.0,
+            schedule: BpSchedule::Sweep,
+            update_budget: None,
+        }
+    }
+}
+
+/// Counters of numeric anomalies absorbed during message passing.
+///
+/// The kernel clamps every normalization whose mass is non-finite or sums
+/// to zero back to the uniform message `0.5` instead of dividing — the
+/// solve always completes with finite marginals. These counters record how
+/// often that clamp fired so callers can report the solve as degraded
+/// rather than silently trusting the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardEvents {
+    /// Normalizations whose mass was NaN or infinite (poisoned factor
+    /// table or stamped extra).
+    pub non_finite: usize,
+    /// Normalizations whose mass summed to zero (all-zero factor rows or
+    /// fully underflowed message products).
+    pub zero_sum: usize,
+}
+
+impl GuardEvents {
+    /// Whether any guard fired during the solve.
+    pub fn any(&self) -> bool {
+        self.non_finite > 0 || self.zero_sum > 0
     }
 }
 
@@ -79,6 +115,8 @@ pub struct Marginals {
     /// Total factor→variable message updates applied. The unit both
     /// schedules share: one sweep costs `num_edges` updates.
     pub updates: usize,
+    /// Numeric anomalies clamped during the solve (see [`GuardEvents`]).
+    pub guards: GuardEvents,
 }
 
 impl Marginals {
@@ -253,7 +291,13 @@ impl FactorGraph {
         }
         let probs =
             weight_true.iter().map(|&wt| if total > 0.0 { wt / total } else { 0.5 }).collect();
-        Marginals { probs, iterations: 1, converged: true, updates: 0 }
+        Marginals {
+            probs,
+            iterations: 1,
+            converged: true,
+            updates: 0,
+            guards: GuardEvents::default(),
+        }
     }
 }
 

@@ -26,7 +26,7 @@
 //! recompiling (see `anek-core`'s incremental `ANEK-INFER`).
 
 use crate::factor::VarId;
-use crate::graph::{BpOptions, BpSchedule, FactorGraph, Marginals};
+use crate::graph::{BpOptions, BpSchedule, FactorGraph, GuardEvents, Marginals};
 use std::collections::BinaryHeap;
 
 /// A [`FactorGraph`] compiled into flat arena form.
@@ -98,12 +98,26 @@ fn damp(old: f64, new: f64, d: f64) -> f64 {
     d * old + (1.0 - d) * new
 }
 
+/// Normalizes a two-point mass to `p(true)`, clamping degenerate masses to
+/// the uniform message and counting the clamp in `ev`.
+///
+/// On healthy inputs (finite, positive mass) this is exactly the historical
+/// `p_t / (p_t + p_f)` — bit-for-bit. Non-finite mass (a NaN or infinite
+/// potential leaked into the products) and zero mass (all-zero factor rows,
+/// fully underflowed products) both clamp to `0.5`; the former used to
+/// produce `0.5` silently via NaN comparison semantics, and is now counted
+/// so the solve can be reported as degraded.
 #[inline]
-fn normalize(p_t: f64, p_f: f64) -> f64 {
+fn normalize(p_t: f64, p_f: f64, ev: &mut GuardEvents) -> f64 {
     let z = p_t + p_f;
-    if z > 0.0 {
+    if z > 0.0 && z.is_finite() {
         p_t / z
     } else {
+        if z.is_finite() {
+            ev.zero_sum += 1;
+        } else {
+            ev.non_finite += 1;
+        }
         0.5
     }
 }
@@ -201,6 +215,7 @@ impl CompiledGraph {
         let nf = self.f_off.len() - 1;
         let nx = extras.ps.len();
         let d = opts.damping;
+        let budget = opts.update_budget.unwrap_or(usize::MAX);
         let mut msg_fv = vec![0.5f64; ne];
         let mut msg_vf = vec![0.5f64; ne];
         let mut x_msg = vec![0.5f64; nx];
@@ -208,6 +223,7 @@ impl CompiledGraph {
         let mut iterations = 0;
         let mut converged = false;
         let mut updates = 0usize;
+        let mut ev = GuardEvents::default();
 
         for it in 0..opts.max_iterations {
             iterations = it + 1;
@@ -234,7 +250,7 @@ impl CompiledGraph {
                         p_t *= m;
                         p_f *= 1.0 - m;
                     }
-                    let new = normalize(p_t, p_f);
+                    let new = normalize(p_t, p_f, &mut ev);
                     let slot = &mut msg_vf[e as usize];
                     *slot = damp(*slot, new, d);
                 }
@@ -245,7 +261,7 @@ impl CompiledGraph {
                 let e0 = self.f_off[fi] as usize;
                 let e1 = self.f_off[fi + 1] as usize;
                 for pos in 0..(e1 - e0) {
-                    let new = self.factor_message_local::<MAX>(fi, pos, &msg_vf[e0..e1]);
+                    let new = self.factor_message_local::<MAX>(fi, pos, &msg_vf[e0..e1], &mut ev);
                     let slot = &mut msg_fv[e0 + pos];
                     *slot = damp(*slot, new, d);
                 }
@@ -253,7 +269,7 @@ impl CompiledGraph {
             // Stamped extras behave as unary factors appended after every
             // skeleton factor: constant normalized message, damped in.
             for (x, &p) in extras.ps.iter().enumerate() {
-                let new = normalize(p, 1.0 - p);
+                let new = normalize(p, 1.0 - p, &mut ev);
                 let slot = &mut x_msg[x];
                 *slot = damp(*slot, new, d);
             }
@@ -274,7 +290,7 @@ impl CompiledGraph {
                     p_t *= m;
                     p_f *= 1.0 - m;
                 }
-                let b = normalize(p_t, p_f);
+                let b = normalize(p_t, p_f, &mut ev);
                 max_delta = max_delta.max((b - *belief).abs());
                 *belief = b;
             }
@@ -282,14 +298,24 @@ impl CompiledGraph {
                 converged = true;
                 break;
             }
+            if updates >= budget {
+                break;
+            }
         }
 
-        Marginals { probs: marginals, iterations, converged, updates }
+        Marginals { probs: marginals, iterations, converged, updates, guards: ev }
     }
 
     /// The variable→factor message for edge `e`, computed on demand from
     /// the current factor→variable messages (asynchronous form).
-    fn vf_message(&self, e: usize, msg_fv: &[f64], x_msg: &[f64], extras: &ExtraIndex) -> f64 {
+    fn vf_message(
+        &self,
+        e: usize,
+        msg_fv: &[f64],
+        x_msg: &[f64],
+        extras: &ExtraIndex,
+        ev: &mut GuardEvents,
+    ) -> f64 {
         let v = self.edge_var[e] as usize;
         let mut p_t = 1.0f64;
         let mut p_f = 1.0f64;
@@ -306,7 +332,7 @@ impl CompiledGraph {
             p_t *= m;
             p_f *= 1.0 - m;
         }
-        normalize(p_t, p_f)
+        normalize(p_t, p_f, ev)
     }
 
     /// The damped candidate update for factor→variable message `e`, read
@@ -319,11 +345,12 @@ impl CompiledGraph {
         msg_fv: &[f64],
         msg_vf: &[f64],
         d: f64,
+        ev: &mut GuardEvents,
     ) -> f64 {
         let fi = self.edge_factor[e] as usize;
         let e0 = self.f_off[fi] as usize;
         let e1 = self.f_off[fi + 1] as usize;
-        let new = self.factor_message_local::<MAX>(fi, e - e0, &msg_vf[e0..e1]);
+        let new = self.factor_message_local::<MAX>(fi, e - e0, &msg_vf[e0..e1], ev);
         damp(msg_fv[e], new, d)
     }
 
@@ -338,11 +365,17 @@ impl CompiledGraph {
     /// (zero-potential rows contribute exactly `+0.0` / lose every `max`,
     /// so skipping them never changes a bit).
     #[inline]
-    fn factor_message_local<const MAX: bool>(&self, fi: usize, pos: usize, local: &[f64]) -> f64 {
+    fn factor_message_local<const MAX: bool>(
+        &self,
+        fi: usize,
+        pos: usize,
+        local: &[f64],
+        ev: &mut GuardEvents,
+    ) -> f64 {
         let n = local.len();
         let table = &self.tables[self.t_off[fi] as usize..self.t_off[fi + 1] as usize];
         match n {
-            1 => normalize(table[1], table[0]),
+            1 => normalize(table[1], table[0], ev),
             2 => {
                 let m = local[1 - pos];
                 let om = 1.0 - m;
@@ -356,7 +389,7 @@ impl CompiledGraph {
                 } else {
                     (t_lo + t_hi, f_lo + f_hi)
                 };
-                normalize(p_t, p_f)
+                normalize(p_t, p_f, ev)
             }
             _ => {
                 let mut acc_t = 0.0f64;
@@ -379,7 +412,7 @@ impl CompiledGraph {
                         acc_f = if MAX { acc_f.max(w) } else { acc_f + w };
                     }
                 }
-                normalize(acc_t, acc_f)
+                normalize(acc_t, acc_f, ev)
             }
         }
     }
@@ -394,10 +427,14 @@ impl CompiledGraph {
         let ne = self.edge_var.len();
         let d = opts.damping;
         let mut msg_fv = vec![0.5f64; ne];
+        let mut ev = GuardEvents::default();
         // Extras are constant under the asynchronous schedule: install their
         // normalized value up front.
-        let x_msg: Vec<f64> = extras.ps.iter().map(|&p| normalize(p, 1.0 - p)).collect();
-        let budget = opts.max_iterations.saturating_mul(ne.max(1));
+        let x_msg: Vec<f64> = extras.ps.iter().map(|&p| normalize(p, 1.0 - p, &mut ev)).collect();
+        let budget = opts
+            .max_iterations
+            .saturating_mul(ne.max(1))
+            .min(opts.update_budget.unwrap_or(usize::MAX));
         let mut updates = 0usize;
         // Warm start: a few synchronous sweeps before greedy prioritization.
         // Loopy graphs with near-symmetric structure (e.g. soft one-hot
@@ -410,11 +447,15 @@ impl CompiledGraph {
         // *accelerates* convergence within the sweep's basin.
         let mut msg_vf = vec![0.5f64; ne];
         for _ in 0..WARM_SWEEPS.min(opts.max_iterations) {
-            for (e, m) in msg_vf.iter_mut().enumerate() {
-                *m = self.vf_message(e, &msg_fv, &x_msg, extras);
+            if updates >= budget {
+                break;
             }
-            let next: Vec<f64> =
-                (0..ne).map(|e| self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d)).collect();
+            for (e, m) in msg_vf.iter_mut().enumerate() {
+                *m = self.vf_message(e, &msg_fv, &x_msg, extras, &mut ev);
+            }
+            let next: Vec<f64> = (0..ne)
+                .map(|e| self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d, &mut ev))
+                .collect();
             msg_fv = next;
             updates += ne;
         }
@@ -424,13 +465,13 @@ impl CompiledGraph {
         // its residual. A heap entry is *stale* (superseded by a later
         // push) exactly when its residual no longer bit-matches `resid`.
         for (e, m) in msg_vf.iter_mut().enumerate() {
-            *m = self.vf_message(e, &msg_fv, &x_msg, extras);
+            *m = self.vf_message(e, &msg_fv, &x_msg, extras, &mut ev);
         }
         let mut cand = vec![0.0f64; ne];
         let mut resid = vec![0.0f64; ne];
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(ne * 2);
         for e in 0..ne {
-            cand[e] = self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d);
+            cand[e] = self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d, &mut ev);
             resid[e] = (cand[e] - msg_fv[e]).abs();
             if resid[e] >= opts.tolerance {
                 heap.push(HeapEntry { residual: resid[e], edge: e as u32 });
@@ -457,17 +498,19 @@ impl CompiledGraph {
             let f = self.edge_factor[e];
             for &o in self.var_edges(v) {
                 if o as usize != e {
-                    msg_vf[o as usize] = self.vf_message(o as usize, &msg_fv, &x_msg, extras);
+                    msg_vf[o as usize] =
+                        self.vf_message(o as usize, &msg_fv, &x_msg, extras, &mut ev);
                 }
             }
-            let mut repush = |e3: usize, cand: &mut [f64], resid: &mut [f64]| {
-                cand[e3] = self.candidate_cached::<MAX>(e3, &msg_fv, &msg_vf, d);
-                resid[e3] = (cand[e3] - msg_fv[e3]).abs();
-                if resid[e3] >= opts.tolerance {
-                    heap.push(HeapEntry { residual: resid[e3], edge: e3 as u32 });
-                }
-            };
-            repush(e, &mut cand, &mut resid);
+            let mut repush =
+                |e3: usize, cand: &mut [f64], resid: &mut [f64], ev: &mut GuardEvents| {
+                    cand[e3] = self.candidate_cached::<MAX>(e3, &msg_fv, &msg_vf, d, ev);
+                    resid[e3] = (cand[e3] - msg_fv[e3]).abs();
+                    if resid[e3] >= opts.tolerance {
+                        heap.push(HeapEntry { residual: resid[e3], edge: e3 as u32 });
+                    }
+                };
+            repush(e, &mut cand, &mut resid, &mut ev);
             for &e2 in self.var_edges(v) {
                 let f2 = self.edge_factor[e2 as usize];
                 if f2 == f {
@@ -477,7 +520,7 @@ impl CompiledGraph {
                 let b1 = self.f_off[f2 as usize + 1];
                 for e3 in b0..b1 {
                     if self.edge_var[e3 as usize] as usize != v {
-                        repush(e3 as usize, &mut cand, &mut resid);
+                        repush(e3 as usize, &mut cand, &mut resid, &mut ev);
                     }
                 }
             }
@@ -497,10 +540,10 @@ impl CompiledGraph {
                 p_t *= m;
                 p_f *= 1.0 - m;
             }
-            *belief = normalize(p_t, p_f);
+            *belief = normalize(p_t, p_f, &mut ev);
         }
         let iterations = updates.div_ceil(ne.max(1)).max(1);
-        Marginals { probs: marginals, iterations, converged, updates }
+        Marginals { probs: marginals, iterations, converged, updates, guards: ev }
     }
 }
 
@@ -525,11 +568,10 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
-        // Residuals are finite by construction (potentials are finite and
-        // non-negative, messages live in [0, 1]).
-        self.residual
-            .partial_cmp(&other.residual)
-            .expect("finite residual")
-            .then_with(|| other.edge.cmp(&self.edge))
+        // Residuals are absolute differences of guarded normalizations, so
+        // they are finite and non-negative; `total_cmp` agrees with
+        // `partial_cmp` on that domain while staying total (no panic path)
+        // if a poisoned table ever slips a NaN through.
+        self.residual.total_cmp(&other.residual).then_with(|| other.edge.cmp(&self.edge))
     }
 }

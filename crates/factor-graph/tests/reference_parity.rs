@@ -252,6 +252,7 @@ fn residual_matches_exact_on_trees() {
             tolerance: 1e-9,
             damping: 0.0,
             schedule: BpSchedule::Residual,
+            ..BpOptions::default()
         };
         let residual = g.solve(&opts);
         assert!(residual.converged, "residual BP must converge on trees");

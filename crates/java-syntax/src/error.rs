@@ -3,6 +3,35 @@
 use crate::span::Span;
 use std::fmt;
 
+/// Broad classification of a [`ParseError`], for callers that react
+/// differently to different failure shapes (the pipeline's lenient mode
+/// reports the kind; the fault harness asserts specific kinds appear).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// A token where the grammar expected something else (the default).
+    #[default]
+    Syntax,
+    /// The source ended mid-construct (truncated input).
+    UnexpectedEof,
+    /// A malformed numeric or string literal.
+    InvalidLiteral,
+    /// Expressions, statements or types nested beyond the parser's depth
+    /// limit — the guard that turns a would-be stack overflow (a process
+    /// abort nothing can catch) into an ordinary error.
+    NestingTooDeep,
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParseErrorKind::Syntax => "syntax error",
+            ParseErrorKind::UnexpectedEof => "unexpected end of input",
+            ParseErrorKind::InvalidLiteral => "invalid literal",
+            ParseErrorKind::NestingTooDeep => "nesting too deep",
+        })
+    }
+}
+
 /// An error produced while lexing or parsing Java source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -10,12 +39,19 @@ pub struct ParseError {
     pub message: String,
     /// Where in the source the error occurred.
     pub span: Span,
+    /// What shape of failure this is.
+    pub kind: ParseErrorKind,
 }
 
 impl ParseError {
-    /// Creates an error at a span.
+    /// Creates a [`ParseErrorKind::Syntax`] error at a span.
     pub fn new(message: impl Into<String>, span: Span) -> ParseError {
-        ParseError { message: message.into(), span }
+        ParseError { message: message.into(), span, kind: ParseErrorKind::Syntax }
+    }
+
+    /// Creates an error of a specific kind at a span.
+    pub fn with_kind(message: impl Into<String>, span: Span, kind: ParseErrorKind) -> ParseError {
+        ParseError { message: message.into(), span, kind }
     }
 }
 
@@ -40,6 +76,14 @@ mod tests {
         let e =
             ParseError::new("unexpected token", Span::new(Pos::new(10, 3, 4), Pos::new(11, 3, 5)));
         assert_eq!(e.to_string(), "3:4: unexpected token");
+        assert_eq!(e.kind, ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn with_kind_carries_the_kind() {
+        let e = ParseError::with_kind("ran out", Span::DUMMY, ParseErrorKind::UnexpectedEof);
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedEof);
+        assert_eq!(ParseErrorKind::NestingTooDeep.to_string(), "nesting too deep");
     }
 
     #[test]

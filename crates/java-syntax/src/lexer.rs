@@ -4,7 +4,7 @@
 //! Line and block comments are skipped; `//` and `/* ... */` nest the way Java
 //! specifies (block comments do not nest).
 
-use crate::error::{ParseError, Result};
+use crate::error::{ParseError, ParseErrorKind, Result};
 use crate::span::{Pos, Span};
 use crate::token::{Keyword, Token, TokenKind};
 
@@ -52,6 +52,10 @@ impl<'a> Lexer<'a> {
 
     fn error(&self, msg: impl Into<String>, start: Pos) -> ParseError {
         ParseError::new(msg, Span::new(start, self.pos))
+    }
+
+    fn error_kind(&self, msg: impl Into<String>, start: Pos, kind: ParseErrorKind) -> ParseError {
+        ParseError::with_kind(msg, Span::new(start, self.pos), kind)
     }
 
     fn push(&mut self, kind: TokenKind, start: Pos) {
@@ -105,7 +109,11 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                             }
                             None => {
-                                return Err(self.error("unterminated block comment", start));
+                                return Err(self.error_kind(
+                                    "unterminated block comment",
+                                    start,
+                                    ParseErrorKind::UnexpectedEof,
+                                ));
                             }
                         }
                     }
@@ -150,14 +158,23 @@ impl<'a> Lexer<'a> {
                 }
             }
             if self.pos.offset == digits_start.offset {
-                return Err(self.error("hex literal needs at least one digit", start));
+                return Err(self.error_kind(
+                    "hex literal needs at least one digit",
+                    start,
+                    ParseErrorKind::InvalidLiteral,
+                ));
             }
             let text = &self.src[digits_start.offset..self.pos.offset];
             if matches!(self.peek(), Some(b'L') | Some(b'l')) {
                 self.bump();
             }
-            let value = i64::from_str_radix(text, 16)
-                .map_err(|_| self.error(format!("invalid hex literal `{text}`"), start))?;
+            let value = i64::from_str_radix(text, 16).map_err(|_| {
+                self.error_kind(
+                    format!("invalid hex literal `{text}`"),
+                    start,
+                    ParseErrorKind::InvalidLiteral,
+                )
+            })?;
             self.push(TokenKind::IntLit(value), start);
             return Ok(());
         }
@@ -193,9 +210,13 @@ impl<'a> Lexer<'a> {
             TokenKind::DoubleLit(text.to_string())
         } else {
             let digits = text.trim_end_matches(['L', 'l']);
-            let value: i64 = digits
-                .parse()
-                .map_err(|_| self.error(format!("invalid integer literal `{text}`"), start))?;
+            let value: i64 = digits.parse().map_err(|_| {
+                self.error_kind(
+                    format!("invalid integer literal `{text}`"),
+                    start,
+                    ParseErrorKind::InvalidLiteral,
+                )
+            })?;
             TokenKind::IntLit(value)
         };
         self.push(kind, start);
@@ -209,8 +230,19 @@ impl<'a> Lexer<'a> {
             match self.bump() {
                 Some(b'"') => break,
                 Some(b'\\') => value.push(self.escape(start)?),
-                Some(b'\n') | None => {
-                    return Err(self.error("unterminated string literal", start));
+                Some(b'\n') => {
+                    return Err(self.error_kind(
+                        "unterminated string literal",
+                        start,
+                        ParseErrorKind::InvalidLiteral,
+                    ));
+                }
+                None => {
+                    return Err(self.error_kind(
+                        "unterminated string literal",
+                        start,
+                        ParseErrorKind::UnexpectedEof,
+                    ));
                 }
                 Some(b) => {
                     // Collect raw bytes; source is valid UTF-8 so multi-byte

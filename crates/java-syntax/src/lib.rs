@@ -43,7 +43,7 @@ pub use ast::{
     FieldDecl, Import, Lit, Member, MethodDecl, Modifiers, Param, PrimitiveType, QualifiedName,
     Stmt, StmtKind, TypeDecl, TypeKind, TypeRef, UnaryOp,
 };
-pub use error::{ParseError, Result};
+pub use error::{ParseError, ParseErrorKind, Result};
 pub use lexer::lex;
 pub use parser::{parse, parse_expr};
 pub use printer::{print_expr, print_stmt, print_type, print_unit};

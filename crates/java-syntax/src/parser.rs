@@ -7,10 +7,19 @@
 //! precedence-climbing expression grammar.
 
 use crate::ast::*;
-use crate::error::{ParseError, Result};
+use crate::error::{ParseError, ParseErrorKind, Result};
 use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Keyword, Token, TokenKind};
+
+/// Maximum nesting depth of recursive constructs (expressions, statements,
+/// types). Far above anything a real program reaches; low enough that
+/// pathological inputs (`((((…`) fail with [`ParseErrorKind::NestingTooDeep`]
+/// instead of overflowing the stack, which would abort the whole process.
+/// Each level costs several parser frames (~25 KiB in unoptimized builds),
+/// so the bound must hold inside the 2 MiB stack of a default spawned
+/// thread: overflow was measured between 60 and 80 levels there.
+const MAX_DEPTH: usize = 50;
 
 /// Parses a full compilation unit from source text.
 ///
@@ -41,11 +50,33 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_expr_id: u32,
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Parser {
-        Parser { tokens, pos: 0, next_expr_id: 0 }
+        Parser { tokens, pos: 0, next_expr_id: 0, depth: 0 }
+    }
+
+    /// Enters one level of recursion; errors out past [`MAX_DEPTH`]. The
+    /// recursion hubs (`stmt`, `unary`, `type_ref`) are thin wrappers that
+    /// call this on entry and [`Parser::ascend`] on every exit path — all
+    /// deep nesting (blocks, parenthesized expressions, generic types)
+    /// passes through one of them per level.
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError::with_kind(
+                format!("construct nested deeper than {MAX_DEPTH} levels"),
+                self.peek().span,
+                ParseErrorKind::NestingTooDeep,
+            ));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn fresh_id(&mut self) -> ExprId {
@@ -135,9 +166,15 @@ impl Parser {
     }
 
     fn unexpected(&self, wanted: &str) -> ParseError {
-        ParseError::new(
+        let kind = if self.at(&TokenKind::Eof) {
+            ParseErrorKind::UnexpectedEof
+        } else {
+            ParseErrorKind::Syntax
+        };
+        ParseError::with_kind(
             format!("expected {wanted}, found `{}`", self.peek_kind()),
             self.peek().span,
+            kind,
         )
     }
 
@@ -380,20 +417,18 @@ impl Parser {
                 }
             }
             let end = self.expect(&TokenKind::Semi)?.span;
-            if decls.len() == 1 {
-                let mut fd = decls.pop().expect("one declarator");
-                fd.span = start.to(end);
-                Ok(Member::Field(fd))
-            } else {
-                // The subset keeps one declarator per FieldDecl; synthesize a
-                // wrapper is unnecessary because Member::Field holds one —
-                // return the first and push the rest through a small trick:
-                // we only support multi-declarator fields by flattening at the
+            match decls.pop() {
+                Some(mut fd) if decls.is_empty() => {
+                    fd.span = start.to(end);
+                    Ok(Member::Field(fd))
+                }
+                // The subset keeps one declarator per FieldDecl; we only
+                // support multi-declarator fields by flattening at the
                 // TypeDecl level, so reject here to keep the AST faithful.
-                Err(ParseError::new(
+                _ => Err(ParseError::new(
                     "multiple declarators per field declaration are not supported; split them",
                     start.to(end),
-                ))
+                )),
             }
         }
     }
@@ -475,6 +510,13 @@ impl Parser {
     // ===================== Types =====================
 
     fn type_ref(&mut self) -> Result<TypeRef> {
+        self.descend()?;
+        let r = self.type_ref_inner();
+        self.ascend();
+        r
+    }
+
+    fn type_ref_inner(&mut self) -> Result<TypeRef> {
         let mut base = match self.peek_kind().clone() {
             TokenKind::Keyword(kw) => {
                 let prim = match kw {
@@ -593,6 +635,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
+        self.descend()?;
+        let r = self.stmt_inner();
+        self.ascend();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt> {
         let start = self.peek().span;
         match self.peek_kind().clone() {
             TokenKind::LBrace => {
@@ -994,6 +1043,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr> {
+        self.descend()?;
+        let r = self.unary_inner();
+        self.ascend();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr> {
         let start = self.peek().span;
         let op = match self.peek_kind() {
             TokenKind::Minus => Some(UnaryOp::Neg),

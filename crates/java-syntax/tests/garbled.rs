@@ -1,0 +1,100 @@
+//! Property tests: the front end never panics, whatever the input.
+//!
+//! The fault-isolated pipeline treats parse failures as skippable per-source
+//! events, which is only sound if `parse` returns `Err` instead of tearing
+//! the process down. These tests feed it seeded random corruption — byte
+//! garbling, truncation at every boundary, and adversarial deep nesting —
+//! and assert the result is always a clean `Ok`/`Err`.
+
+use java_syntax::{parse, ParseErrorKind};
+use prng::{forall, Rng};
+
+/// A small healthy program exercising most of the grammar.
+const HEALTHY: &str = r#"
+    package com.example;
+    import java.util.Iterator;
+    @States("ALIVE, DONE")
+    class Row {
+        Collection<Integer> entries;
+        Iterator<Integer> createColIter() { return entries.iterator(); }
+        void add(int val) { entries.add(val); }
+    }
+    class App {
+        Row copy(Row original) {
+            Iterator<Integer> iter = original.createColIter();
+            Row result = new Row();
+            while (iter.hasNext()) { result.add(iter.next()); }
+            return result;
+        }
+    }
+"#;
+
+fn garble(src: &str, edits: usize, rng: &mut Rng) -> String {
+    const JUNK: &[u8] = b"{}();\"\\@#$%~`^|\x01\x7f012ABz \n";
+    let mut chars: Vec<char> = src.chars().collect();
+    for _ in 0..edits {
+        let at = rng.gen_index(0..chars.len());
+        chars[at] = *rng.pick(JUNK) as char;
+    }
+    chars.into_iter().collect()
+}
+
+#[test]
+fn parse_never_panics_on_garbled_sources() {
+    forall("garbled-parse", 300, |rng| {
+        let edits = rng.gen_index(1..40);
+        let garbled = garble(HEALTHY, edits, rng);
+        // The property is the absence of a panic: any Ok/Err is fine.
+        let _ = parse(&garbled);
+    });
+}
+
+#[test]
+fn parse_never_panics_on_truncations() {
+    // Every prefix, cut on char boundaries — catches mid-construct EOF
+    // handling at each grammar position, deterministically.
+    for cut in 0..=HEALTHY.len() {
+        if HEALTHY.is_char_boundary(cut) {
+            let _ = parse(&HEALTHY[..cut]);
+        }
+    }
+}
+
+#[test]
+fn truncated_source_reports_unexpected_eof() {
+    let cut = &HEALTHY[..HEALTHY.rfind('}').unwrap()];
+    let err = parse(cut).unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::UnexpectedEof, "{err}");
+}
+
+#[test]
+fn deep_nesting_errors_instead_of_overflowing() {
+    // Would overflow the parser stack without the depth guard; the process
+    // would abort, so merely *returning* here proves the guard works.
+    for src in [
+        format!("class A {{ int x = {}1{}; }}", "(".repeat(5_000), ")".repeat(5_000)),
+        format!("class A {{ boolean x = {}true; }}", "!".repeat(5_000)),
+        format!("class A {{ void m() {{ {} }} }}", "{".repeat(5_000)),
+    ] {
+        let err = parse(&src).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::NestingTooDeep, "{err}");
+    }
+    // Deep generic types are rejected by the generics lookahead before the
+    // parser ever recurses; any clean error is the property here.
+    let generics = format!("class A {{ {}Deep{} f; }}", "List<".repeat(5_000), ">".repeat(5_000));
+    assert!(parse(&generics).is_err());
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    let src = format!("class A {{ int x = {}1{}; }}", "(".repeat(40), ")".repeat(40));
+    parse(&src).expect("40 levels is fine");
+}
+
+#[test]
+fn bad_literals_report_invalid_literal() {
+    for src in ["class A { long x = 99999999999999999999999; }", "class A { int x = 0xZZ; }"] {
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::InvalidLiteral, "{src}: {err}");
+    }
+}

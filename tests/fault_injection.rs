@@ -1,0 +1,120 @@
+//! Golden degraded-mode run: the full pipeline over a corpus with injected
+//! faults still infers, applies, and PLURAL-checks everything healthy.
+//!
+//! This is the end-to-end contract of the fault-isolation work: one
+//! poisoned method (or one corrupted source file) costs exactly itself —
+//! the Table-2-shaped results for the healthy subset are byte-identical to
+//! a clean run, and the report records precisely what was lost.
+
+use anek::analysis::MethodId;
+use anek::Pipeline;
+use anek_core::{FaultInjection, InferConfig};
+use corpus::FaultPlan;
+
+/// A class with no call edge into or out of Figure 3.
+const ISLAND: &str = "class Island { void roam(Collection<Integer> c) { \
+     Iterator<Integer> it = c.iterator(); \
+     while (it.hasNext()) { it.next(); } } }";
+
+#[test]
+fn poisoned_method_costs_exactly_itself() {
+    let sources = [corpus::FIGURE3, ISLAND];
+    let clean = Pipeline::from_sources(&sources).expect("corpus parses").run();
+
+    let mut pipeline = Pipeline::from_sources(&sources).expect("corpus parses");
+    pipeline.config.faults.panic_methods.push("Island.roam".into());
+    let faulted = pipeline.run();
+
+    // The poisoned method is recorded as failed; the run itself completed.
+    assert!(faulted.inference.outcomes[&MethodId::new("Island", "roam")].is_failed());
+    assert_eq!(faulted.inference.failed_count(), 1, "{}", faulted.outcome_table());
+    assert!(!faulted.fully_ok());
+
+    // Table-2 shape for the healthy subset: same specs, same warning set,
+    // same annotation count contribution — bit for bit.
+    for (method, spec) in &clean.inference.specs {
+        if method.class == "Island" {
+            continue;
+        }
+        assert_eq!(
+            faulted.inference.specs.get(method),
+            Some(spec),
+            "{method}: healthy spec changed under the fault"
+        );
+    }
+    assert_eq!(
+        faulted.warnings_after.warnings, clean.warnings_after.warnings,
+        "PLURAL verdicts on the healthy subset must not move"
+    );
+    assert!(
+        faulted.warnings_after.warnings.iter().all(|w| w.method.method == "testParseCSV"),
+        "remaining warnings still point at the genuine bug: {:?}",
+        faulted.warnings_after.warnings
+    );
+    assert!(faulted.annotations_applied > 0);
+}
+
+#[test]
+fn corrupted_source_is_skipped_and_the_rest_still_checked() {
+    // Truncating the island file mid-class makes it unparseable; the
+    // lenient pipeline must drop it, record why, and still run Figure 3
+    // end to end with identical results.
+    let mut plan = FaultPlan::parse("seed 7\ntruncate 1 40\n").expect("plan parses");
+    let mut sources: Vec<String> = vec![corpus::FIGURE3.to_string(), ISLAND.to_string()];
+    plan.apply_sources(&mut sources);
+    assert!(sources[1].len() < ISLAND.len(), "truncation applied");
+
+    let pipeline = Pipeline::from_sources_lenient(&sources);
+    assert_eq!(pipeline.skipped_sources.len(), 1, "island must fail to parse");
+    assert_eq!(pipeline.skipped_sources[0].index, 1);
+    let report = pipeline.run();
+    assert_eq!(report.skipped_sources.len(), 1);
+    assert!(!report.fully_ok());
+
+    let clean = Pipeline::from_sources(&[corpus::FIGURE3]).unwrap().run();
+    assert_eq!(report.inference.specs, clean.inference.specs);
+    assert_eq!(report.warnings_after.warnings, clean.warnings_after.warnings);
+
+    // Replayability: the rendered plan parses back to the same plan.
+    plan = FaultPlan::parse(&plan.to_string()).expect("roundtrip");
+    let mut again: Vec<String> = vec![corpus::FIGURE3.to_string(), ISLAND.to_string()];
+    plan.apply_sources(&mut again);
+    assert_eq!(again, sources, "replayed plan reproduces the corruption byte-for-byte");
+}
+
+#[test]
+fn fault_plan_configures_the_pipeline() {
+    let plan = FaultPlan::parse(
+        "seed 1\npanic Spreadsheet.copy\nnan Row.*\noversize Island.roam 4096\n\
+         bp-max-iters 12\nmax-model-vars 2048\n",
+    )
+    .expect("plan parses");
+    let mut config = InferConfig::default();
+    plan.apply_config(&mut config);
+    assert_eq!(
+        config.faults,
+        FaultInjection {
+            panic_methods: vec!["Spreadsheet.copy".into()],
+            nan_methods: vec!["Row.*".into()],
+            oversize_methods: vec![("Island.roam".into(), 4096)],
+        }
+    );
+    assert_eq!(config.bp.max_iterations, 12);
+    assert_eq!(config.max_model_vars, 2048);
+}
+
+#[test]
+fn faulted_pipeline_is_deterministic_across_thread_counts() {
+    let sources = [corpus::FIGURE3, ISLAND];
+    let run = |threads: usize| {
+        let mut pipeline = Pipeline::from_sources(&sources).unwrap().with_threads(threads);
+        pipeline.config.faults.panic_methods.push("Spreadsheet.copy".into());
+        pipeline.config.faults.nan_methods.push("Island.*".into());
+        let report = pipeline.run();
+        (report.outcome_table(), format!("{:?}", report.inference.specs))
+    };
+    let base = run(1);
+    for threads in [2, 4] {
+        assert_eq!(run(threads), base, "threads={threads} diverged under faults");
+    }
+}
