@@ -98,6 +98,38 @@ EOF
   fi
   echo "fault gate ok: partial report, exit 3, byte-identical across thread counts"
 
+  step "serve gate (scripted stdio session vs golden transcript)"
+  ./target/release/anek serve --stdio --store "$tmp/serve-store" \
+    <tests/golden/serve_session.jsonl 2>/dev/null >"$tmp/serve.out"
+  if ! diff -u tests/golden/serve_transcript.golden "$tmp/serve.out"; then
+    echo "serve gate failed: transcript drifted from tests/golden/serve_transcript.golden" >&2
+    echo "(if the drift is intentional, regenerate the golden with the command above)" >&2
+    exit 1
+  fi
+  echo "serve gate ok: byte-identical transcript"
+
+  step "store warm-vs-cold determinism gate (threads 1 and 4)"
+  mkdir -p "$tmp/incr"
+  cp "$tmp"/det/*.java "$tmp/incr/"
+  # Body-only edit of one method in one unit.
+  edit_target="$(grep -l 'next();' "$tmp"/incr/*.java | head -1)"
+  sed -i '0,/next();/s//next();\n        int __ci_edit = 1;/' "$edit_target"
+  for threads in 1 4; do
+    ./target/release/anek infer --threads "$threads" --outcomes \
+      "$tmp"/incr/*.java 2>/dev/null >"$tmp/incr.cold.t$threads"
+    # Warm the store on the *original* sources, then run the edited ones.
+    rm -rf "$tmp/incr-store"
+    ./target/release/anek infer --threads "$threads" --store "$tmp/incr-store" \
+      "$tmp"/det/*.java 2>/dev/null >/dev/null
+    ./target/release/anek infer --threads "$threads" --outcomes --store "$tmp/incr-store" \
+      "$tmp"/incr/*.java 2>/dev/null >"$tmp/incr.warm.t$threads"
+    if ! diff -u "$tmp/incr.cold.t$threads" "$tmp/incr.warm.t$threads"; then
+      echo "store gate failed: warm incremental output differs from cold at --threads $threads" >&2
+      exit 1
+    fi
+  done
+  echo "store gate ok: warm incremental byte-identical to cold at threads 1 and 4"
+
   step "bench smoke (table2 --small + BENCH_infer.json)"
   (cd "$tmp" && "$OLDPWD/target/release/table2" --small >/dev/null)
   if ! grep -q '"bench": "infer"' "$tmp/BENCH_infer.json"; then
@@ -105,6 +137,14 @@ EOF
     exit 1
   fi
   echo "bench smoke ok: BENCH_infer.json written"
+
+  step "serve-latency bench (warm query_spec p50 >= 10x below cold)"
+  (cd "$tmp" && "$OLDPWD/target/release/serve_latency" --small >/dev/null)
+  if ! grep -q '"bench": "serve"' "$tmp/BENCH_serve.json"; then
+    echo "serve-latency bench failed: BENCH_serve.json missing or malformed" >&2
+    exit 1
+  fi
+  echo "serve-latency ok: BENCH_serve.json written (10x criterion enforced by the binary)"
 
   step "anek lint self-check on the seeded corpus"
   ./target/release/anek corpus "$tmp" 2>/dev/null

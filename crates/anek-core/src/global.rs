@@ -181,6 +181,9 @@ pub fn infer_global(
         outcomes,
         nonconverged_solves: usize::from(!marginals.converged),
         numeric_guard_events: marginals.guards.non_finite + marginals.guards.zero_sum,
+        memo_hits: 0,
+        memo_misses: 0,
+        callers: BTreeMap::new(),
     }
 }
 

@@ -32,6 +32,7 @@
 //! not model construction.
 
 use crate::config::InferConfig;
+use crate::memo::{self, CacheKey, InferCache, KeyHasher, SolvedRecord};
 use crate::model::{CallerEvidence, MethodSkeleton, ModelCtx};
 use crate::outcome::{panic_message, DegradeReason, InferError, MethodOutcome};
 use crate::summary::{MethodSummary, SlotProbs};
@@ -49,17 +50,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// What one completed model solve produces: the method's new summary, the
-/// call-site evidence it observed about each callee, and the BP health and
-/// work counters.
+/// One completed model solve (see [`SolvedRecord`]) plus, when a cache is
+/// attached, the content key it is addressed by and whether it was replayed
+/// from the cache instead of computed.
 #[derive(Debug, Clone)]
 struct Solved {
-    summary: MethodSummary,
-    call_evidence: BTreeMap<MethodId, BTreeMap<ExprId, CallerEvidence>>,
-    iterations: usize,
-    updates: usize,
-    converged: bool,
-    guards: GuardEvents,
+    record: SolvedRecord,
+    cache: Option<(CacheKey, bool)>,
 }
 
 /// A solve either completes (possibly with degradations recorded in its
@@ -106,6 +103,19 @@ pub struct InferResult {
     /// Total numeric-guard clamps across all committed solves (NaN,
     /// infinite or zero-sum message mass absorbed by the kernel).
     pub numeric_guard_events: usize,
+    /// Committed solves replayed from an attached [`InferCache`] (always 0
+    /// without one). Deterministic for any thread count: lookups are
+    /// accounted at the sequential commit point.
+    pub memo_hits: usize,
+    /// Committed successful solves that ran belief propagation because the
+    /// attached cache had no record for their inputs (0 without a cache).
+    /// Warm incremental runs re-solve exactly the dirty cone, so this is
+    /// the "methods actually re-analyzed" metric the tests assert shrinks.
+    pub memo_misses: usize,
+    /// The program call graph over analyzable methods: callee → callers.
+    /// This is the dependency index a persistent store saves for dirty-cone
+    /// reporting.
+    pub callers: BTreeMap<MethodId, BTreeSet<MethodId>>,
 }
 
 impl InferResult {
@@ -240,6 +250,25 @@ fn map_parallel<I: Sync, T: Send>(
 /// `units` are the parsed sources of the program under inference, `api` the
 /// developer-annotated library model.
 pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) -> InferResult {
+    infer_with_store(units, api, cfg, None)
+}
+
+/// Runs ANEK-INFER with an optional content-addressed solve cache.
+///
+/// With `cache` attached, the worklist still commits the exact sequence of
+/// solves the plain algorithm performs — specs, summaries, outcomes and
+/// work counters are byte-identical to [`infer`] — but any solve whose
+/// static and dynamic inputs hash to a cached record replays that record
+/// instead of building a skeleton and running belief propagation (see
+/// [`crate::memo`] for the keying argument). Fresh solves are inserted at
+/// commit time, so a subsequent run over an edited program re-solves only
+/// the edit's transitive dirty cone.
+pub fn infer_with_store(
+    units: &[CompilationUnit],
+    api: &ApiRegistry,
+    cfg: &InferConfig,
+    cache: Option<&dyn InferCache>,
+) -> InferResult {
     cfg.validate();
     let start = Instant::now();
     let index = ProgramIndex::build(units.iter());
@@ -247,10 +276,18 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
     let ctx = ModelCtx { index: &index, api, states: &states };
     let threads = resolve_threads(cfg.threads);
 
+    // ---- Content fingerprints (only when a cache is attached) ----
+    let unit_fps: Vec<CacheKey> = match cache {
+        Some(_) => units.iter().map(memo::unit_fingerprint).collect(),
+        None => Vec::new(),
+    };
+    let interface_fp = cache.map(|_| memo::interface_fingerprint(units, api)).unwrap_or_default();
+    let config_fp = cache.map(|_| memo::config_fingerprint(cfg)).unwrap_or_default();
+
     // ---- Gather analyzable methods, build PFGs + model skeletons ----
-    let mut meta: Vec<(MethodId, &str, &java_syntax::ast::MethodDecl)> = Vec::new();
+    let mut meta: Vec<(MethodId, &str, &java_syntax::ast::MethodDecl, usize)> = Vec::new();
     let mut pre_annotated = BTreeSet::new();
-    for unit in units {
+    for (unit_idx, unit) in units.iter().enumerate() {
         for t in &unit.types {
             for m in t.methods() {
                 if m.body.is_none() {
@@ -261,17 +298,70 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                 if !spec_of_method(m).unwrap_or_default().is_empty() {
                     pre_annotated.insert(id.clone());
                 }
-                meta.push((id, t.name.as_str(), m));
+                meta.push((id, t.name.as_str(), m, unit_idx));
             }
         }
     }
-    let order: Vec<MethodId> = meta.iter().map(|(id, _, _)| id.clone()).collect();
+    let order: Vec<MethodId> = meta.iter().map(|(id, _, _, _)| id.clone()).collect();
+    // The static half of each method's solve key: everything that fixes the
+    // compiled skeleton (declaring unit, whole-program interface, config)
+    // plus the method's fault token. Dynamic inputs are appended per solve.
+    let static_keys: BTreeMap<MethodId, KeyHasher> = match cache {
+        Some(_) => meta
+            .iter()
+            .map(|(id, _, _, unit_idx)| {
+                let mut h = KeyHasher::new();
+                h.write_str("solve");
+                h.write_u32(memo::KEY_SCHEME_VERSION);
+                h.write_u64(unit_fps[*unit_idx] as u64);
+                h.write_u64((unit_fps[*unit_idx] >> 64) as u64);
+                h.write_u64(interface_fp as u64);
+                h.write_u64((interface_fp >> 64) as u64);
+                h.write_u64(config_fp as u64);
+                h.write_u64((config_fp >> 64) as u64);
+                h.write_str(&id.class);
+                h.write_str(&id.method);
+                h.write_u64(memo::method_fault_token(cfg, id));
+                (id.clone(), h)
+            })
+            .collect(),
+        None => BTreeMap::new(),
+    };
     // PFG construction is independent per method — the one-time setup cost
-    // parallelizes trivially. Skeletons compile lazily on first solve.
-    let built: Vec<MethodUnit> = map_parallel(threads, &meta, |(_, type_name, m)| {
+    // parallelizes trivially (and is skipped entirely for PFGs the cache
+    // already holds). Skeletons compile lazily on first solve.
+    let built: Vec<MethodUnit> = map_parallel(threads, &meta, |(id, type_name, m, unit_idx)| {
         let spec = spec_of_method(m).unwrap_or_default();
-        let pfg =
-            Arc::new(Pfg::build_with_refinement(&index, api, type_name, m, cfg.branch_sensitive));
+        let pfg_key = cache.map(|_| {
+            let mut h = KeyHasher::new();
+            h.write_str("pfg");
+            h.write_u32(memo::KEY_SCHEME_VERSION);
+            h.write_u64(unit_fps[*unit_idx] as u64);
+            h.write_u64((unit_fps[*unit_idx] >> 64) as u64);
+            h.write_u64(interface_fp as u64);
+            h.write_u64((interface_fp >> 64) as u64);
+            h.write_bool(cfg.branch_sensitive);
+            h.write_str(&id.class);
+            h.write_str(&id.method);
+            h.finish()
+        });
+        let cached_pfg = match (cache, pfg_key) {
+            (Some(c), Some(key)) => c.pfg_lookup(key),
+            _ => None,
+        };
+        let pfg = cached_pfg.unwrap_or_else(|| {
+            let pfg = Arc::new(Pfg::build_with_refinement(
+                &index,
+                api,
+                type_name,
+                m,
+                cfg.branch_sensitive,
+            ));
+            if let (Some(c), Some(key)) = (cache, pfg_key) {
+                c.pfg_insert(key, &pfg);
+            }
+            pfg
+        });
         MethodUnit { pfg, spec, is_constructor: m.is_constructor(), skeleton: OnceLock::new() }
     });
     let mut methods: BTreeMap<MethodId, MethodUnit> = BTreeMap::new();
@@ -320,6 +410,8 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
     let mut discarded_solves = 0usize;
     let mut nonconverged_solves = 0usize;
     let mut numeric_guard_events = 0usize;
+    let mut memo_hits = 0usize;
+    let mut memo_misses = 0usize;
     // Fault-isolation state: methods whose solve failed are frozen at their
     // last committed summary and never re-solved or re-queued; the health
     // of every other method's *latest committed* solve feeds the outcomes.
@@ -337,6 +429,40 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
     >|
      -> SolveResult {
         let mu = &methods[id];
+        // The full content key: the method's static key extended with its
+        // dynamic inputs — exactly the program-callee summaries and own
+        // caller evidence the stamp reads. A hit replays the bit-identical
+        // record a fresh solve would produce.
+        let key = cache.map(|_| {
+            let mut h = static_keys[id].clone();
+            let deps = callees.get(id).unwrap_or(&empty_deps);
+            h.write_u64(deps.len() as u64);
+            for callee in deps {
+                h.write_str(&callee.class);
+                h.write_str(&callee.method);
+                match summaries.get(callee) {
+                    Some(s) => {
+                        h.write_bool(true);
+                        memo::write_summary(&mut h, s);
+                    }
+                    None => h.write_bool(false),
+                }
+            }
+            let own = evidence.get(id);
+            h.write_u64(own.map_or(0, BTreeMap::len) as u64);
+            for ((caller, site), ev) in own.into_iter().flatten() {
+                h.write_str(&caller.class);
+                h.write_str(&caller.method);
+                h.write_u32(site.0);
+                memo::write_evidence(&mut h, ev);
+            }
+            h.finish()
+        });
+        if let (Some(c), Some(key)) = (cache, key) {
+            if let Some(record) = c.solve_lookup(key) {
+                return Ok(Solved { record, cache: Some((key, true)) });
+            }
+        }
         catch_unwind(AssertUnwindSafe(|| -> SolveResult {
             if cfg.faults.should_panic(id) {
                 panic!("injected fault: scripted panic in solve of {id}");
@@ -351,12 +477,15 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
             let extras = skeleton.stamp(ctx, summaries, &own_evidence);
             let marginals = skeleton.solve(&extras, cfg);
             Ok(Solved {
-                summary: skeleton.read_summary(ctx, &marginals),
-                call_evidence: skeleton.read_call_evidence(ctx, &marginals),
-                iterations: marginals.iterations,
-                updates: marginals.updates,
-                converged: marginals.converged,
-                guards: marginals.guards,
+                record: SolvedRecord {
+                    summary: skeleton.read_summary(ctx, &marginals),
+                    call_evidence: skeleton.read_call_evidence(ctx, &marginals),
+                    iterations: marginals.iterations,
+                    updates: marginals.updates,
+                    converged: marginals.converged,
+                    guards: marginals.guards,
+                },
+                cache: key.map(|k| (k, false)),
             })
         }))
         .unwrap_or_else(|p| Err(InferError::SolvePanicked { message: panic_message(p.as_ref()) }))
@@ -405,6 +534,21 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
                     continue;
                 }
             };
+            // Cache accounting happens here, at the sequential commit
+            // point, so hits/misses (and the store contents) evolve exactly
+            // as in a single-threaded run. Discarded speculations are never
+            // inserted — only committed solves enter the store.
+            match &s.cache {
+                Some((_, true)) => memo_hits += 1,
+                Some((key, false)) => {
+                    memo_misses += 1;
+                    if let Some(c) = cache {
+                        c.solve_insert(*key, &s.record);
+                    }
+                }
+                None => {}
+            }
+            let s = s.record;
             bp_iterations += s.iterations;
             message_updates += s.updates;
             if !s.converged {
@@ -518,6 +662,9 @@ pub fn infer(units: &[CompilationUnit], api: &ApiRegistry, cfg: &InferConfig) ->
         outcomes,
         nonconverged_solves,
         numeric_guard_events,
+        memo_hits,
+        memo_misses,
+        callers,
     }
 }
 

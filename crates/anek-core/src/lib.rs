@@ -42,6 +42,7 @@ pub mod constraints;
 pub mod global;
 pub mod infer;
 pub mod logical;
+pub mod memo;
 pub mod model;
 pub mod outcome;
 pub mod summary;
@@ -49,8 +50,9 @@ pub mod summary;
 pub use compare::{compare_specs, DiffTally, SpecDiff};
 pub use config::{FaultInjection, InferConfig};
 pub use global::infer_global;
-pub use infer::{infer, merged_states, InferResult};
+pub use infer::{infer, infer_with_store, merged_states, InferResult};
 pub use logical::{solve_logical, LogicalOutcome, LogicalResult};
+pub use memo::{CacheKey, InferCache, KeyHasher, SolvedRecord};
 pub use model::{CallerEvidence, MethodModel, MethodSkeleton, ModelCtx};
 pub use outcome::{render_outcome_table, DegradeReason, InferError, MethodOutcome};
 pub use summary::{MethodSummary, SlotProbs};

@@ -27,23 +27,80 @@
 //!                               dump a method's Permissions Flow Graph as DOT
 //! anek corpus <dir> [--small]   materialize the PMD-shaped synthetic corpus
 //!                               as .java files under <dir>
+//! anek serve (--stdio | --socket PATH) [--store DIR] [--threads N]
+//!                               long-running inference daemon speaking
+//!                               line-delimited JSON (see anek::serve)
 //! ```
+//!
+//! `--store DIR` (on `infer`, `pipeline` and `serve`) attaches the
+//! persistent artifact store: warm runs replay memoized solves and are
+//! byte-identical to cold runs.
 
 use anek::analysis::{MethodId, Pfg, ProgramIndex};
 use anek::factor_graph::BpSchedule;
 use anek::plural::SpecTable;
 use anek::spec_lang::standard_api;
-use anek::Pipeline;
+use anek::{Pipeline, ServeSession};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: anek <infer|check|lint|pipeline|pfg|corpus|serve> [flags] <file.java>...
+
+  infer    [--threads N] [--bp-schedule sweep|residual] [--inject PLAN]
+           [--outcomes] [--store DIR] <file.java>...
+  check    <file.java>...
+  lint     [--json] [--verify-ir] <file.java>...
+  pipeline [--out DIR] [--verify-ir] [--threads N] [--bp-schedule S]
+           [--store DIR] <file.java>...
+  pfg      <file.java>... <Class.method>
+  corpus   <dir> [--small]
+  serve    (--stdio | --socket PATH) [--store DIR] [--threads N]
+
+exit codes:
+  0  success (infer: every source parsed and every method solved;
+     check/lint: no warnings/errors)
+  1  runtime failure (unreadable input, parse error in strict mode,
+     check/lint found problems)
+  2  usage error (unknown command or flag, missing argument, no inputs)
+  3  partial result (infer: a source was skipped or a method's solve
+     failed; printed specs cover the healthy remainder)";
+
+/// An error in how the tool was invoked (vs. a runtime failure). Mapped to
+/// exit code 2 where runtime failures map to 1.
+#[derive(Debug)]
+struct UsageError(String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn usage_err(message: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(message.into()))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: anek <infer|check|lint|pipeline|pfg|corpus> <file.java>...");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match run(cmd, rest) {
         Ok(code) => code,
+        Err(e) if e.is::<UsageError>() => {
+            eprintln!("anek: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("anek: {e}");
             ExitCode::FAILURE
@@ -58,33 +115,43 @@ struct InferFlags {
     schedule: Option<BpSchedule>,
     inject: Option<corpus::FaultPlan>,
     outcomes: bool,
+    store: Option<String>,
 }
 
 impl InferFlags {
     /// Consumes `--threads N` / `--bp-schedule S` / `--inject PLAN` /
-    /// `--outcomes` from `args`, returning the flags and the remaining
-    /// arguments.
+    /// `--outcomes` / `--store DIR` from `args`, returning the flags and
+    /// the remaining arguments.
     fn parse(args: &[String]) -> Result<(InferFlags, Vec<String>), Box<dyn std::error::Error>> {
         let mut flags = InferFlags::default();
         let mut rest = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "--threads" {
-                let n = it.next().ok_or("--threads needs a count (0 = one per core)")?;
-                flags.threads = Some(n.parse().map_err(|_| format!("--threads: bad count `{n}`"))?);
+                let n = it
+                    .next()
+                    .ok_or_else(|| usage_err("--threads needs a count (0 = one per core)"))?;
+                flags.threads =
+                    Some(n.parse().map_err(|_| usage_err(format!("--threads: bad count `{n}`")))?);
             } else if a == "--bp-schedule" {
-                let s = it.next().ok_or("--bp-schedule needs `sweep` or `residual`")?;
-                flags.schedule = Some(
-                    BpSchedule::parse(s)
-                        .ok_or_else(|| format!("--bp-schedule: unknown schedule `{s}`"))?,
-                );
+                let s = it
+                    .next()
+                    .ok_or_else(|| usage_err("--bp-schedule needs `sweep` or `residual`"))?;
+                flags.schedule =
+                    Some(BpSchedule::parse(s).ok_or_else(|| {
+                        usage_err(format!("--bp-schedule: unknown schedule `{s}`"))
+                    })?);
             } else if a == "--inject" {
-                let path = it.next().ok_or("--inject needs a fault-plan file")?;
+                let path =
+                    it.next().ok_or_else(|| usage_err("--inject needs a fault-plan file"))?;
                 let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
                 flags.inject =
                     Some(corpus::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?);
             } else if a == "--outcomes" {
                 flags.outcomes = true;
+            } else if a == "--store" {
+                let dir = it.next().ok_or_else(|| usage_err("--store needs a directory"))?;
+                flags.store = Some(dir.clone());
             } else {
                 rest.push(a.clone());
             }
@@ -93,7 +160,7 @@ impl InferFlags {
     }
 
     /// Applies the flags to a pipeline.
-    fn apply(&self, mut pipeline: Pipeline) -> Pipeline {
+    fn apply(&self, mut pipeline: Pipeline) -> Result<Pipeline, Box<dyn std::error::Error>> {
         if let Some(t) = self.threads {
             pipeline = pipeline.with_threads(t);
         }
@@ -103,13 +170,26 @@ impl InferFlags {
         if let Some(plan) = &self.inject {
             plan.apply_config(&mut pipeline.config);
         }
-        pipeline
+        if let Some(dir) = &self.store {
+            let store = store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
+            pipeline = pipeline.with_store(Arc::new(store));
+        }
+        Ok(pipeline)
+    }
+}
+
+/// Rejects leftover `--flags` that no parser consumed (they would
+/// otherwise be misread as file paths).
+fn reject_unknown_flags(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match args.iter().find(|a| a.starts_with("--")) {
+        Some(flag) => Err(usage_err(format!("unknown flag `{flag}`"))),
+        None => Ok(()),
     }
 }
 
 fn read_sources(paths: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
     if paths.is_empty() {
-        return Err("no input files".into());
+        return Err(usage_err("no input files"));
     }
     paths
         .iter()
@@ -121,14 +201,15 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
     match cmd {
         "infer" => {
             let (flags, files) = InferFlags::parse(rest)?;
+            reject_unknown_flags(&files)?;
             let mut sources = read_sources(&files)?;
             // Fault injection corrupts sources *before* parsing; parsing is
             // lenient under injection so a garbled file costs only itself.
             let pipeline = if let Some(plan) = &flags.inject {
                 plan.apply_sources(&mut sources);
-                flags.apply(Pipeline::from_sources_lenient(&sources))
+                flags.apply(Pipeline::from_sources_lenient(&sources))?
             } else {
-                flags.apply(Pipeline::from_sources(&sources)?)
+                flags.apply(Pipeline::from_sources(&sources)?)?
             };
             for s in &pipeline.skipped_sources {
                 let file = files.get(s.index).map_or("<source>", String::as_str);
@@ -204,9 +285,9 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             if let Some(bad) =
                 rest.iter().find(|a| a.starts_with("--") && *a != "--json" && *a != "--verify-ir")
             {
-                return Err(
-                    format!("unknown lint flag `{bad}` (expected --json, --verify-ir)").into()
-                );
+                return Err(usage_err(format!(
+                    "unknown lint flag `{bad}` (expected --json, --verify-ir)"
+                )));
             }
             let files: Vec<String> =
                 rest.iter().filter(|a| !a.starts_with("--")).cloned().collect();
@@ -241,15 +322,19 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 if a == "--out" {
-                    out_dir = Some(it.next().ok_or("--out needs a directory")?.clone());
+                    out_dir = Some(
+                        it.next().ok_or_else(|| usage_err("--out needs a directory"))?.clone(),
+                    );
                 } else if a == "--verify-ir" {
                     verify_ir = true;
                 } else {
                     files.push(a.clone());
                 }
             }
+            reject_unknown_flags(&files)?;
             let sources = read_sources(&files)?;
-            let pipeline = flags.apply(Pipeline::from_sources(&sources)?.with_verify_ir(verify_ir));
+            let pipeline =
+                flags.apply(Pipeline::from_sources(&sources)?.with_verify_ir(verify_ir))?;
             let report = pipeline.run();
             match &out_dir {
                 Some(dir) => {
@@ -281,18 +366,21 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             Ok(ExitCode::SUCCESS)
         }
         "pfg" => {
-            let (target, files) =
-                rest.split_last().ok_or("usage: anek pfg <file>... <Class.method>")?;
+            let (target, files) = rest
+                .split_last()
+                .ok_or_else(|| usage_err("usage: anek pfg <file>... <Class.method>"))?;
             // Allow either order: if the last arg looks like a file, the
             // first is the target.
             let (files, target) = if target.ends_with(".java") {
-                let (t, f) =
-                    rest.split_first().ok_or("usage: anek pfg <Class.method> <file>...")?;
+                let (t, f) = rest
+                    .split_first()
+                    .ok_or_else(|| usage_err("usage: anek pfg <Class.method> <file>..."))?;
                 (f.to_vec(), t.clone())
             } else {
                 (files.to_vec(), target.clone())
             };
-            let (class, method) = target.split_once('.').ok_or("target must be Class.method")?;
+            let (class, method) =
+                target.split_once('.').ok_or_else(|| usage_err("target must be Class.method"))?;
             let sources = read_sources(&files)?;
             let pipeline = Pipeline::from_sources(&sources)?;
             let index = ProgramIndex::build(pipeline.units.iter());
@@ -314,7 +402,7 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             let dir = rest
                 .iter()
                 .find(|a| !a.starts_with("--"))
-                .ok_or("usage: anek corpus <dir> [--small]")?;
+                .ok_or_else(|| usage_err("usage: anek corpus <dir> [--small]"))?;
             let cfg = if small { corpus::PmdConfig::small() } else { corpus::PmdConfig::paper() };
             let corpus = corpus::generate(&cfg);
             let n = corpus.write_to_dir(std::path::Path::new(dir))?;
@@ -324,6 +412,112 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             );
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command `{other}`").into()),
+        "serve" => {
+            let mut stdio = false;
+            let mut socket: Option<String> = None;
+            let mut store_dir: Option<String> = None;
+            let mut threads: Option<usize> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                if a == "--stdio" {
+                    stdio = true;
+                } else if a == "--socket" {
+                    socket =
+                        Some(it.next().ok_or_else(|| usage_err("--socket needs a path"))?.clone());
+                } else if a == "--store" {
+                    store_dir = Some(
+                        it.next().ok_or_else(|| usage_err("--store needs a directory"))?.clone(),
+                    );
+                } else if a == "--threads" {
+                    let n = it.next().ok_or_else(|| usage_err("--threads needs a count"))?;
+                    threads = Some(
+                        n.parse().map_err(|_| usage_err(format!("--threads: bad count `{n}`")))?,
+                    );
+                } else {
+                    return Err(usage_err(format!("unknown serve argument `{a}`")));
+                }
+            }
+            if stdio == socket.is_some() {
+                return Err(usage_err("serve needs exactly one of --stdio or --socket PATH"));
+            }
+            let mut config = anek_core::InferConfig::default();
+            if let Some(t) = threads {
+                config.threads = t;
+            }
+            let store = match &store_dir {
+                Some(dir) => Some(Arc::new(
+                    store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?,
+                )),
+                None => None,
+            };
+            let mut session = ServeSession::new(config, store);
+            if stdio {
+                serve_stdio(&mut session)?;
+            } else {
+                serve_socket(&mut session, socket.as_deref().expect("checked above"))?;
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(usage_err(format!("unknown command `{other}`"))),
     }
+}
+
+/// Serves line-delimited JSON over stdin/stdout until EOF or `shutdown`.
+fn serve_stdio(session: &mut ServeSession) -> Result<(), Box<dyn std::error::Error>> {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = session.handle_line(&line);
+        writeln!(out, "{}", handled.response)?;
+        out.flush()?;
+        if handled.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves clients one at a time over a Unix socket until `shutdown`.
+#[cfg(unix)]
+fn serve_socket(session: &mut ServeSession, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| format!("--socket {path}: {e}"))?;
+    eprintln!("anek serve: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut reader = std::io::BufReader::new(stream.try_clone()?);
+        let mut writer = std::io::BufWriter::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break; // client hung up; accept the next one
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let handled = session.handle_line(&line);
+            writeln!(writer, "{}", handled.response)?;
+            writer.flush()?;
+            if handled.shutdown {
+                let _ = std::fs::remove_file(path);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _session: &mut ServeSession,
+    _path: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    Err("--socket is only supported on Unix; use --stdio".into())
 }

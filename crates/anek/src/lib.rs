@@ -36,10 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod json;
 pub mod pipeline;
+pub mod serve;
 
 pub use apply::{apply_specs, render};
 pub use pipeline::{Pipeline, PipelineReport, SkippedSource};
+pub use serve::{Handled, ServeSession};
 
 pub use analysis;
 pub use anek_core;
@@ -49,3 +52,4 @@ pub use java_syntax;
 pub use lint;
 pub use plural;
 pub use spec_lang;
+pub use store;

@@ -8,12 +8,14 @@
 use analysis::cfg::Cfg;
 use analysis::pfg::Pfg;
 use analysis::types::{ProgramIndex, TypeEnv};
-use anek_core::{infer, InferConfig, InferResult, MethodModel, ModelCtx};
+use anek_core::{infer_with_store, InferCache, InferConfig, InferResult, MethodModel, ModelCtx};
 use java_syntax::{parse, CompilationUnit, ParseError};
 use lint::Diagnostic;
 use plural::{check, CheckResult, SpecTable};
 use spec_lang::{spec_of_method, standard_api, ApiRegistry, MethodSpec};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use store::Store;
 
 /// A source rejected during lenient parsing
 /// ([`Pipeline::from_sources_lenient`]): the pipeline proceeds without it.
@@ -40,6 +42,9 @@ pub struct Pipeline {
     /// Sources dropped by [`Pipeline::from_sources_lenient`]; empty for the
     /// strict constructors.
     pub skipped_sources: Vec<SkippedSource>,
+    /// Persistent artifact store. When attached, [`Pipeline::infer`] runs
+    /// through it (memoized solves) and records the run's artifacts into it.
+    pub store: Option<Arc<Store>>,
 }
 
 /// The complete result of a pipeline run.
@@ -86,6 +91,7 @@ impl Pipeline {
             config: InferConfig::default(),
             verify_ir: false,
             skipped_sources: Vec::new(),
+            store: None,
         }
     }
 
@@ -149,6 +155,14 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a persistent artifact store: inference memoizes per-method
+    /// solves through it (warm runs are byte-identical to cold ones, see
+    /// `anek_core::memo`) and records ASTs, summaries and specs into it.
+    pub fn with_store(mut self, store: Arc<Store>) -> Pipeline {
+        self.store = Some(store);
+        self
+    }
+
     /// Runs the IR verifier over every method's CFG, PFG, and emitted
     /// constraint system — the invariants each pipeline stage hands to the
     /// next. Pure; does not depend on inference having run.
@@ -191,9 +205,16 @@ impl Pipeline {
         diags
     }
 
-    /// Runs inference only.
+    /// Runs inference only (through the attached store, when present).
     pub fn infer(&self) -> InferResult {
-        infer(&self.units, &self.api, &self.config)
+        let cache = self.store.as_deref().map(|s| s as &dyn InferCache);
+        let result = infer_with_store(&self.units, &self.api, &self.config, cache);
+        if let Some(store) = &self.store {
+            // Recording is best-effort: a full store disk is a cold next
+            // run, not a failed analysis.
+            let _ = store.record_run(&self.units, &self.api, &self.config, &result);
+        }
+        result
     }
 
     /// Runs PLURAL with the given spec table.

@@ -1,0 +1,419 @@
+//! The `anek serve` inference daemon: a long-running session that keeps
+//! parsed sources, the persistent store and the last inference result warm,
+//! and answers line-delimited JSON requests with millisecond-scale latency.
+//!
+//! Protocol (one JSON object per line, in and out):
+//!
+//! ```text
+//! → {"id":1,"method":"load_sources","params":{"sources":[{"name":"A.java","text":"..."}]}}
+//! ← {"id":1,"result":{"loaded":1,"skipped":[],"methods":3,"solves":5,"memo_hits":0,"memo_misses":5}}
+//! → {"id":2,"method":"query_spec","params":{"method":"A.m"}}
+//! ← {"id":2,"result":{"method":"A.m","requires":"...","ensures":"...","confidence":0.97}}
+//! ```
+//!
+//! Requests: `load_sources`, `update_source`, `query_spec`,
+//! `query_outcomes`, `inject_faults`, `stats`, `shutdown`. Responses carry
+//! either `result` or `error`; a malformed line gets `"id":null`. No
+//! response contains wall-clock times, so a scripted session's transcript
+//! is byte-stable (the CI golden gate relies on this).
+//!
+//! Fault tolerance: per-method solve faults (including injected panics)
+//! are already isolated by the worklist, so a failing method surfaces in
+//! `query_outcomes` as `failed` while the daemon keeps serving.
+
+use crate::json::{self, Json};
+use anek_core::{infer_with_store, InferCache, InferConfig, InferResult};
+use java_syntax::ast::CompilationUnit;
+use spec_lang::{standard_api, ApiRegistry};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use store::{DepIndex, Store, StoreStats};
+
+/// One serve session: sources, configuration, optional store, and the most
+/// recent inference result.
+pub struct ServeSession {
+    api: ApiRegistry,
+    /// The session's inference configuration (fault injections accumulate
+    /// onto it via `inject_faults`).
+    pub config: InferConfig,
+    store: Option<Arc<Store>>,
+    /// Named sources in deterministic (name) order.
+    sources: BTreeMap<String, String>,
+    /// Names that failed to parse in the last run.
+    skipped: Vec<String>,
+    result: Option<InferResult>,
+    /// Reverse-call dependency index from the last run, used to report the
+    /// dirty cone of an update.
+    dep: DepIndex,
+}
+
+/// What [`ServeSession::handle_line`] produced: the response line and
+/// whether the peer asked the daemon to stop.
+pub struct Handled {
+    /// The serialized JSON response (no trailing newline).
+    pub response: String,
+    /// True after a `shutdown` request.
+    pub shutdown: bool,
+}
+
+impl ServeSession {
+    /// A fresh session with the standard API model.
+    pub fn new(config: InferConfig, store: Option<Arc<Store>>) -> ServeSession {
+        ServeSession {
+            api: standard_api(),
+            config,
+            store,
+            sources: BTreeMap::new(),
+            skipped: Vec::new(),
+            result: None,
+            dep: DepIndex::default(),
+        }
+    }
+
+    /// Handles one request line.
+    pub fn handle_line(&mut self, line: &str) -> Handled {
+        let request = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return Handled {
+                    response: error_response(Json::Null, &format!("bad request: {e}")),
+                    shutdown: false,
+                }
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+        let method = request.get("method").and_then(Json::as_str).unwrap_or("").to_string();
+        let params = request.get("params").cloned().unwrap_or(Json::Obj(Vec::new()));
+        let mut shutdown = false;
+        let outcome = match method.as_str() {
+            "load_sources" => self.load_sources(&params),
+            "update_source" => self.update_source(&params),
+            "query_spec" => self.query_spec(&params),
+            "query_outcomes" => self.query_outcomes(),
+            "inject_faults" => self.inject_faults(&params),
+            "stats" => Ok(self.stats()),
+            "shutdown" => {
+                shutdown = true;
+                if let Some(store) = &self.store {
+                    let _ = store.flush();
+                }
+                Ok(Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+            }
+            "" => Err("request has no method".to_string()),
+            other => Err(format!("unknown method `{other}`")),
+        };
+        let response = match outcome {
+            Ok(result) => Json::Obj(vec![("id".into(), id), ("result".into(), result)]).to_string(),
+            Err(message) => error_response(id, &message),
+        };
+        Handled { response, shutdown }
+    }
+
+    /// Re-parses every source (leniently) and re-runs inference through the
+    /// store. Returns counters shared by several responses.
+    fn run_infer(&mut self) -> Json {
+        let mut units: Vec<CompilationUnit> = Vec::new();
+        self.skipped.clear();
+        for (name, text) in &self.sources {
+            match java_syntax::parse(text) {
+                Ok(unit) => units.push(unit),
+                Err(_) => self.skipped.push(name.clone()),
+            }
+        }
+        let cache = self.store.as_deref().map(|s| s as &dyn InferCache);
+        let result = infer_with_store(&units, &self.api, &self.config, cache);
+        if let Some(store) = &self.store {
+            let _ = store.record_run(&units, &self.api, &self.config, &result);
+        }
+        self.dep = DepIndex::default();
+        for id in result.summaries.keys() {
+            self.dep.class_methods.entry(id.class.clone()).or_default().insert(id.method.clone());
+        }
+        for (callee, callers) in &result.callers {
+            self.dep.callers.insert(callee.clone(), callers.clone());
+        }
+        let counters = Json::Obj(vec![
+            ("methods".into(), Json::num(result.summaries.len())),
+            ("solves".into(), Json::num(result.solves)),
+            ("memo_hits".into(), Json::num(result.memo_hits)),
+            ("memo_misses".into(), Json::num(result.memo_misses)),
+        ]);
+        self.result = Some(result);
+        counters
+    }
+
+    fn load_sources(&mut self, params: &Json) -> Result<Json, String> {
+        let sources = params
+            .get("sources")
+            .and_then(Json::as_arr)
+            .ok_or("load_sources needs params.sources: [{name, text}]")?;
+        self.sources.clear();
+        for entry in sources {
+            let name = entry
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("each source needs a `name`")?
+                .to_string();
+            let text = entry
+                .get("text")
+                .and_then(Json::as_str)
+                .ok_or("each source needs a `text`")?
+                .to_string();
+            self.sources.insert(name, text);
+        }
+        let counters = self.run_infer();
+        let mut fields = vec![
+            ("loaded".into(), Json::num(self.sources.len())),
+            ("skipped".into(), Json::Arr(self.skipped.iter().map(Json::str).collect())),
+        ];
+        if let Json::Obj(c) = counters {
+            fields.extend(c);
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn update_source(&mut self, params: &Json) -> Result<Json, String> {
+        let name = params
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("update_source needs params.name")?
+            .to_string();
+        let text = params
+            .get("text")
+            .and_then(Json::as_str)
+            .ok_or("update_source needs params.text")?
+            .to_string();
+        if !self.sources.contains_key(&name) {
+            return Err(format!("unknown source `{name}` (load_sources first)"));
+        }
+        // The dirty cone: methods declared in the old or new version of
+        // this file, closed transitively over the previous run's reverse
+        // call graph. Reported before re-running so the peer can see what
+        // the edit *can* invalidate.
+        let mut roots = Vec::new();
+        for version in [self.sources.get(&name), Some(&text)].into_iter().flatten() {
+            if let Ok(unit) = java_syntax::parse(version) {
+                for t in &unit.types {
+                    for m in self.dep.class_methods.get(&t.name).into_iter().flatten() {
+                        roots.push(analysis::types::MethodId::new(&t.name, m));
+                    }
+                }
+            }
+        }
+        let cone = self.dep.dirty_cone(roots);
+        self.sources.insert(name, text);
+        let counters = self.run_infer();
+        let mut fields = vec![(
+            "dirty".into(),
+            Json::Arr(cone.iter().map(|id| Json::str(id.to_string())).collect()),
+        )];
+        if let Json::Obj(c) = counters {
+            fields.extend(c);
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn query_spec(&mut self, params: &Json) -> Result<Json, String> {
+        let target =
+            params.get("method").and_then(Json::as_str).ok_or("query_spec needs params.method")?;
+        let (class, method) =
+            target.split_once('.').ok_or("params.method must be `Class.method`")?;
+        let id = analysis::types::MethodId::new(class, method);
+        let result = self.result.as_ref().ok_or("no sources loaded")?;
+        let spec = result.specs.get(&id).ok_or_else(|| format!("unknown method `{target}`"))?;
+        let confidence = result.confidence.get(&id).copied().unwrap_or(1.0);
+        Ok(Json::Obj(vec![
+            ("method".into(), Json::str(target)),
+            ("requires".into(), Json::str(spec.requires.to_string())),
+            ("ensures".into(), Json::str(spec.ensures.to_string())),
+            // Two decimals: enough to read, stable across float formatting.
+            ("confidence".into(), Json::str(format!("{confidence:.2}"))),
+        ]))
+    }
+
+    fn query_outcomes(&mut self) -> Result<Json, String> {
+        let result = self.result.as_ref().ok_or("no sources loaded")?;
+        let outcomes = result
+            .outcomes
+            .iter()
+            .map(|(id, outcome)| {
+                Json::Obj(vec![
+                    ("method".into(), Json::str(id.to_string())),
+                    ("status".into(), Json::str(outcome.status())),
+                    ("detail".into(), Json::str(outcome.detail())),
+                ])
+            })
+            .collect();
+        Ok(Json::Obj(vec![
+            ("skipped".into(), Json::Arr(self.skipped.iter().map(Json::str).collect())),
+            ("outcomes".into(), Json::Arr(outcomes)),
+        ]))
+    }
+
+    fn inject_faults(&mut self, params: &Json) -> Result<Json, String> {
+        let text =
+            params.get("plan").and_then(Json::as_str).ok_or("inject_faults needs params.plan")?;
+        let plan = corpus::FaultPlan::parse(text)?;
+        plan.apply_config(&mut self.config);
+        // Source-corruption faults garble the stored texts in name order —
+        // the same deterministic streams `anek infer --inject` uses.
+        let mut texts: Vec<String> = self.sources.values().cloned().collect();
+        plan.apply_sources(&mut texts);
+        for (slot, text) in self.sources.values_mut().zip(texts) {
+            *slot = text;
+        }
+        let counters = self.run_infer();
+        let failed: Vec<Json> = self
+            .result
+            .as_ref()
+            .map(|r| {
+                r.outcomes
+                    .iter()
+                    .filter(|(_, o)| o.is_failed())
+                    .map(|(id, _)| Json::str(id.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut fields = vec![("failed".into(), Json::Arr(failed))];
+        if let Json::Obj(c) = counters {
+            fields.extend(c);
+        }
+        Ok(Json::Obj(fields))
+    }
+
+    fn stats(&self) -> Json {
+        let mut fields = vec![
+            ("sources".into(), Json::num(self.sources.len())),
+            ("methods".into(), Json::num(self.result.as_ref().map_or(0, |r| r.summaries.len()))),
+            ("memo_hits".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_hits))),
+            ("memo_misses".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_misses))),
+        ];
+        let store_field = match &self.store {
+            Some(store) => {
+                let StoreStats {
+                    solve_hits,
+                    solve_misses,
+                    pfg_hits,
+                    pfg_misses,
+                    corrupt_entries,
+                    entries,
+                    inserted,
+                } = store.stats();
+                Json::Obj(vec![
+                    ("solve_hits".into(), Json::num(solve_hits)),
+                    ("solve_misses".into(), Json::num(solve_misses)),
+                    ("pfg_hits".into(), Json::num(pfg_hits)),
+                    ("pfg_misses".into(), Json::num(pfg_misses)),
+                    ("corrupt_entries".into(), Json::num(corrupt_entries)),
+                    ("entries".into(), Json::num(entries)),
+                    ("inserted".into(), Json::num(inserted)),
+                ])
+            }
+            None => Json::Null,
+        };
+        fields.push(("store".into(), store_field));
+        Json::Obj(fields)
+    }
+}
+
+fn error_response(id: Json, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".into(), id),
+        ("error".into(), Json::Obj(vec![("message".into(), Json::str(message))])),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(session: &mut ServeSession, line: &str) -> Json {
+        let handled = session.handle_line(line);
+        json::parse(&handled.response).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn session_loads_queries_and_updates() {
+        let mut s = ServeSession::new(InferConfig::default(), None);
+        let loaded = req(
+            &mut s,
+            r#"{"id":1,"method":"load_sources","params":{"sources":[{"name":"App.java","text":"class App { void drain(Iterator<Integer> it) { while (it.hasNext()) { it.next(); } } }"}]}}"#,
+        );
+        let result = loaded.get("result").expect("result");
+        assert_eq!(result.get("loaded").and_then(Json::as_num), Some(1.0));
+        let spec = req(&mut s, r#"{"id":2,"method":"query_spec","params":{"method":"App.drain"}}"#);
+        let requires = spec
+            .get("result")
+            .and_then(|r| r.get("requires"))
+            .and_then(Json::as_str)
+            .expect("requires");
+        assert!(requires.contains("it"), "drain should require permission on `it`: {requires}");
+        let updated = req(
+            &mut s,
+            r#"{"id":3,"method":"update_source","params":{"name":"App.java","text":"class App { void drain(Iterator<Integer> it) { it.next(); } }"}}"#,
+        );
+        let dirty = updated
+            .get("result")
+            .and_then(|r| r.get("dirty"))
+            .and_then(Json::as_arr)
+            .expect("dirty cone");
+        assert_eq!(dirty.iter().filter_map(Json::as_str).collect::<Vec<_>>(), ["App.drain"]);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_answer_with_errors() {
+        let mut s = ServeSession::new(InferConfig::default(), None);
+        let bad = req(&mut s, "{nope");
+        assert!(bad.get("error").is_some());
+        let unknown = req(&mut s, r#"{"id":9,"method":"frobnicate"}"#);
+        let msg = unknown
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(msg.contains("frobnicate"));
+        assert_eq!(unknown.get("id").and_then(Json::as_num), Some(9.0));
+        let spec_too_early =
+            req(&mut s, r#"{"id":10,"method":"query_spec","params":{"method":"A.m"}}"#);
+        assert!(spec_too_early.get("error").is_some());
+    }
+
+    #[test]
+    fn injected_panic_fails_method_but_session_survives() {
+        let mut s = ServeSession::new(InferConfig::default(), None);
+        req(
+            &mut s,
+            r#"{"id":1,"method":"load_sources","params":{"sources":[{"name":"App.java","text":"class App { void copy(Iterator<Integer> it) { it.next(); } void other(Iterator<Integer> it) { it.hasNext(); } }"}]}}"#,
+        );
+        let status_in = |response: &Json, m: &str| {
+            response.get("result").and_then(|r| r.get("outcomes")).and_then(Json::as_arr).and_then(
+                |table| {
+                    table
+                        .iter()
+                        .find(|o| o.get("method").and_then(Json::as_str) == Some(m))
+                        .and_then(|o| o.get("status"))
+                        .and_then(Json::as_str)
+                        .map(ToOwned::to_owned)
+                },
+            )
+        };
+        let before = req(&mut s, r#"{"id":8,"method":"query_outcomes"}"#);
+        let other_before = status_in(&before, "App.other").expect("App.other outcome");
+        assert_ne!(other_before, "failed");
+        let injected =
+            req(&mut s, r#"{"id":2,"method":"inject_faults","params":{"plan":"panic App.copy"}}"#);
+        let failed = injected
+            .get("result")
+            .and_then(|r| r.get("failed"))
+            .and_then(Json::as_arr)
+            .expect("failed list");
+        assert_eq!(failed.iter().filter_map(Json::as_str).collect::<Vec<_>>(), ["App.copy"]);
+        let outcomes = req(&mut s, r#"{"id":3,"method":"query_outcomes"}"#);
+        assert_eq!(status_in(&outcomes, "App.copy").as_deref(), Some("failed"));
+        // Zero blast radius: the fault must not change App.other's outcome.
+        assert_eq!(status_in(&outcomes, "App.other"), Some(other_before));
+        let shutdown = s.handle_line(r#"{"id":4,"method":"shutdown"}"#);
+        assert!(shutdown.shutdown);
+    }
+}

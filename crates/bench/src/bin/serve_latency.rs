@@ -1,0 +1,155 @@
+//! Serve-latency benchmark: cold full inference vs warm daemon queries.
+//!
+//! Drives an in-process [`ServeSession`] (the same object `anek serve`
+//! wraps around a socket) against the PMD-shaped corpus:
+//!
+//! 1. **cold** — `load_sources` on a fresh store: full parse + solve.
+//! 2. **warm query_spec** — repeated spec lookups against the loaded
+//!    session; reports p50/p99 over many samples.
+//! 3. **warm update_source** — one body-only edit: dirty-cone re-solve
+//!    through the warm store.
+//!
+//! Run: `cargo run --release -p bench --bin serve_latency [-- --small]`
+//!
+//! Writes `BENCH_serve.json` and fails (exit 1) if the warm `query_spec`
+//! p50 is not at least 10x below the cold wall clock — the daemon must
+//! answer from state, not by re-running inference.
+
+use anek::anek_core::InferConfig;
+use anek::store::Store;
+use anek::ServeSession;
+use bench::microbench::json_str;
+use bench::Scale;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Warm query_spec samples to take.
+const SAMPLES: usize = 500;
+
+fn main() {
+    let scale = Scale::from_args();
+    let corpus = scale.corpus();
+    let sources: Vec<String> = corpus.units.iter().map(java_syntax::print_unit).collect();
+    let store_dir = std::env::temp_dir().join(format!("anek-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = Arc::new(Store::open(&store_dir).expect("open bench store"));
+    let mut session = ServeSession::new(InferConfig::default(), Some(store));
+
+    // ---- cold: load + full inference ----
+    let load = load_request(&sources);
+    let t = Instant::now();
+    let loaded = session.handle_line(&load);
+    let cold = t.elapsed();
+    assert!(loaded.response.contains("\"loaded\""), "load failed: {}", loaded.response);
+    println!(
+        "cold load_sources ({} classes, {} methods): {:.2} ms",
+        corpus.stats.classes,
+        corpus.stats.methods,
+        cold.as_secs_f64() * 1e3
+    );
+
+    // ---- warm query_spec: p50/p99 over a fixed request ----
+    let (class, method) = corpus
+        .gold
+        .keys()
+        .next()
+        .map(|id| (id.class.clone(), id.method.clone()))
+        .expect("corpus has gold methods");
+    let query =
+        format!(r#"{{"id":2,"method":"query_spec","params":{{"method":"{class}.{method}"}}}}"#);
+    let probe = session.handle_line(&query);
+    assert!(probe.response.contains("\"requires\""), "query failed: {}", probe.response);
+    let mut lat: Vec<Duration> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let h = session.handle_line(&query);
+        lat.push(t.elapsed());
+        std::hint::black_box(h.response);
+    }
+    lat.sort();
+    let p50 = lat[SAMPLES / 2];
+    let p99 = lat[SAMPLES * 99 / 100];
+    println!(
+        "warm query_spec over {SAMPLES} samples: p50 {:.1} us, p99 {:.1} us",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6
+    );
+
+    // ---- warm update_source: one body edit, dirty-cone re-solve ----
+    let target =
+        sources.iter().position(|s| s.contains(".next();")).expect("corpus contains a next() call");
+    let edited = sources[target].replacen(".next();", ".next();\nint __bench = 1;", 1);
+    let update = format!(
+        r#"{{"id":3,"method":"update_source","params":{{"name":{},"text":{}}}}}"#,
+        json_str(&source_name(target)),
+        json_str(&edited)
+    );
+    let t = Instant::now();
+    let updated = session.handle_line(&update);
+    let warm_update = t.elapsed();
+    assert!(updated.response.contains("\"dirty\""), "update failed: {}", updated.response);
+    println!("warm update_source (one body edit): {:.2} ms", warm_update.as_secs_f64() * 1e3);
+
+    let speedup = cold.as_secs_f64() / p50.as_secs_f64();
+    println!("cold / warm-query_spec-p50 speedup: {speedup:.0}x");
+
+    write_bench_json(scale, &corpus.stats, cold, p50, p99, warm_update, speedup)
+        .expect("write BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    if speedup < 10.0 {
+        eprintln!("FAIL: warm query_spec p50 must be >=10x below the cold wall clock");
+        std::process::exit(1);
+    }
+}
+
+/// The source name `load_request` assigned to index `i`.
+fn source_name(i: usize) -> String {
+    format!("Unit{i:03}.java")
+}
+
+fn load_request(sources: &[String]) -> String {
+    let mut s = String::from(r#"{"id":1,"method":"load_sources","params":{"sources":["#);
+    for (i, src) in sources.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            r#"{{"name":{},"text":{}}}"#,
+            json_str(&source_name(i)),
+            json_str(src)
+        ));
+    }
+    s.push_str("]}}");
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_bench_json(
+    scale: Scale,
+    stats: &corpus::CorpusStats,
+    cold: Duration,
+    p50: Duration,
+    p99: Duration,
+    warm_update: Duration,
+    speedup: f64,
+) -> std::io::Result<()> {
+    let s = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"scale\": {},\n  \"classes\": {},\n  \"methods\": {},\n  \
+         \"cold_load_ms\": {:.3},\n  \"warm_query_spec_p50_us\": {:.3},\n  \
+         \"warm_query_spec_p99_us\": {:.3},\n  \"warm_query_samples\": {},\n  \
+         \"warm_update_source_ms\": {:.3},\n  \"cold_over_warm_p50\": {:.1}\n}}\n",
+        json_str(&format!("{scale:?}").to_lowercase()),
+        stats.classes,
+        stats.methods,
+        cold.as_secs_f64() * 1e3,
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        SAMPLES,
+        warm_update.as_secs_f64() * 1e3,
+        speedup
+    );
+    std::fs::write("BENCH_serve.json", &s)?;
+    eprintln!("wrote BENCH_serve.json");
+    Ok(())
+}

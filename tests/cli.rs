@@ -1,0 +1,157 @@
+//! CLI contract tests for the `anek` binary: the documented exit codes
+//! (0 success, 1 runtime failure, 2 usage error, 3 partial result), the
+//! `--store` flag, and a scripted `serve --stdio` session.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+
+fn anek() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anek"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anek-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write source");
+    path
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("no signal")
+}
+
+const DRAIN: &str =
+    "class App { void drain(Iterator<Integer> it) { while (it.hasNext()) { it.next(); } } }";
+
+#[test]
+fn exit_zero_on_clean_infer() {
+    let dir = temp_dir("ok");
+    let src = write(&dir, "App.java", DRAIN);
+    let out = anek().arg("infer").arg(&src).output().expect("run");
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("App.drain"), "specs printed: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exit_two_on_usage_errors() {
+    // No subcommand at all.
+    let out = anek().output().expect("run");
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exit codes"));
+    // Unknown subcommand.
+    let out = anek().arg("transmogrify").output().expect("run");
+    assert_eq!(code(&out), 2);
+    // Unknown flag.
+    let out = anek().args(["infer", "--frobnicate", "x.java"]).output().expect("run");
+    assert_eq!(code(&out), 2);
+    // Flag missing its argument.
+    let out = anek().args(["infer", "--threads"]).output().expect("run");
+    assert_eq!(code(&out), 2);
+    // No input files.
+    let out = anek().arg("infer").output().expect("run");
+    assert_eq!(code(&out), 2);
+    // serve needs a transport.
+    let out = anek().arg("serve").output().expect("run");
+    assert_eq!(code(&out), 2);
+    // --help is not an error.
+    let out = anek().arg("--help").output().expect("run");
+    assert_eq!(code(&out), 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("exit codes"));
+}
+
+#[test]
+fn exit_one_on_runtime_failure() {
+    let out = anek().args(["infer", "/nonexistent/Nope.java"]).output().expect("run");
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn exit_three_on_partial_result() {
+    let dir = temp_dir("partial");
+    let src = write(&dir, "App.java", DRAIN);
+    let plan = write(&dir, "plan.txt", "panic App.drain\n");
+    let out = anek()
+        .args(["infer", "--inject"])
+        .arg(&plan)
+        .arg("--outcomes")
+        .arg(&src)
+        .output()
+        .expect("run");
+    assert_eq!(code(&out), 3, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("App.drain\tfailed"), "outcome table shows the failure: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_flag_makes_second_run_warm_and_identical() {
+    let dir = temp_dir("store");
+    let src = write(&dir, "App.java", DRAIN);
+    let store = dir.join("store");
+    let run = || {
+        anek().args(["infer", "--outcomes", "--store"]).arg(&store).arg(&src).output().expect("run")
+    };
+    let first = run();
+    assert_eq!(code(&first), 0, "stderr: {}", String::from_utf8_lossy(&first.stderr));
+    assert!(store.join("manifest.bin").exists(), "store materialized on disk");
+    let second = run();
+    assert_eq!(code(&second), 0);
+    assert_eq!(first.stdout, second.stdout, "warm stdout is byte-identical to cold");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_stdio_runs_a_full_session() {
+    let dir = temp_dir("serve");
+    let store = dir.join("store");
+    let source_json = DRAIN.replace('"', "\\\"");
+    let session = [
+        format!(
+            r#"{{"id":1,"method":"load_sources","params":{{"sources":[{{"name":"App.java","text":"{source_json}"}}]}}}}"#
+        ),
+        r#"{"id":2,"method":"query_spec","params":{"method":"App.drain"}}"#.to_string(),
+        r#"{"id":3,"method":"inject_faults","params":{"plan":"panic App.drain"}}"#.to_string(),
+        r#"{"id":4,"method":"query_outcomes"}"#.to_string(),
+        r#"{"id":5,"method":"stats"}"#.to_string(),
+        r#"{"id":6,"method":"shutdown"}"#.to_string(),
+    ]
+    .join("\n")
+        + "\n";
+
+    let mut child = anek()
+        .args(["serve", "--stdio", "--store"])
+        .arg(&store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child.stdin.as_mut().expect("stdin").write_all(session.as_bytes()).expect("write");
+    let out = child.wait_with_output().expect("wait");
+    assert_eq!(code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "one response per request: {stdout}");
+    assert!(lines[0].contains(r#""id":1"#) && lines[0].contains(r#""loaded":1"#));
+    assert!(lines[1].contains(r#""requires""#) && lines[1].contains("it"), "{}", lines[1]);
+    assert!(lines[2].contains(r#""failed":["App.drain"]"#), "{}", lines[2]);
+    assert!(
+        lines[3].contains(r#""status":"failed""#),
+        "outcomes report the injected failure: {}",
+        lines[3]
+    );
+    assert!(lines[4].contains(r#""corrupt_entries":0"#), "{}", lines[4]);
+    assert!(lines[5].contains(r#""ok":true"#), "{}", lines[5]);
+    assert!(store.join("manifest.bin").exists(), "shutdown flushed the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
