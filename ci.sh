@@ -138,6 +138,63 @@ EOF
   fi
   echo "bench smoke ok: BENCH_infer.json written"
 
+  step "check-engine bench smoke (check_bench --small + BENCH_check.json)"
+  (cd "$tmp" && "$OLDPWD/target/release/check_bench" --small >/dev/null)
+  if ! grep -q '"bench": "check"' "$tmp/BENCH_check.json"; then
+    echo "check bench smoke failed: BENCH_check.json missing or malformed" >&2
+    exit 1
+  fi
+  echo "check bench smoke ok: BENCH_check.json written (100x criterion enforced at paper scale)"
+
+  step "--screen determinism gate (small corpus, threads 1 vs 4)"
+  # The screening pre-pass must (a) produce byte-identical output at any
+  # thread count, and (b) leave every non-screened method's spec and
+  # outcome row byte-identical to the full (unscreened) run. Screened
+  # methods print no spec blocks and report `screened` outcomes, so both
+  # sides are filtered down to the non-screened set before comparing.
+  ./target/release/anek infer --outcomes --max-iters 2000 --threads 1 \
+    "$tmp"/det/*.java 2>"$tmp/screen.full.err" >"$tmp/screen.full"
+  ./target/release/anek infer --outcomes --screen --max-iters 2000 --threads 1 \
+    "$tmp"/det/*.java 2>"$tmp/screen.t1.err" >"$tmp/screen.t1"
+  ./target/release/anek infer --outcomes --screen --max-iters 2000 --threads 4 \
+    "$tmp"/det/*.java 2>/dev/null >"$tmp/screen.t4"
+  if ! cmp -s "$tmp/screen.t1" "$tmp/screen.t4"; then
+    echo "screen gate failed: --screen output differs between threads 1 and 4" >&2
+    diff -u "$tmp/screen.t1" "$tmp/screen.t4" >&2 || true
+    exit 1
+  fi
+  cat >"$tmp/screen-filter.awk" <<'EOF'
+BEGIN { FS="\t" }
+NR==FNR { if ($2=="screened") skip[$1]=1; next }
+{
+  line=$0
+  if (match(line, /^[^ \t:]+:  \(confidence/)) {
+    m=substr(line,1,index(line,":")-1)
+    inspec=(m in skip)
+    if (!inspec) print
+    next
+  }
+  if (line ~ /^    /) { if (!inspec) print; next }
+  inspec=0
+  if (!($1 in skip)) print
+}
+EOF
+  awk -f "$tmp/screen-filter.awk" "$tmp/screen.t1" "$tmp/screen.full" >"$tmp/screen.full.filtered"
+  awk -f "$tmp/screen-filter.awk" "$tmp/screen.t1" "$tmp/screen.t1" >"$tmp/screen.t1.filtered"
+  if ! cmp -s "$tmp/screen.t1.filtered" "$tmp/screen.full.filtered"; then
+    echo "screen gate failed: non-screened specs/outcomes differ from the full run" >&2
+    diff -u "$tmp/screen.full.filtered" "$tmp/screen.t1.filtered" >&2 || true
+    exit 1
+  fi
+  full_solves="$(sed -n 's/.*with \([0-9]*\) model solves.*/\1/p' "$tmp/screen.full.err")"
+  screen_solves="$(sed -n 's/.*with \([0-9]*\) model solves.*/\1/p' "$tmp/screen.t1.err")"
+  if (( screen_solves * 5 > full_solves * 4 )); then
+    echo "screen gate failed: --screen skipped < 20% of BP solves ($screen_solves of $full_solves)" >&2
+    exit 1
+  fi
+  echo "screen gate ok: deterministic across threads, non-screened output identical," \
+    "solves $full_solves -> $screen_solves"
+
   step "serve-latency bench (warm query_spec p50 >= 10x below cold)"
   (cd "$tmp" && "$OLDPWD/target/release/serve_latency" --small >/dev/null)
   if ! grep -q '"bench": "serve"' "$tmp/BENCH_serve.json"; then
@@ -162,6 +219,43 @@ EOF
     exit 1
   fi
   echo "lint self-check ok: exactly 3 PROT001 errors on the planted sites"
+
+  step "anek check gate (golden verdicts + differential oracle on the seeded corpus)"
+  # Golden bit-vector verdicts: with branch-sensitive inferred specs, the
+  # bitstate engine must flag exactly the 3 planted protocol bugs — as
+  # may-violations (CHK001), with the documented exit code 1.
+  set +e
+  ./target/release/anek check --infer --branch-sensitive --threads 8 --max-iters 9360 \
+    --json "$tmp"/*.java 2>/dev/null >"$tmp/check.json"
+  rc=$?
+  set -e
+  if [[ "$rc" != 1 ]]; then
+    echo "check gate failed: expected exit 1 on the planted bugs, got $rc" >&2
+    exit 1
+  fi
+  # `|| true` keeps a zero-match grep from tripping pipefail+errexit.
+  chk1="$({ grep -o '"rule":"CHK001"' "$tmp/check.json" || true; } | wc -l)"
+  chk2="$({ grep -o '"rule":"CHK002"' "$tmp/check.json" || true; } | wc -l)"
+  if [[ "$chk1" != 3 || "$chk2" != 0 ]]; then
+    echo "check gate failed: expected exactly 3 CHK001 findings, got CHK001=$chk1 CHK002=$chk2" >&2
+    cat "$tmp/check.json" >&2
+    exit 1
+  fi
+  # Differential verdict oracle: bitstate vs plural::check vs lint. Every
+  # disagreement must be a documented precision gap; an undocumented
+  # bitstate/plural split is a bug (both consume the same spec table).
+  if ! ./target/release/anek check --infer --cross-validate --threads 8 --max-iters 9360 \
+    "$tmp"/*.java 2>/dev/null >"$tmp/cross.out"; then
+    echo "check gate failed: cross-validate reported undocumented disagreements" >&2
+    cat "$tmp/cross.out" >&2
+    exit 1
+  fi
+  if ! grep -q 'undocumented disagreements: 0' "$tmp/cross.out"; then
+    echo "check gate failed: cross-validate summary missing or non-zero" >&2
+    cat "$tmp/cross.out" >&2
+    exit 1
+  fi
+  echo "check gate ok: 3/3 planted bugs flagged, zero undocumented verdict disagreements"
 fi
 
 step "all green"

@@ -1,0 +1,153 @@
+//! Property tests for the must-alias lattice (`analysis::alias`).
+//!
+//! `AliasMap::join` is the merge operator of both the permission-flow
+//! builder and the bit-vector typestate interpreter, so its lattice laws
+//! are load-bearing: a non-commutative join would make analysis results
+//! depend on CFG edge order, and a join that *invents* must-alias facts
+//! would let the checkers prove receiver states from aliases that only
+//! hold on one path.
+
+use analysis::alias::{AliasMap, AliasToken, TokenSource};
+use analysis::events::Place;
+use java_syntax::ast::ExprId;
+use prng::{forall, Rng};
+
+const CASES: u32 = 300;
+
+fn place(rng: &mut Rng) -> Place {
+    match rng.gen_index(0..6) {
+        0 => Place::This,
+        1 => Place::Temp(ExprId(rng.gen_index(0..4) as u32)),
+        n => Place::Local(format!("v{n}")),
+    }
+}
+
+/// A random map over a small universe of places and tokens — small on
+/// purpose, so collisions (shared tokens, rebinding, disagreement between
+/// two maps) happen constantly.
+fn alias_map(rng: &mut Rng) -> AliasMap {
+    let mut m = AliasMap::new();
+    for _ in 0..rng.gen_index(0..8) {
+        let p = place(rng);
+        let t = AliasToken(rng.gen_index(0..4) as u32);
+        m.bind(p, t);
+    }
+    m
+}
+
+#[test]
+fn join_is_commutative() {
+    forall("join commutative", CASES, |rng| {
+        let a = alias_map(rng);
+        let b = alias_map(rng);
+        assert_eq!(a.join(&b), b.join(&a), "a = {a:?}, b = {b:?}");
+    });
+}
+
+#[test]
+fn join_is_idempotent() {
+    forall("join idempotent", CASES, |rng| {
+        let a = alias_map(rng);
+        assert_eq!(a.join(&a), a);
+    });
+}
+
+#[test]
+fn join_is_associative() {
+    forall("join associative", CASES, |rng| {
+        let a = alias_map(rng);
+        let b = alias_map(rng);
+        let c = alias_map(rng);
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    });
+}
+
+#[test]
+fn join_is_monotone_wrt_must_alias() {
+    // The join never invents facts: any must-alias pair that holds after
+    // the join held in BOTH inputs (join moves down the lattice).
+    forall("join monotone", CASES, |rng| {
+        let a = alias_map(rng);
+        let b = alias_map(rng);
+        let joined = a.join(&b);
+        let places: Vec<Place> = joined.iter().map(|(p, _)| p.clone()).collect();
+        for p in &places {
+            for q in &places {
+                if joined.must_alias(p, q) {
+                    assert!(
+                        a.must_alias(p, q) && b.must_alias(p, q),
+                        "join invented {p:?} ~ {q:?}: a = {a:?}, b = {b:?}"
+                    );
+                }
+            }
+        }
+        // And every binding the join kept agrees with both sides.
+        for (p, t) in joined.iter() {
+            assert_eq!(a.resolve(p), Some(t));
+            assert_eq!(b.resolve(p), Some(t));
+        }
+    });
+}
+
+#[test]
+fn copy_establishes_alias_and_remove_breaks_it() {
+    forall("copy/remove interaction", CASES, |rng| {
+        let mut m = alias_map(rng);
+        let mut source = TokenSource::new();
+        // Skip tokens the random map may already use.
+        for _ in 0..8 {
+            source.fresh();
+        }
+        let src = place(rng);
+        let dest = place(rng);
+        if dest == src {
+            return;
+        }
+        m.bind(src.clone(), source.fresh());
+        m.copy(dest.clone(), &src);
+        assert!(m.must_alias(&dest, &src), "copy must establish the alias");
+
+        // Removing one endpoint unlinks exactly that endpoint: the other
+        // keeps its token, and the pair no longer must-alias.
+        let survivor_token = m.resolve(&src);
+        m.remove(&dest);
+        assert!(!m.must_alias(&dest, &src));
+        assert_eq!(m.resolve(&dest), None);
+        assert_eq!(m.resolve(&src), survivor_token, "remove(dest) must not touch src");
+    });
+}
+
+#[test]
+fn copy_from_untracked_always_untracks_dest() {
+    forall("copy from untracked", CASES, |rng| {
+        let mut m = alias_map(rng);
+        let src = place(rng);
+        let dest = place(rng);
+        m.remove(&src);
+        m.copy(dest.clone(), &src);
+        assert_eq!(m.resolve(&dest), None, "dest must not keep a stale token");
+        assert!(!m.must_alias(&dest, &src));
+    });
+}
+
+#[test]
+fn copy_chain_is_transitive() {
+    forall("copy transitive", CASES, |rng| {
+        let mut m = alias_map(rng);
+        let mut source = TokenSource::new();
+        for _ in 0..8 {
+            source.fresh();
+        }
+        let a = Place::Local("chain_a".into());
+        let b = Place::Local("chain_b".into());
+        let c = Place::Local("chain_c".into());
+        m.bind(a.clone(), source.fresh());
+        m.copy(b.clone(), &a);
+        m.copy(c.clone(), &b);
+        assert!(m.must_alias(&a, &c), "b = a; c = b ⇒ c ~ a");
+        // Rebinding the middle variable must not disturb the outer pair.
+        m.bind(b.clone(), source.fresh());
+        assert!(m.must_alias(&a, &c));
+        assert!(!m.must_alias(&a, &b));
+    });
+}

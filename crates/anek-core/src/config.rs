@@ -133,6 +133,17 @@ pub struct InferConfig {
     /// `false`, which keeps the paper's behavior of trusting the truncated
     /// solve — and keeps healthy-corpus output bit-identical.
     pub degraded_fallback: bool,
+    /// When `true`, a bit-vector typestate screening pre-pass runs before
+    /// any model is built: methods that are provably protocol-conformant
+    /// *and* isolated in the program call graph (no program callees whose
+    /// evidence they would publish, no program callers reading their
+    /// summary) are skipped entirely — no PFG, no skeleton, no BP solves —
+    /// and reported as `MethodOutcome::Screened`. Because skipped methods
+    /// are exactly the ones whose solves publish nothing anyone reads, the
+    /// specs and outcomes of every non-screened method are byte-identical
+    /// to a full (unscreened) run whose worklist drains without hitting
+    /// `max_iters`. Off by default.
+    pub screen: bool,
     /// Deterministic fault injection (normally empty; see
     /// [`FaultInjection`]).
     pub faults: FaultInjection,
@@ -167,6 +178,7 @@ impl Default for InferConfig {
             threads: 1,
             max_model_vars: 1 << 20,
             degraded_fallback: false,
+            screen: false,
             faults: FaultInjection::default(),
         }
     }

@@ -184,6 +184,7 @@ pub fn infer_global(
         memo_hits: 0,
         memo_misses: 0,
         callers: BTreeMap::new(),
+        screened_methods: 0,
     }
 }
 

@@ -116,6 +116,11 @@ pub struct InferResult {
     /// This is the dependency index a persistent store saves for dirty-cone
     /// reporting.
     pub callers: BTreeMap<MethodId, BTreeSet<MethodId>>,
+    /// Methods skipped by the bit-vector screening pre-pass
+    /// (`InferConfig::screen`): provably protocol-conformant and isolated
+    /// in the call graph, so no model was built for them. Always 0 with
+    /// screening off. Their outcome is [`MethodOutcome::Screened`].
+    pub screened_methods: usize,
 }
 
 impl InferResult {
@@ -301,6 +306,22 @@ pub fn infer_with_store(
                 meta.push((id, t.name.as_str(), m, unit_idx));
             }
         }
+    }
+    // ---- Bit-vector screening pre-pass (`--screen`) ----
+    // Runs *before* any PFG or skeleton exists: methods the bitstate
+    // interpreter proves protocol-conformant, and that are isolated in the
+    // program call graph (their solves would publish no evidence and no
+    // summary anyone reads), are dropped from the worklist entirely. The
+    // eligibility rule is what keeps every non-screened method's committed
+    // solve sequence — and hence its spec, summary and outcome —
+    // byte-identical to an unscreened run that drains its worklist.
+    let screened: BTreeSet<MethodId> = if cfg.screen {
+        screen_methods(&index, api, cfg, &meta, &pre_annotated, threads)
+    } else {
+        BTreeSet::new()
+    };
+    if !screened.is_empty() {
+        meta.retain(|(id, _, _, _)| !screened.contains(id));
     }
     let order: Vec<MethodId> = meta.iter().map(|(id, _, _, _)| id.clone()).collect();
     // The static half of each method's solve key: everything that fixes the
@@ -638,6 +659,9 @@ pub fn infer_with_store(
         };
         outcomes.insert(id.clone(), outcome);
     }
+    for id in &screened {
+        outcomes.insert(id.clone(), MethodOutcome::Screened);
+    }
 
     // ---- Spec extraction (lines 22–29) ----
     let mut specs = BTreeMap::new();
@@ -665,7 +689,83 @@ pub fn infer_with_store(
         memo_hits,
         memo_misses,
         callers,
+        screened_methods: screened.len(),
     }
+}
+
+/// The screening pre-pass: classifies every candidate method with the
+/// bit-vector interpreter (against API models plus the program's
+/// hand-written specs) and returns the set that is safe to skip.
+///
+/// Safe means provably clean *and* inference-isolated: no program callees
+/// (the method's solves would publish no caller evidence) and no program
+/// callers (nobody stamps its summary into a model). Skipping such a
+/// method removes only its own solves from the sequential worklist — every
+/// other method reads exactly the inputs it would have read anyway. Hand-
+/// annotated and fault-targeted methods are never screened (their INIT
+/// summaries and injected failures are observable output).
+fn screen_methods(
+    index: &ProgramIndex,
+    api: &ApiRegistry,
+    cfg: &InferConfig,
+    meta: &[(MethodId, &str, &java_syntax::ast::MethodDecl, usize)],
+    pre_annotated: &BTreeSet<MethodId>,
+    threads: usize,
+) -> BTreeSet<MethodId> {
+    use analysis::cfg::Cfg;
+    use analysis::events::EventKind;
+    use analysis::types::{ref_type_name, TypeEnv};
+
+    let mut program_specs = bitstate::ProgramSpecs::new();
+    for (id, _, m, _) in meta {
+        if pre_annotated.contains(id) {
+            let spec = spec_of_method(m).unwrap_or_default();
+            let ret = m.return_type.as_ref().and_then(ref_type_name);
+            program_specs.insert(id.clone(), (spec, ret));
+        }
+    }
+    let machine = bitstate::Machine::compile(api, &program_specs);
+
+    // Per-method: bitstate verdict plus the set of program callees.
+    let scanned: Vec<(bool, BTreeSet<MethodId>)> =
+        map_parallel(threads, meta, |(id, type_name, m, _)| {
+            let mut env = TypeEnv::for_method(index, api, type_name, m);
+            let body = Cfg::build(m, &mut env);
+            let mut prog_callees = BTreeSet::new();
+            for block in &body.blocks {
+                for e in &block.events {
+                    let callee = match &e.kind {
+                        EventKind::New { callee, .. } | EventKind::Call { callee, .. } => callee,
+                        _ => continue,
+                    };
+                    if let Callee::Program(c) = callee {
+                        prog_callees.insert(c.clone());
+                    }
+                }
+            }
+            let params: Vec<String> = m.params.iter().map(|p| p.name.clone()).collect();
+            let report = machine.check_method(id, &body, &params, m.modifiers.is_static);
+            (report.verdict == bitstate::Verdict::ProvablyClean, prog_callees)
+        });
+
+    let mut called: BTreeSet<MethodId> = BTreeSet::new();
+    for (_, callees) in &scanned {
+        called.extend(callees.iter().cloned());
+    }
+    meta.iter()
+        .zip(&scanned)
+        .filter(|((id, _, m, _), (clean, prog_callees))| {
+            *clean
+                && prog_callees.is_empty()
+                && !called.contains(id)
+                && !pre_annotated.contains(id)
+                && !cfg.faults.should_panic(id)
+                && !cfg.faults.nan_factor(id)
+                && cfg.faults.oversize_extra(id) == 0
+                && !m.is_constructor()
+        })
+        .map(|((id, _, _, _), _)| id.clone())
+        .collect()
 }
 
 /// The INIT summary: spec-derived high/low priors where an annotation

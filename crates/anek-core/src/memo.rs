@@ -164,6 +164,7 @@ pub fn config_fingerprint(cfg: &InferConfig) -> CacheKey {
     h.write_bool(cfg.branch_sensitive);
     h.write_u64(cfg.max_model_vars as u64);
     h.write_bool(cfg.degraded_fallback);
+    h.write_bool(cfg.screen);
     h.write_u64(cfg.bp.max_iterations as u64);
     h.write_f64(cfg.bp.tolerance);
     h.write_f64(cfg.bp.damping);

@@ -119,6 +119,10 @@ pub enum MethodOutcome {
         /// What went wrong.
         error: InferError,
     },
+    /// Skipped by the bit-vector screening pre-pass (`--screen`): the
+    /// method was proven protocol-conformant and is isolated in the call
+    /// graph, so no model was built and no solve ran.
+    Screened,
 }
 
 impl MethodOutcome {
@@ -137,12 +141,18 @@ impl MethodOutcome {
         matches!(self, MethodOutcome::Failed { .. })
     }
 
+    /// Whether this outcome is `Screened`.
+    pub fn is_screened(&self) -> bool {
+        matches!(self, MethodOutcome::Screened)
+    }
+
     /// The status column of the outcome table.
     pub fn status(&self) -> &'static str {
         match self {
             MethodOutcome::Ok { .. } => "ok",
             MethodOutcome::Degraded { .. } => "degraded",
             MethodOutcome::Failed { .. } => "failed",
+            MethodOutcome::Screened => "screened",
         }
     }
 
@@ -155,6 +165,7 @@ impl MethodOutcome {
                 reasons.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
             }
             MethodOutcome::Failed { error } => error.to_string(),
+            MethodOutcome::Screened => "provably clean (bitstate pre-pass)".to_string(),
         }
     }
 }

@@ -3,17 +3,30 @@
 //!
 //! ```text
 //! anek infer [--threads N] [--bp-schedule sweep|residual]
-//!            [--inject PLAN] [--outcomes] <file.java>...
+//!            [--inject PLAN] [--outcomes] [--screen] [--max-iters N]
+//!            <file.java>...
 //!                               infer specs, print them; --inject replays a
 //!                               fault plan (corpus::faults format) and
 //!                               --outcomes appends the per-method outcome
 //!                               table (method<TAB>status<TAB>detail).
-//!                               Exit 0: every source parsed and every
-//!                               method solved. Exit 3: completed partially
-//!                               (a source was skipped or a method's solve
-//!                               failed); the printed specs cover the
-//!                               healthy remainder.
-//! anek check <file.java>...     run PLURAL on the sources as-is
+//!                               --screen runs the bit-vector pre-pass and
+//!                               skips BP solves for provably-clean isolated
+//!                               methods. Exit 0: every source parsed and
+//!                               every method solved. Exit 3: completed
+//!                               partially (a source was skipped or a
+//!                               method's solve failed); the printed specs
+//!                               cover the healthy remainder.
+//! anek check [--engine bitstate|plural] [--infer] [--branch-sensitive]
+//!            [--json] [--cross-validate] <file.java>...
+//!                               verify client code against declared specs
+//!                               (plus ANEK-inferred ones under --infer):
+//!                               the bit-vector engine reports CHK001/CHK002
+//!                               diagnostics with caret snippets or JSON;
+//!                               --engine plural runs the fractional-
+//!                               permission checker instead;
+//!                               --cross-validate runs bitstate, PLURAL and
+//!                               the PROT001 lint side by side and reports
+//!                               per-method verdict disagreements
 //! anek lint [--json] [--verify-ir] <file.java>...
 //!                               run the deterministic dataflow lints
 //!                               (DF/PROT/SPEC rules) and optionally the IR
@@ -37,6 +50,7 @@
 //! byte-identical to cold runs.
 
 use anek::analysis::{MethodId, Pfg, ProgramIndex};
+use anek::bitstate;
 use anek::factor_graph::BpSchedule;
 use anek::plural::SpecTable;
 use anek::spec_lang::standard_api;
@@ -49,8 +63,10 @@ const USAGE: &str = "\
 usage: anek <infer|check|lint|pipeline|pfg|corpus|serve> [flags] <file.java>...
 
   infer    [--threads N] [--bp-schedule sweep|residual] [--inject PLAN]
-           [--outcomes] [--store DIR] <file.java>...
-  check    <file.java>...
+           [--outcomes] [--screen] [--max-iters N] [--store DIR]
+           <file.java>...
+  check    [--engine bitstate|plural] [--infer] [--branch-sensitive]
+           [--json] [--cross-validate] [infer flags] <file.java>...
   lint     [--json] [--verify-ir] <file.java>...
   pipeline [--out DIR] [--verify-ir] [--threads N] [--bp-schedule S]
            [--store DIR] <file.java>...
@@ -60,9 +76,10 @@ usage: anek <infer|check|lint|pipeline|pfg|corpus|serve> [flags] <file.java>...
 
 exit codes:
   0  success (infer: every source parsed and every method solved;
-     check/lint: no warnings/errors)
+     check/lint: no warnings/errors;
+     check --cross-validate: no undocumented disagreements)
   1  runtime failure (unreadable input, parse error in strict mode,
-     check/lint found problems)
+     check/lint found problems, or an undocumented engine disagreement)
   2  usage error (unknown command or flag, missing argument, no inputs)
   3  partial result (infer: a source was skipped or a method's solve
      failed; printed specs cover the healthy remainder)";
@@ -116,12 +133,14 @@ struct InferFlags {
     inject: Option<corpus::FaultPlan>,
     outcomes: bool,
     store: Option<String>,
+    screen: bool,
+    max_iters: Option<usize>,
 }
 
 impl InferFlags {
     /// Consumes `--threads N` / `--bp-schedule S` / `--inject PLAN` /
-    /// `--outcomes` / `--store DIR` from `args`, returning the flags and
-    /// the remaining arguments.
+    /// `--outcomes` / `--store DIR` / `--screen` / `--max-iters N` from
+    /// `args`, returning the flags and the remaining arguments.
     fn parse(args: &[String]) -> Result<(InferFlags, Vec<String>), Box<dyn std::error::Error>> {
         let mut flags = InferFlags::default();
         let mut rest = Vec::new();
@@ -149,6 +168,18 @@ impl InferFlags {
                     Some(corpus::FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?);
             } else if a == "--outcomes" {
                 flags.outcomes = true;
+            } else if a == "--screen" {
+                flags.screen = true;
+            } else if a == "--max-iters" {
+                let n = it
+                    .next()
+                    .ok_or_else(|| usage_err("--max-iters needs a worklist-pass budget"))?;
+                let n: usize =
+                    n.parse().map_err(|_| usage_err(format!("--max-iters: bad count `{n}`")))?;
+                if n == 0 {
+                    return Err(usage_err("--max-iters must be positive"));
+                }
+                flags.max_iters = Some(n);
             } else if a == "--store" {
                 let dir = it.next().ok_or_else(|| usage_err("--store needs a directory"))?;
                 flags.store = Some(dir.clone());
@@ -170,6 +201,12 @@ impl InferFlags {
         if let Some(plan) = &self.inject {
             plan.apply_config(&mut pipeline.config);
         }
+        if self.screen {
+            pipeline = pipeline.with_screen(true);
+        }
+        if let Some(n) = self.max_iters {
+            pipeline.config.max_iters = n;
+        }
         if let Some(dir) = &self.store {
             let store = store::Store::open(dir).map_err(|e| format!("--store {dir}: {e}"))?;
             pipeline = pipeline.with_store(Arc::new(store));
@@ -185,6 +222,31 @@ fn reject_unknown_flags(args: &[String]) -> Result<(), Box<dyn std::error::Error
         Some(flag) => Err(usage_err(format!("unknown flag `{flag}`"))),
         None => Ok(()),
     }
+}
+
+/// Maps each diagnostic's `Class.method` context back to the input file
+/// that declares the class, attaches it, and re-sorts (reporting order is
+/// file-first once files are known).
+fn attach_files(
+    diags: Vec<lint::Diagnostic>,
+    units: &[java_syntax::CompilationUnit],
+    files: &[String],
+) -> Vec<lint::Diagnostic> {
+    let mut diags: Vec<lint::Diagnostic> = diags
+        .into_iter()
+        .map(|d| {
+            let class = d.method.split('.').next().unwrap_or("");
+            match units.iter().position(|u| u.type_named(class).is_some()) {
+                Some(i) if i < files.len() => {
+                    let file = files[i].clone();
+                    d.in_file(file)
+                }
+                _ => d,
+            }
+        })
+        .collect();
+    lint::sort_diagnostics(&mut diags);
+    diags
 }
 
 fn read_sources(paths: &[String]) -> Result<Vec<String>, Box<dyn std::error::Error>> {
@@ -253,6 +315,12 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 result.bp_iterations,
                 result.message_updates
             );
+            if flags.screen {
+                eprintln!(
+                    "screening pre-pass skipped {} provably-clean methods",
+                    result.screened_methods
+                );
+            }
             if result.failed_count() > 0 || !pipeline.skipped_sources.is_empty() {
                 eprintln!(
                     "partial result: {} methods failed, {} sources skipped (specs above cover the healthy remainder)",
@@ -264,20 +332,96 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
-            let sources = read_sources(rest)?;
-            let pipeline = Pipeline::from_sources(&sources)?;
-            let specs = SpecTable::from_units(&pipeline.units);
-            let result = pipeline.check(&specs);
-            for w in &result.warnings {
-                println!("{w}");
+            let (flags, rest) = InferFlags::parse(rest)?;
+            let mut engine = "bitstate".to_string();
+            let mut infer = false;
+            let mut branch_sensitive = false;
+            let mut json = false;
+            let mut cross_validate = false;
+            let mut files: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--engine" => {
+                        let e = it
+                            .next()
+                            .ok_or_else(|| usage_err("--engine needs `bitstate` or `plural`"))?;
+                        if e != "bitstate" && e != "plural" {
+                            return Err(usage_err(format!("--engine: unknown engine `{e}`")));
+                        }
+                        engine = e.clone();
+                    }
+                    "--infer" => infer = true,
+                    "--branch-sensitive" => branch_sensitive = true,
+                    "--json" => json = true,
+                    "--cross-validate" => cross_validate = true,
+                    _ => files.push(a.clone()),
+                }
             }
+            reject_unknown_flags(&files)?;
+            let sources = read_sources(&files)?;
+            let mut pipeline = flags.apply(Pipeline::from_sources(&sources)?)?;
+            pipeline.config.branch_sensitive = branch_sensitive;
+            let mut table = SpecTable::from_units(&pipeline.units);
+            if infer {
+                let result = pipeline.infer();
+                eprintln!(
+                    "inferred {} specs with {} model solves in {:?}",
+                    result.annotation_count(),
+                    result.solves,
+                    result.elapsed
+                );
+                table = table.overlay_inferred(&result.specs);
+            }
+            if cross_validate {
+                let report = anek::cross_validate(&pipeline.units, &pipeline.api, &table);
+                print!("{}", report.render());
+                return Ok(if report.undocumented == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
+            if engine == "plural" {
+                let result = pipeline.check(&table);
+                for w in &result.warnings {
+                    println!("{w}");
+                }
+                eprintln!(
+                    "{} warnings across {} methods in {:?}",
+                    result.warnings.len(),
+                    result.methods_checked,
+                    result.elapsed
+                );
+                return Ok(if result.warnings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                });
+            }
+            let specs = anek::check::program_specs(&table, &pipeline.units);
+            let report = bitstate::check_program(&pipeline.units, &pipeline.api, &specs);
+            let diags = attach_files(anek::check::diagnostics(&report), &pipeline.units, &files);
+            if json {
+                println!("{}", lint::to_json_array(&diags));
+            } else {
+                for d in &diags {
+                    let source =
+                        files.iter().position(|f| *f == d.file).map(|i| sources[i].as_str());
+                    print!("{}", d.render(source));
+                }
+            }
+            use bitstate::Verdict;
             eprintln!(
-                "{} warnings across {} methods in {:?}",
-                result.warnings.len(),
-                result.methods_checked,
-                result.elapsed
+                "checked {} methods in {:?}: {} clean, {} need inference, {} in violation ({} findings)",
+                report.methods_checked,
+                report.elapsed,
+                report.count(Verdict::ProvablyClean),
+                report.count(Verdict::NeedsInference),
+                report.count(Verdict::DefiniteViolation),
+                diags.len(),
             );
-            Ok(if result.warnings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
         }
         "lint" => {
             let json = rest.iter().any(|a| a == "--json");
@@ -294,19 +438,19 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             let sources = read_sources(&files)?;
             let pipeline = Pipeline::from_sources(&sources)?;
             let opts = lint::LintOptions { verify_ir };
-            let diags = lint::lint_units(&pipeline.units, &pipeline.api, &opts);
+            let diags = attach_files(
+                lint::lint_units(&pipeline.units, &pipeline.api, &opts),
+                &pipeline.units,
+                &files,
+            );
             if json {
                 println!("{}", lint::to_json_array(&diags));
             } else {
-                // Each diagnostic knows its `Class.method`; map the class
-                // back to the source file that declares it for snippets.
+                // Each diagnostic carries its source file; look the text
+                // back up for caret snippets.
                 for d in &diags {
-                    let class = d.method.split('.').next().unwrap_or("");
-                    let source = pipeline
-                        .units
-                        .iter()
-                        .position(|u| u.type_named(class).is_some())
-                        .map(|i| sources[i].as_str());
+                    let source =
+                        files.iter().position(|f| *f == d.file).map(|i| sources[i].as_str());
                     print!("{}", d.render(source));
                 }
             }

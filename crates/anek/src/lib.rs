@@ -36,16 +36,19 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod check;
 pub mod json;
 pub mod pipeline;
 pub mod serve;
 
 pub use apply::{apply_specs, render};
+pub use check::{cross_validate, CrossReport, CrossRow};
 pub use pipeline::{Pipeline, PipelineReport, SkippedSource};
 pub use serve::{Handled, ServeSession};
 
 pub use analysis;
 pub use anek_core;
+pub use bitstate;
 pub use corpus;
 pub use factor_graph;
 pub use java_syntax;

@@ -79,6 +79,18 @@ impl PipelineReport {
     pub fn fully_ok(&self) -> bool {
         self.skipped_sources.is_empty() && self.inference.fully_ok()
     }
+
+    /// Speculative solves the parallel worklist discarded (redone against
+    /// fresher summaries); 0 on single-threaded runs.
+    pub fn discarded_solves(&self) -> usize {
+        self.inference.discarded_solves
+    }
+
+    /// Methods the bit-vector screening pre-pass proved clean and skipped
+    /// (0 unless the pipeline ran with [`Pipeline::with_screen`]).
+    pub fn screened_methods(&self) -> usize {
+        self.inference.screened_methods
+    }
 }
 
 impl Pipeline {
@@ -145,6 +157,14 @@ impl Pipeline {
     /// Selects the BP message schedule used by every model solve.
     pub fn with_bp_schedule(mut self, schedule: factor_graph::BpSchedule) -> Pipeline {
         self.config.bp.schedule = schedule;
+        self
+    }
+
+    /// Enables the bit-vector screening pre-pass: provably-clean,
+    /// call-graph-isolated methods skip BP model construction entirely (see
+    /// `anek_core::InferConfig::screen`).
+    pub fn with_screen(mut self, screen: bool) -> Pipeline {
+        self.config.screen = screen;
         self
     }
 

@@ -287,6 +287,14 @@ impl ServeSession {
             ("methods".into(), Json::num(self.result.as_ref().map_or(0, |r| r.summaries.len()))),
             ("memo_hits".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_hits))),
             ("memo_misses".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_misses))),
+            (
+                "discarded_solves".into(),
+                Json::num(self.result.as_ref().map_or(0, |r| r.discarded_solves)),
+            ),
+            (
+                "screened_methods".into(),
+                Json::num(self.result.as_ref().map_or(0, |r| r.screened_methods)),
+            ),
         ];
         let store_field = match &self.store {
             Some(store) => {

@@ -1,0 +1,118 @@
+//! Bit-packed protocol DFAs.
+//!
+//! A [`TypeDfa`] assigns every *concrete* (non-`ALIVE`) state of one type's
+//! [`StateSpace`] a bit position in a `u64` word. A set of states an object
+//! may currently be in is then a single word; an abstract state like
+//! `ALIVE` or an inner node of the hierarchy becomes the mask of concrete
+//! states refining it. All transfer-function work downstream reduces to
+//! `&`/`|` on these words (Arslanagić et al.'s bit-vector machines).
+
+use spec_lang::state::{StateSpace, ALIVE};
+use std::collections::BTreeMap;
+
+/// One type's protocol, compiled to bit masks.
+#[derive(Debug, Clone)]
+pub struct TypeDfa {
+    type_name: String,
+    /// Bit index -> concrete state name, in [`StateSpace::states`] order.
+    names: Vec<String>,
+    /// Declared state (including `ALIVE` and inner nodes) -> mask of the
+    /// concrete states refining it.
+    masks: BTreeMap<String, u64>,
+    /// Mask of every concrete state (= the `ALIVE` mask).
+    full: u64,
+}
+
+impl TypeDfa {
+    /// Compiles a state space. Returns `None` for trivial spaces (no
+    /// protocol to track) and for spaces wider than 64 concrete states
+    /// (cannot pack into one word; callers fall back to "unknown").
+    pub fn compile(space: &StateSpace) -> Option<TypeDfa> {
+        let concrete: Vec<String> =
+            space.states().into_iter().filter(|s| *s != ALIVE).map(str::to_string).collect();
+        if concrete.is_empty() || concrete.len() > 64 {
+            return None;
+        }
+        let bit_of: BTreeMap<&str, u32> =
+            concrete.iter().enumerate().map(|(i, s)| (s.as_str(), i as u32)).collect();
+        let mut masks = BTreeMap::new();
+        for s in space.states() {
+            let mut m = 0u64;
+            for c in space.concrete_states(s) {
+                m |= 1u64 << bit_of[c];
+            }
+            masks.insert(s.to_string(), m);
+        }
+        let full = masks[ALIVE];
+        Some(TypeDfa { type_name: space.type_name().to_string(), names: concrete, masks, full })
+    }
+
+    /// The type this DFA belongs to.
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// The mask of concrete states refining `state`, or `None` for states
+    /// not declared in the space (nothing can be concluded about them).
+    pub fn mask_of(&self, state: &str) -> Option<u64> {
+        self.masks.get(state).copied()
+    }
+
+    /// The mask of every concrete state (an object about which nothing is
+    /// known beyond liveness).
+    pub fn full(&self) -> u64 {
+        self.full
+    }
+
+    /// Number of concrete states (bit width of the machine).
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Decodes a word back into sorted state names (for diagnostics).
+    pub fn names_of(&self, word: u64) -> Vec<&str> {
+        self.names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| word & (1u64 << i) != 0)
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterator_space_packs_two_bits() {
+        let dfa = TypeDfa::compile(&StateSpace::flat("Iterator", ["HASNEXT", "END"])).unwrap();
+        assert_eq!(dfa.width(), 2);
+        let h = dfa.mask_of("HASNEXT").unwrap();
+        let e = dfa.mask_of("END").unwrap();
+        assert_eq!(h.count_ones(), 1);
+        assert_eq!(e.count_ones(), 1);
+        assert_eq!(h & e, 0);
+        assert_eq!(dfa.mask_of(ALIVE).unwrap(), h | e);
+        assert_eq!(dfa.full(), h | e);
+        assert_eq!(dfa.mask_of("BOGUS"), None);
+        assert_eq!(dfa.names_of(h | e), vec!["END", "HASNEXT"]);
+    }
+
+    #[test]
+    fn trivial_space_does_not_compile() {
+        assert!(TypeDfa::compile(&StateSpace::trivial("Row")).is_none());
+    }
+
+    #[test]
+    fn nested_refinement_masks_include_children() {
+        let space = StateSpace::parse_decl("File", "OPEN, CLOSED, OPEN > EOF");
+        let dfa = TypeDfa::compile(&space).unwrap();
+        let open = dfa.mask_of("OPEN").unwrap();
+        let eof = dfa.mask_of("EOF").unwrap();
+        let closed = dfa.mask_of("CLOSED").unwrap();
+        assert_eq!(open & eof, eof, "OPEN's mask covers its refinement EOF");
+        assert_eq!(open & closed, 0);
+        assert_eq!(dfa.full(), open | closed);
+    }
+}

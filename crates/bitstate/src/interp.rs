@@ -1,0 +1,419 @@
+//! The flow-sensitive, alias-aware abstract interpreter.
+//!
+//! One `u64` state-set word per [`AliasToken`]: the interpreter runs the
+//! compiled [`Machine`] over the event CFG of a method, tracking for every
+//! object token the set of protocol states it *may* be in. Joins at merge
+//! points are bitwise OR on agreeing tokens ([`AliasMap::join`] handles the
+//! must-alias side); branch edges intersect with the
+//! `@TrueIndicates`/`@FalseIndicates` masks; a state-requiring call checks
+//! `word & require_mask` in one instruction.
+//!
+//! Tokens are allocated *per creation site* (declaration parameters plus
+//! every `new`/call-result/field-read event), so the fixpoint over loops
+//! re-uses stable identities; two objects born at the same site share a
+//! word, which only ever widens the may-set.
+
+use crate::machine::{Machine, ReceiverEffect};
+use analysis::alias::{AliasMap, AliasToken, TokenSource};
+use analysis::cfg::{BlockId, BranchTest, Cfg, Terminator};
+use analysis::events::{Event, EventKind, Operand, Place};
+use analysis::types::MethodId;
+use java_syntax::ast::ExprId;
+use java_syntax::span::Span;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The screening classification of one method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Every protocol obligation in the method is provably satisfied.
+    ProvablyClean,
+    /// Some obligation could not be proven either way (unknown receiver,
+    /// unspecified callee, or a may-violation).
+    NeedsInference,
+    /// Some reachable call's receiver cannot be in any acceptable state.
+    DefiniteViolation,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::ProvablyClean => "clean",
+            Verdict::NeedsInference => "needs-inference",
+            Verdict::DefiniteViolation => "violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One protocol finding at a call site.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The enclosing method.
+    pub method: MethodId,
+    /// Source span of the offending call.
+    pub span: Span,
+    /// Rendered callee, e.g. `Iterator.next()`.
+    pub callee: String,
+    /// The state the receiver must be in.
+    pub required: String,
+    /// The states the receiver may actually be in (sorted).
+    pub observed: Vec<String>,
+    /// `true` when *no* observed state satisfies the requirement.
+    pub definite: bool,
+    /// The `requires` atom, for the diagnostic note.
+    pub clause: String,
+}
+
+/// The interpreter's report for one method.
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    /// The analyzed method.
+    pub id: MethodId,
+    /// Screening classification.
+    pub verdict: Verdict,
+    /// May/definite violations at call sites (empty for clean methods).
+    pub findings: Vec<Finding>,
+    /// State-requiring calls inspected.
+    pub checked_calls: usize,
+    /// Obligations that could not be decided (unknown receiver state or
+    /// unspecified callee touching a protocol object).
+    pub unproven: usize,
+}
+
+/// Abstract state at one program point: must-alias bindings plus one
+/// may-state word per tracked token. `None` = unreachable.
+#[derive(Debug, Clone, PartialEq)]
+struct Fact {
+    alias: AliasMap,
+    words: BTreeMap<AliasToken, u64>,
+}
+
+type Flow = Option<Fact>;
+
+/// Join: must-alias agreement on bindings; for state words, tokens known on
+/// both sides OR their words (may-union), tokens known on only one side go
+/// to unknown (dropping a word is always sound — unknown proves nothing).
+fn join(into: &Flow, other: &Flow) -> Flow {
+    match (into, other) {
+        (None, f) | (f, None) => f.clone(),
+        (Some(a), Some(b)) => {
+            let alias = a.alias.join(&b.alias);
+            let mut words = BTreeMap::new();
+            for (t, wa) in &a.words {
+                if let Some(wb) = b.words.get(t) {
+                    words.insert(*t, wa | wb);
+                }
+            }
+            Some(Fact { alias, words })
+        }
+    }
+}
+
+/// Sink for the reporting pass; the fixpoint pass runs with `None`.
+struct Collector {
+    findings: Vec<Finding>,
+    checked_calls: usize,
+    unproven: usize,
+}
+
+struct Interp<'a> {
+    machine: &'a Machine,
+    id: &'a MethodId,
+    /// Site-stable token per value-producing event.
+    site_tokens: BTreeMap<ExprId, AliasToken>,
+}
+
+impl Interp<'_> {
+    fn forget(&self, fact: &mut Fact, place: &Place) {
+        if let Some(t) = fact.alias.resolve(place) {
+            fact.words.remove(&t);
+        }
+    }
+
+    /// Binds `dest` to its site token with an optional known word.
+    fn produce(&self, fact: &mut Fact, dest: &Place, event: ExprId, word: Option<u64>) {
+        let token = self.site_tokens[&event];
+        fact.alias.bind(dest.clone(), token);
+        match word {
+            Some(w) => {
+                fact.words.insert(token, w);
+            }
+            None => {
+                fact.words.remove(&token);
+            }
+        }
+    }
+
+    /// Whether an operand's static type carries a protocol (an unknown
+    /// callee touching such a value is an undecided obligation).
+    fn protocol_typed(&self, op: &Operand) -> bool {
+        op.type_name.as_deref().is_some_and(|t| self.machine.has_protocol(t))
+    }
+
+    fn transfer_event(&self, flow: &mut Flow, event: &Event, sink: &mut Option<&mut Collector>) {
+        let Some(fact) = flow.as_mut() else { return };
+        match &event.kind {
+            EventKind::New { dest, callee, args, .. } => {
+                for a in args.iter().flatten() {
+                    self.forget(fact, &a.place);
+                }
+                let word = self.machine.effect_of(callee).and_then(|e| e.ensures_this);
+                self.produce(fact, dest, event.id, word);
+            }
+            EventKind::Call { callee, receiver, args, dest } => {
+                let effect = self.machine.effect_of(callee);
+                if let Some(r) = receiver {
+                    match effect {
+                        Some(e) => {
+                            let token = fact.alias.resolve(&r.place);
+                            if let Some(req) = &e.require {
+                                if let Some(c) = sink.as_deref_mut() {
+                                    c.checked_calls += 1;
+                                }
+                                let word = token.and_then(|t| fact.words.get(&t).copied());
+                                match (word, req.mask) {
+                                    (Some(w), Some(mask)) => {
+                                        if w & mask != w {
+                                            let definite = w & mask == 0;
+                                            if let Some(c) = sink.as_deref_mut() {
+                                                let dfa = e
+                                                    .type_name
+                                                    .as_deref()
+                                                    .and_then(|t| self.machine.dfa(t));
+                                                c.findings.push(Finding {
+                                                    method: self.id.clone(),
+                                                    span: event.span,
+                                                    callee: callee_name(callee),
+                                                    required: req.state.clone(),
+                                                    observed: dfa
+                                                        .map(|d| {
+                                                            d.names_of(w)
+                                                                .into_iter()
+                                                                .map(str::to_string)
+                                                                .collect()
+                                                        })
+                                                        .unwrap_or_default(),
+                                                    definite,
+                                                    clause: req.clause.clone(),
+                                                });
+                                            }
+                                        }
+                                    }
+                                    // Untracked receiver or undeclared state:
+                                    // the obligation cannot be decided.
+                                    _ => {
+                                        if let Some(c) = sink.as_deref_mut() {
+                                            c.unproven += 1;
+                                        }
+                                    }
+                                }
+                            }
+                            if let Some(t) = token {
+                                match e.receiver {
+                                    ReceiverEffect::Keep => {}
+                                    ReceiverEffect::Set(m) => {
+                                        fact.words.insert(t, m);
+                                    }
+                                    ReceiverEffect::Forget => {
+                                        fact.words.remove(&t);
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            // Unknown callee: it may do anything to the
+                            // receiver — and may require any state of it.
+                            if self.protocol_typed(r) {
+                                if let Some(c) = sink.as_deref_mut() {
+                                    c.unproven += 1;
+                                }
+                            }
+                            self.forget(fact, &r.place);
+                        }
+                    }
+                }
+                for a in args.iter().flatten() {
+                    // The argument escapes into the callee.
+                    if effect.is_none() && self.protocol_typed(a) {
+                        if let Some(c) = sink.as_deref_mut() {
+                            c.unproven += 1;
+                        }
+                    }
+                    self.forget(fact, &a.place);
+                }
+                if let Some(d) = dest {
+                    let word = effect.and_then(|e| e.result.as_ref()).map(|(_, m)| *m);
+                    self.produce(fact, &d.place, event.id, word);
+                }
+            }
+            EventKind::FieldRead { dest, .. } => {
+                // Heap contents have unknown state (but a stable identity
+                // per read site, so subsequent refinements stick).
+                self.produce(fact, &dest.place, event.id, None);
+            }
+            EventKind::FieldWrite { src, .. } => {
+                if let Some(s) = src {
+                    // The object escapes into the heap.
+                    self.forget(fact, &s.place);
+                }
+            }
+            EventKind::Copy { dest, src } => {
+                fact.alias.copy(dest.clone(), &src.place);
+            }
+            EventKind::Sync { .. } => {}
+        }
+    }
+
+    /// The flow along one branch edge: intersect the tested token's word
+    /// with the indicated mask; an empty intersection kills the edge.
+    fn branch_flow(&self, flow: &Flow, test: &BranchTest, taken: bool) -> Flow {
+        let Some(fact) = flow else { return None };
+        let Some(effect) = self.machine.effect_of(&test.callee) else { return flow.clone() };
+        let mask = if taken != test.negated { effect.true_mask } else { effect.false_mask };
+        let Some(mask) = mask else { return flow.clone() };
+        let Some(token) = fact.alias.resolve(&test.operand.place) else { return flow.clone() };
+        let refined = match fact.words.get(&token) {
+            Some(w) => w & mask,
+            None => mask,
+        };
+        if refined == 0 {
+            return None; // Infeasible edge.
+        }
+        let mut fact = fact.clone();
+        fact.words.insert(token, refined);
+        Some(fact)
+    }
+
+    /// Successor edges with their (possibly branch-refined) out-flows.
+    fn out_edges(&self, cfg: &Cfg, block: BlockId, flow: &Flow) -> Vec<(BlockId, Flow)> {
+        match &cfg.blocks[block].term {
+            Some(Terminator::Goto(t)) => vec![(*t, flow.clone())],
+            Some(Terminator::Branch { test, then_blk, else_blk }) => match test {
+                Some(t) => vec![
+                    (*then_blk, self.branch_flow(flow, t, true)),
+                    (*else_blk, self.branch_flow(flow, t, false)),
+                ],
+                None => vec![(*then_blk, flow.clone()), (*else_blk, flow.clone())],
+            },
+            Some(Terminator::Return(_) | Terminator::Exit) | None => Vec::new(),
+        }
+    }
+}
+
+fn callee_name(callee: &analysis::types::Callee) -> String {
+    use analysis::types::Callee;
+    match callee {
+        Callee::Api { type_name, method } => format!("{type_name}.{method}()"),
+        Callee::Program(id) => format!("{id}()"),
+        Callee::Unknown { method } => format!("{method}()"),
+    }
+}
+
+/// Guard against non-converging fixpoints (the lattice is finite, but keep
+/// an explicit bound: a method that trips it is reported `NeedsInference`).
+fn pass_budget(cfg: &Cfg) -> usize {
+    cfg.blocks.len() * 65 + 64
+}
+
+impl Machine {
+    /// The reference interpreter: runs the bit-vector analysis over one
+    /// method using the map-based fact representation.
+    ///
+    /// `params` are the declared parameter names (with `this` handled via
+    /// `is_static`); parameters start with *unknown* state — tracked for
+    /// aliasing, but no obligation on them is provable without a spec.
+    ///
+    /// [`Machine::check_method`] (in [`crate::program`]) compiles to a
+    /// dense instruction form and is what production paths call; this
+    /// implementation is its differential oracle and the fallback for
+    /// methods too wide for the dense encoding.
+    pub fn check_method_ref(
+        &self,
+        id: &MethodId,
+        cfg: &Cfg,
+        params: &[String],
+        is_static: bool,
+    ) -> MethodReport {
+        let mut tokens = TokenSource::new();
+        let mut entry_fact = Fact { alias: AliasMap::new(), words: BTreeMap::new() };
+        if !is_static {
+            entry_fact.alias.bind(Place::This, tokens.fresh());
+        }
+        for p in params {
+            entry_fact.alias.bind(Place::Local(p.clone()), tokens.fresh());
+        }
+        let mut site_tokens: BTreeMap<ExprId, AliasToken> = BTreeMap::new();
+        for block in &cfg.blocks {
+            for e in &block.events {
+                let produces = matches!(
+                    e.kind,
+                    EventKind::New { .. }
+                        | EventKind::Call { dest: Some(_), .. }
+                        | EventKind::FieldRead { .. }
+                );
+                if produces {
+                    site_tokens.insert(e.id, tokens.fresh());
+                }
+            }
+        }
+        let interp = Interp { machine: self, id, site_tokens };
+
+        // ---- Fixpoint over block entry facts ----
+        let n = cfg.blocks.len();
+        let mut entry: Vec<Flow> = vec![None; n];
+        entry[cfg.entry] = Some(entry_fact);
+        let mut work: Vec<BlockId> = vec![cfg.entry];
+        let mut passes = 0usize;
+        let budget = pass_budget(cfg);
+        let mut bailed = false;
+        while let Some(b) = work.pop() {
+            passes += 1;
+            if passes > budget {
+                bailed = true;
+                break;
+            }
+            let mut flow = entry[b].clone();
+            let mut no_sink: Option<&mut Collector> = None;
+            for e in &cfg.blocks[b].events {
+                interp.transfer_event(&mut flow, e, &mut no_sink);
+            }
+            for (succ, out) in interp.out_edges(cfg, b, &flow) {
+                let joined = join(&entry[succ], &out);
+                if joined != entry[succ] {
+                    entry[succ] = joined;
+                    if !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+
+        // ---- Reporting pass over the converged solution ----
+        let mut collector = Collector { findings: Vec::new(), checked_calls: 0, unproven: 0 };
+        if !bailed {
+            for b in cfg.reachable() {
+                let mut flow = entry[b].clone();
+                let mut sink = Some(&mut collector);
+                for e in &cfg.blocks[b].events {
+                    interp.transfer_event(&mut flow, e, &mut sink);
+                }
+            }
+        }
+
+        let verdict = if collector.findings.iter().any(|f| f.definite) {
+            Verdict::DefiniteViolation
+        } else if bailed || collector.unproven > 0 || !collector.findings.is_empty() {
+            Verdict::NeedsInference
+        } else {
+            Verdict::ProvablyClean
+        };
+        MethodReport {
+            id: id.clone(),
+            verdict,
+            findings: collector.findings,
+            checked_calls: collector.checked_calls,
+            unproven: collector.unproven,
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! `bitstate` — bit-vector typestate machines.
+//!
+//! A fast, flow-sensitive, alias-aware typestate checker in the style of
+//! Arslanagić et al., "Scalable Typestate Analysis using Bit-Vector
+//! Machines": protocol DFAs compile to u64 masks ([`dfa`]), per-callee
+//! transfer functions precompile to a few words ([`machine`]), and an
+//! abstract interpreter runs them over the event CFG with one state-set
+//! word per alias token ([`interp`]). A method checks in microseconds —
+//! cheap enough to run *before* BP inference as a screening pre-pass
+//! (`anek infer --screen`) and to serve as an independent differential
+//! oracle against `plural::check` (`anek check --cross-validate`).
+//!
+//! The checker is modular: it consults only declared API models and
+//! whatever program-method specifications it is given (hand-written,
+//! gold, or ANEK-inferred). Its verdict lattice is deliberately
+//! three-valued — [`Verdict::ProvablyClean`] is a *proof* (sound under the
+//! given specs), [`Verdict::DefiniteViolation`] is a proof of the
+//! negation, and everything undecidable lands in
+//! [`Verdict::NeedsInference`].
+
+pub mod dfa;
+pub mod interp;
+pub mod machine;
+pub mod program;
+
+pub use dfa::TypeDfa;
+pub use interp::{Finding, MethodReport, Verdict};
+pub use machine::{CallEffect, Machine, ReceiverEffect};
+pub use program::{MethodProgram, RunSummary, Scratch};
+
+use analysis::cfg::Cfg;
+use analysis::types::{MethodId, ProgramIndex, TypeEnv};
+use java_syntax::ast::CompilationUnit;
+use spec_lang::spec::MethodSpec;
+use spec_lang::stdlib::ApiRegistry;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Program-method specifications: method -> (spec, return type).
+pub type ProgramSpecs = BTreeMap<MethodId, (MethodSpec, Option<String>)>;
+
+/// The whole-program checking report.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Per-method reports, in deterministic method order.
+    pub methods: BTreeMap<MethodId, MethodReport>,
+    /// Methods with a body that were interpreted.
+    pub methods_checked: usize,
+    /// Wall-clock for the whole run (compile + interpret).
+    pub elapsed: Duration,
+}
+
+impl ProgramReport {
+    /// All findings across all methods, in method order.
+    pub fn findings(&self) -> impl Iterator<Item = &Finding> {
+        self.methods.values().flat_map(|r| r.findings.iter())
+    }
+
+    /// Number of methods with the given verdict.
+    pub fn count(&self, verdict: Verdict) -> usize {
+        self.methods.values().filter(|r| r.verdict == verdict).count()
+    }
+}
+
+/// Checks every method body in `units` against the API models plus
+/// `specs` (pass an empty map to check against the APIs alone).
+pub fn check_program(
+    units: &[CompilationUnit],
+    api: &ApiRegistry,
+    specs: &ProgramSpecs,
+) -> ProgramReport {
+    let start = Instant::now();
+    let index = ProgramIndex::build(units.iter());
+    let machine = Machine::compile(api, specs);
+    let mut methods = BTreeMap::new();
+    let mut checked = 0usize;
+    for unit in units {
+        for (t, m) in unit.methods() {
+            if m.body.is_none() {
+                continue;
+            }
+            let id = MethodId::new(&t.name, &m.name);
+            let mut env = TypeEnv::for_method(&index, api, &t.name, m);
+            let cfg = Cfg::build(m, &mut env);
+            let params: Vec<String> = m.params.iter().map(|p| p.name.clone()).collect();
+            let report = machine.check_method(&id, &cfg, &params, m.modifiers.is_static);
+            checked += 1;
+            methods.insert(id, report);
+        }
+    }
+    ProgramReport { methods, methods_checked: checked, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use java_syntax::parse;
+    use spec_lang::spec::parse_clause;
+    use spec_lang::stdlib::standard_api;
+
+    fn check(src: &str) -> ProgramReport {
+        let unit = parse(src).unwrap();
+        check_program(&[unit], &standard_api(), &BTreeMap::new())
+    }
+
+    fn verdict_of(report: &ProgramReport, class: &str, method: &str) -> Verdict {
+        report.methods[&MethodId::new(class, method)].verdict
+    }
+
+    #[test]
+    fn guarded_loop_is_provably_clean() {
+        let r = check(
+            "class A { int sum(Collection<Integer> c) {\n\
+               int s = 0;\n\
+               Iterator<Integer> it = c.iterator();\n\
+               while (it.hasNext()) { s = s + it.next(); }\n\
+               return s; } }",
+        );
+        assert_eq!(verdict_of(&r, "A", "sum"), Verdict::ProvablyClean);
+        assert_eq!(r.methods[&MethodId::new("A", "sum")].findings.len(), 0);
+    }
+
+    #[test]
+    fn unguarded_next_is_a_may_violation() {
+        let r = check(
+            "class A { Object first(Collection<Integer> c) {\n\
+               return c.iterator().next(); } }",
+        );
+        let report = &r.methods[&MethodId::new("A", "first")];
+        assert_eq!(report.verdict, Verdict::NeedsInference);
+        assert_eq!(report.findings.len(), 1);
+        let f = &report.findings[0];
+        assert!(!f.definite);
+        assert_eq!(f.required, "HASNEXT");
+        assert_eq!(f.observed, ["END", "HASNEXT"]);
+    }
+
+    #[test]
+    fn next_after_exhaustion_is_definite() {
+        let r = check(
+            "class A { void drain(Collection<Integer> c) {\n\
+               Iterator<Integer> it = c.iterator();\n\
+               while (it.hasNext()) { it.next(); }\n\
+               it.next(); } }",
+        );
+        let report = &r.methods[&MethodId::new("A", "drain")];
+        assert_eq!(report.verdict, Verdict::DefiniteViolation);
+        assert!(report.findings.iter().any(|f| f.definite), "post-loop next() must-fail");
+    }
+
+    #[test]
+    fn closed_stream_read_is_definite() {
+        let r = check(
+            "class A { void go(StreamFactory f) {\n\
+               Stream s = f.open();\n\
+               s.close();\n\
+               s.read(); } }",
+        );
+        assert_eq!(verdict_of(&r, "A", "go"), Verdict::DefiniteViolation);
+    }
+
+    #[test]
+    fn alias_carries_the_state_proof() {
+        let r = check(
+            "class A { void go(Collection<Integer> c) {\n\
+               Iterator<Integer> it = c.iterator();\n\
+               Iterator<Integer> jt = it;\n\
+               if (jt.hasNext()) { it.next(); } } }",
+        );
+        assert_eq!(
+            verdict_of(&r, "A", "go"),
+            Verdict::ProvablyClean,
+            "hasNext on an alias refines the same token"
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_needs_inference_without_findings() {
+        // A parameter iterator has unknown state: nothing is provable, but
+        // nothing is reported either (mirrors the deterministic lints).
+        let r = check("class A { Object peek(Iterator<Integer> it) { return it.next(); } }");
+        let report = &r.methods[&MethodId::new("A", "peek")];
+        assert_eq!(report.verdict, Verdict::NeedsInference);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.unproven, 1);
+    }
+
+    #[test]
+    fn protocol_free_method_is_clean() {
+        let r = check(
+            "class A { int f(int x) {\n\
+               int acc = 0;\n\
+               for (int i = 0; i < x; i++) { acc = acc + i; }\n\
+               return acc; } }",
+        );
+        assert_eq!(verdict_of(&r, "A", "f"), Verdict::ProvablyClean);
+    }
+
+    #[test]
+    fn program_specs_pin_helper_results() {
+        let src = "class H { Collection<Integer> items;\n\
+                     Iterator<Integer> make() { return items.iterator(); } }\n\
+                   class A { Object use(H h) { return h.make().next(); } }";
+        let unit = parse(src).unwrap();
+        let api = standard_api();
+        // Without a spec for H.make, A.use is undecided with no findings.
+        let bare = check_program(std::slice::from_ref(&unit), &api, &BTreeMap::new());
+        let report = &bare.methods[&MethodId::new("A", "use")];
+        assert_eq!(report.verdict, Verdict::NeedsInference);
+        assert!(report.findings.is_empty());
+        // With `ensures unique(result) in ALIVE` the call is a may-violation;
+        // with `in HASNEXT` it is proven clean.
+        let spec = |ens: &str| MethodSpec {
+            requires: parse_clause("").unwrap(),
+            ensures: parse_clause(ens).unwrap(),
+            true_indicates: None,
+            false_indicates: None,
+        };
+        let mut specs = ProgramSpecs::new();
+        specs.insert(
+            MethodId::new("H", "make"),
+            (spec("unique(result) in ALIVE"), Some("Iterator".into())),
+        );
+        let alive = check_program(std::slice::from_ref(&unit), &api, &specs);
+        assert_eq!(alive.methods[&MethodId::new("A", "use")].findings.len(), 1);
+        specs.insert(
+            MethodId::new("H", "make"),
+            (spec("unique(result) in HASNEXT"), Some("Iterator".into())),
+        );
+        let ready = check_program(&[unit], &api, &specs);
+        assert_eq!(ready.methods[&MethodId::new("A", "use")].verdict, Verdict::ProvablyClean);
+    }
+}

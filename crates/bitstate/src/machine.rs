@@ -1,0 +1,251 @@
+//! The compiled bit-vector machine: per-callee transfer masks.
+//!
+//! [`Machine::compile`] walks every API model and every provided program
+//! specification once and precomputes, per callee, the handful of masks the
+//! interpreter needs at a call site: the *require* mask (states the receiver
+//! must be in), the *receiver effect* (keep / set-to-mask / forget), the
+//! *result* mask (states of the returned object) and the branch-refinement
+//! masks from `@TrueIndicates`/`@FalseIndicates`. Checking an event is then
+//! two or three word operations.
+
+use crate::dfa::TypeDfa;
+use analysis::types::{Callee, MethodId};
+use spec_lang::spec::{MethodSpec, SpecTarget};
+use spec_lang::state::ALIVE;
+use spec_lang::stdlib::ApiRegistry;
+use std::collections::BTreeMap;
+
+/// A receiver-state precondition on a call.
+#[derive(Debug, Clone)]
+pub struct Require {
+    /// The declared state name (for diagnostics).
+    pub state: String,
+    /// The rendered `requires` atom (for diagnostic notes).
+    pub clause: String,
+    /// Mask of acceptable concrete states; `None` when the state is not
+    /// declared in the receiver type's space (unverifiable, never provable).
+    pub mask: Option<u64>,
+}
+
+/// What a call does to its receiver's state word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverEffect {
+    /// A stateless observer (`hasNext`): the receiver keeps its states.
+    Keep,
+    /// A declared transition: the receiver's word becomes the mask.
+    Set(u64),
+    /// The spec gives no postcondition state: the word becomes unknown.
+    Forget,
+}
+
+/// The precomputed transfer function of one callee.
+#[derive(Debug, Clone)]
+pub struct CallEffect {
+    /// Declaring type (receiver type), when known.
+    pub type_name: Option<String>,
+    /// Receiver-state precondition, if the spec names one beyond `ALIVE`.
+    pub require: Option<Require>,
+    /// Effect on the receiver's state word.
+    pub receiver: ReceiverEffect,
+    /// `(return type, mask)` for the returned object, when its states are
+    /// pinned by an `ensures ...(result) in S` atom on a protocol type.
+    pub result: Option<(String, u64)>,
+    /// Mask the spec's `ensures ...(this) in S` atom denotes, if any (used
+    /// for `new` expressions, where the constructed object plays `this`).
+    pub ensures_this: Option<u64>,
+    /// Branch refinement when the call's boolean result is true / false.
+    pub true_mask: Option<u64>,
+    pub false_mask: Option<u64>,
+}
+
+/// A compiled program: protocol DFAs plus per-callee effects.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    dfas: BTreeMap<String, TypeDfa>,
+    api_effects: BTreeMap<(String, String), CallEffect>,
+    program_effects: BTreeMap<MethodId, CallEffect>,
+}
+
+impl Machine {
+    /// Compiles the API registry plus program-method specifications.
+    ///
+    /// `program_specs` maps each specified program method to its spec and
+    /// return type (simple name); pass an empty map to check against API
+    /// models alone (the screening configuration).
+    pub fn compile(
+        api: &ApiRegistry,
+        program_specs: &BTreeMap<MethodId, (MethodSpec, Option<String>)>,
+    ) -> Machine {
+        let mut dfas = BTreeMap::new();
+        for space in api.states.iter() {
+            if let Some(dfa) = TypeDfa::compile(space) {
+                dfas.insert(space.type_name().to_string(), dfa);
+            }
+        }
+        let mut api_effects = BTreeMap::new();
+        for m in api.iter() {
+            let effect = compile_effect(
+                &dfas,
+                &m.spec,
+                Some(m.type_name.as_str()),
+                m.return_type.as_deref(),
+            );
+            api_effects.insert((m.type_name.clone(), m.method_name.clone()), effect);
+        }
+        let mut program_effects = BTreeMap::new();
+        for (id, (spec, return_type)) in program_specs {
+            if spec.is_empty() {
+                continue;
+            }
+            let effect =
+                compile_effect(&dfas, spec, Some(id.class.as_str()), return_type.as_deref());
+            program_effects.insert(id.clone(), effect);
+        }
+        Machine { dfas, api_effects, program_effects }
+    }
+
+    /// The compiled effect of a callee, or `None` when nothing is known
+    /// (unknown callee, or a program method without a specification).
+    pub fn effect_of(&self, callee: &Callee) -> Option<&CallEffect> {
+        match callee {
+            Callee::Api { type_name, method } => {
+                self.api_effects.get(&(type_name.clone(), method.clone()))
+            }
+            Callee::Program(id) => self.program_effects.get(id),
+            Callee::Unknown { .. } => None,
+        }
+    }
+
+    /// The DFA of a type, when it declares a protocol.
+    pub fn dfa(&self, type_name: &str) -> Option<&TypeDfa> {
+        self.dfas.get(type_name)
+    }
+
+    /// Whether a type (by simple name) has a tracked protocol.
+    pub fn has_protocol(&self, type_name: &str) -> bool {
+        self.dfas.contains_key(type_name)
+    }
+}
+
+/// Compiles one spec into masks. Mirrors the receiver semantics of the
+/// deterministic PROT001 lint (and `plural::check`): a callee without a
+/// `requires ...(this)` atom does not touch the receiver's protocol; a
+/// "stateless observer" (requires and ensures both effectively `ALIVE`)
+/// keeps the state; otherwise the ensures state (or unknown) replaces it.
+fn compile_effect(
+    dfas: &BTreeMap<String, TypeDfa>,
+    spec: &MethodSpec,
+    type_name: Option<&str>,
+    return_type: Option<&str>,
+) -> CallEffect {
+    let dfa = type_name.and_then(|t| dfas.get(t));
+    let req = spec.requires.for_target(&SpecTarget::This);
+    let ens = spec.ensures.for_target(&SpecTarget::This);
+
+    let require = req.and_then(|r| {
+        let state = r.effective_state();
+        if state == ALIVE {
+            return None;
+        }
+        Some(Require {
+            state: state.to_string(),
+            clause: r.to_string(),
+            mask: dfa.and_then(|d| d.mask_of(state)),
+        })
+    });
+
+    let receiver = match req {
+        None => ReceiverEffect::Keep,
+        Some(r) => {
+            let state_changing = r.effective_state() != ALIVE
+                || ens.is_some_and(|e| e.state.as_deref().is_some_and(|s| s != ALIVE));
+            if !state_changing {
+                ReceiverEffect::Keep
+            } else {
+                match (ens, dfa) {
+                    (Some(e), Some(d)) => match d.mask_of(e.effective_state()) {
+                        Some(m) => ReceiverEffect::Set(m),
+                        None => ReceiverEffect::Forget,
+                    },
+                    _ => ReceiverEffect::Forget,
+                }
+            }
+        }
+    };
+
+    let result = spec.ensures.for_target(&SpecTarget::Result).and_then(|atom| {
+        let ty = return_type?;
+        let mask = dfas.get(ty)?.mask_of(atom.effective_state())?;
+        Some((ty.to_string(), mask))
+    });
+
+    let ensures_this = ens.and_then(|e| dfa.and_then(|d| d.mask_of(e.effective_state())));
+
+    let indicate =
+        |state: &Option<String>| state.as_deref().and_then(|s| dfa.and_then(|d| d.mask_of(s)));
+
+    CallEffect {
+        type_name: type_name.map(str::to_string),
+        require,
+        receiver,
+        result,
+        ensures_this,
+        true_mask: indicate(&spec.true_indicates),
+        false_mask: indicate(&spec.false_indicates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_lang::stdlib::standard_api;
+
+    #[test]
+    fn iterator_effects_compile() {
+        let api = standard_api();
+        let m = Machine::compile(&api, &BTreeMap::new());
+        let next = m
+            .effect_of(&Callee::Api { type_name: "Iterator".into(), method: "next".into() })
+            .unwrap();
+        let dfa = m.dfa("Iterator").unwrap();
+        let req = next.require.as_ref().unwrap();
+        assert_eq!(req.state, "HASNEXT");
+        assert_eq!(req.mask, dfa.mask_of("HASNEXT"));
+        // `ensures full(this) in ALIVE` — the iterator may land anywhere.
+        assert_eq!(next.receiver, ReceiverEffect::Set(dfa.full()));
+
+        let has_next = m
+            .effect_of(&Callee::Api { type_name: "Iterator".into(), method: "hasNext".into() })
+            .unwrap();
+        assert!(has_next.require.is_none(), "pure(this) in ALIVE imposes nothing");
+        assert_eq!(has_next.receiver, ReceiverEffect::Keep);
+        assert_eq!(has_next.true_mask, dfa.mask_of("HASNEXT"));
+        assert_eq!(has_next.false_mask, dfa.mask_of("END"));
+
+        let iterator = m
+            .effect_of(&Callee::Api { type_name: "Collection".into(), method: "iterator".into() })
+            .unwrap();
+        let (ty, mask) = iterator.result.as_ref().unwrap();
+        assert_eq!(ty, "Iterator");
+        assert_eq!(*mask, dfa.full());
+    }
+
+    #[test]
+    fn stream_close_is_a_transition() {
+        let api = standard_api();
+        let m = Machine::compile(&api, &BTreeMap::new());
+        let close = m
+            .effect_of(&Callee::Api { type_name: "Stream".into(), method: "close".into() })
+            .unwrap();
+        let dfa = m.dfa("Stream").unwrap();
+        assert_eq!(close.require.as_ref().unwrap().mask, dfa.mask_of("OPEN"));
+        assert_eq!(close.receiver, ReceiverEffect::Set(dfa.mask_of("CLOSED").unwrap()));
+    }
+
+    #[test]
+    fn unknown_callee_has_no_effect() {
+        let api = standard_api();
+        let m = Machine::compile(&api, &BTreeMap::new());
+        assert!(m.effect_of(&Callee::Unknown { method: "frob".into() }).is_none());
+    }
+}

@@ -1,0 +1,800 @@
+//! Compiled method programs: the dense, allocation-free interpreter.
+//!
+//! [`Machine::compile_method`] lowers a method's event CFG into a flat
+//! instruction list over small integer *slots*: every [`Place`] becomes a
+//! `u16` index, every alias token a bit position, and every callee's
+//! transfer function is resolved to its masks **once**, at compile time.
+//! [`Machine::run`] then interprets the program with nothing but array
+//! reads and word operations, reusing one [`Scratch`] buffer across
+//! methods — the steady-state cost the screening pre-pass pays per method.
+//!
+//! [`Machine::check_method`] is the front door: compile, run, and
+//! materialize a [`MethodReport`] with rendered diagnostics. Methods whose
+//! token universe does not fit the dense encoding (more than 64 creation
+//! sites) fall back to the reference interpreter in [`crate::interp`],
+//! which is also the differential-testing oracle for this module.
+
+use crate::interp::{Finding, MethodReport, Verdict};
+use crate::machine::{Machine, ReceiverEffect};
+use analysis::cfg::{Cfg, Terminator};
+use analysis::events::{EventKind, Operand, Place};
+use analysis::types::{Callee, MethodId};
+use java_syntax::ast::ExprId;
+use java_syntax::span::Span;
+use std::collections::BTreeMap;
+
+/// One lowered instruction. Place and token operands are dense slots.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Bind `place` to `token`; set its word (`None` = unknown state).
+    Produce { place: u16, token: u16, word: Option<u64> },
+    /// Drop the state word of `place`'s token (the binding survives).
+    /// `unproven` marks an obligation that can never be decided here
+    /// (an unknown callee touching a protocol-typed value).
+    Forget { place: u16, unproven: bool },
+    /// `dest = src`: copy the binding (or unbind if `src` is untracked).
+    Copy { dest: u16, src: u16 },
+    /// A `requires` precondition on the call's receiver. `mask` is `None`
+    /// when the required state is not declared in the receiver's space.
+    Check { meta: u16, place: u16, mask: Option<u64> },
+    /// A declared transition: the receiver's word becomes `mask`.
+    SetWord { place: u16, mask: u64 },
+}
+
+/// Diagnostic strings for one [`Op::Check`], materialized only on demand.
+#[derive(Debug, Clone)]
+struct CheckMeta {
+    span: Span,
+    callee: String,
+    required: String,
+    clause: String,
+    type_name: Option<String>,
+}
+
+/// A compiled branch test: intersect the operand's word with the
+/// indicated mask; an empty intersection kills the edge.
+#[derive(Debug, Clone, Copy)]
+struct DenseTest {
+    place: u16,
+    negated: bool,
+    true_mask: Option<u64>,
+    false_mask: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Term {
+    Goto(u32),
+    Branch { test: Option<DenseTest>, then_blk: u32, else_blk: u32 },
+    Stop,
+}
+
+/// A method lowered to dense instructions (see module docs).
+#[derive(Debug, Clone)]
+pub struct MethodProgram {
+    n_places: usize,
+    n_tokens: usize,
+    entry: usize,
+    entry_binds: Vec<(u16, u16)>,
+    ops: Vec<Op>,
+    /// Per block: range into `ops` plus the lowered terminator.
+    blocks: Vec<(u32, u32, Term)>,
+    /// Statically reachable blocks, in reporting order.
+    reach: Vec<u32>,
+    metas: Vec<CheckMeta>,
+    /// No reachable op can produce a finding or an undecided obligation:
+    /// the verdict is `ProvablyClean` without running anything.
+    trivial: bool,
+    /// Does not fit the dense encoding; use the reference interpreter.
+    pub wide: bool,
+}
+
+/// The verdict-level result of [`Machine::run`]; findings stay in the
+/// [`Scratch`] as dense records until materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    pub verdict: Verdict,
+    pub checked_calls: usize,
+    pub unproven: usize,
+}
+
+/// A finding as the interpreter sees it: which check fired, on what word.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseFinding {
+    meta: u16,
+    word: u64,
+    definite: bool,
+}
+
+/// Reusable interpreter state. One instance serves any number of
+/// [`Machine::run`] calls; steady-state runs allocate nothing.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// `blocks x places` entry bindings (`0` = unbound, else token + 1).
+    alias: Vec<u16>,
+    /// `blocks x tokens` entry state words (valid where `known` is set).
+    words: Vec<u64>,
+    /// Per block: bitmap of tokens with a known word.
+    known: Vec<u64>,
+    /// Per block: an entry fact exists / needs reprocessing.
+    seen: Vec<bool>,
+    dirty: Vec<bool>,
+    /// In-flight fact while executing a block.
+    cur_alias: Vec<u16>,
+    cur_words: Vec<u64>,
+    /// Findings of the most recent run.
+    findings: Vec<DenseFinding>,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
+
+#[derive(Default)]
+struct Counts {
+    checked_calls: usize,
+    unproven: usize,
+}
+
+struct Compiler {
+    places: BTreeMap<Place, u16>,
+    n_tokens: usize,
+    ops: Vec<Op>,
+    metas: Vec<CheckMeta>,
+    wide: bool,
+}
+
+impl Compiler {
+    fn place(&mut self, p: &Place) -> u16 {
+        if let Some(&i) = self.places.get(p) {
+            return i;
+        }
+        let i = self.places.len();
+        if i > u16::MAX as usize {
+            self.wide = true;
+            return u16::MAX;
+        }
+        self.places.insert(p.clone(), i as u16);
+        i as u16
+    }
+
+    fn token(&mut self) -> u16 {
+        let t = self.n_tokens;
+        self.n_tokens += 1;
+        if t >= 64 {
+            self.wide = true;
+        }
+        (t.min(63)) as u16
+    }
+
+    fn protocol_typed(&self, machine: &Machine, op: &Operand) -> bool {
+        op.type_name.as_deref().is_some_and(|t| machine.has_protocol(t))
+    }
+}
+
+fn callee_name(callee: &Callee) -> String {
+    match callee {
+        Callee::Api { type_name, method } => format!("{type_name}.{method}()"),
+        Callee::Program(id) => format!("{id}()"),
+        Callee::Unknown { method } => format!("{method}()"),
+    }
+}
+
+impl Machine {
+    /// Lowers one method to a [`MethodProgram`] (see module docs). All
+    /// callee-effect lookups happen here, once per call site.
+    pub fn compile_method(&self, cfg: &Cfg, params: &[String], is_static: bool) -> MethodProgram {
+        let mut c = Compiler {
+            places: BTreeMap::new(),
+            n_tokens: 0,
+            ops: Vec::new(),
+            metas: Vec::new(),
+            wide: false,
+        };
+        let mut entry_binds = Vec::new();
+        if !is_static {
+            let p = c.place(&Place::This);
+            let t = c.token();
+            entry_binds.push((p, t));
+        }
+        for name in params {
+            let p = c.place(&Place::Local(name.clone()));
+            let t = c.token();
+            entry_binds.push((p, t));
+        }
+        // Site-stable tokens, in the same order as the reference interp.
+        let mut site_tokens: BTreeMap<ExprId, u16> = BTreeMap::new();
+        for block in &cfg.blocks {
+            for e in &block.events {
+                let produces = matches!(
+                    e.kind,
+                    EventKind::New { .. }
+                        | EventKind::Call { dest: Some(_), .. }
+                        | EventKind::FieldRead { .. }
+                );
+                if produces {
+                    let t = c.token();
+                    site_tokens.insert(e.id, t);
+                }
+            }
+        }
+
+        let mut blocks = Vec::with_capacity(cfg.blocks.len());
+        for block in &cfg.blocks {
+            let start = c.ops.len() as u32;
+            for e in &block.events {
+                match &e.kind {
+                    EventKind::New { dest, callee, args, .. } => {
+                        for a in args.iter().flatten() {
+                            let p = c.place(&a.place);
+                            c.ops.push(Op::Forget { place: p, unproven: false });
+                        }
+                        let word = self.effect_of(callee).and_then(|ef| ef.ensures_this);
+                        let place = c.place(dest);
+                        c.ops.push(Op::Produce { place, token: site_tokens[&e.id], word });
+                    }
+                    EventKind::Call { callee, receiver, args, dest } => {
+                        let effect = self.effect_of(callee);
+                        if let Some(r) = receiver {
+                            let place = c.place(&r.place);
+                            match effect {
+                                Some(ef) => {
+                                    if let Some(req) = &ef.require {
+                                        let meta = c.metas.len() as u16;
+                                        c.metas.push(CheckMeta {
+                                            span: e.span,
+                                            callee: callee_name(callee),
+                                            required: req.state.clone(),
+                                            clause: req.clause.clone(),
+                                            type_name: ef.type_name.clone(),
+                                        });
+                                        c.ops.push(Op::Check { meta, place, mask: req.mask });
+                                    }
+                                    match ef.receiver {
+                                        ReceiverEffect::Keep => {}
+                                        ReceiverEffect::Set(mask) => {
+                                            c.ops.push(Op::SetWord { place, mask });
+                                        }
+                                        ReceiverEffect::Forget => {
+                                            c.ops.push(Op::Forget { place, unproven: false });
+                                        }
+                                    }
+                                }
+                                None => {
+                                    let unproven = c.protocol_typed(self, r);
+                                    c.ops.push(Op::Forget { place, unproven });
+                                }
+                            }
+                        }
+                        for a in args.iter().flatten() {
+                            let unproven = effect.is_none() && c.protocol_typed(self, a);
+                            let p = c.place(&a.place);
+                            c.ops.push(Op::Forget { place: p, unproven });
+                        }
+                        if let Some(d) = dest {
+                            let word = effect.and_then(|ef| ef.result.as_ref()).map(|(_, m)| *m);
+                            let place = c.place(&d.place);
+                            c.ops.push(Op::Produce { place, token: site_tokens[&e.id], word });
+                        }
+                    }
+                    EventKind::FieldRead { dest, .. } => {
+                        let place = c.place(&dest.place);
+                        c.ops.push(Op::Produce { place, token: site_tokens[&e.id], word: None });
+                    }
+                    EventKind::FieldWrite { src, .. } => {
+                        if let Some(s) = src {
+                            let p = c.place(&s.place);
+                            c.ops.push(Op::Forget { place: p, unproven: false });
+                        }
+                    }
+                    EventKind::Copy { dest, src } => {
+                        let d = c.place(dest);
+                        let s = c.place(&src.place);
+                        c.ops.push(Op::Copy { dest: d, src: s });
+                    }
+                    EventKind::Sync { .. } => {}
+                }
+            }
+            let term = match &block.term {
+                Some(Terminator::Goto(t)) => Term::Goto(*t as u32),
+                Some(Terminator::Branch { test, then_blk, else_blk }) => {
+                    let test = test.as_ref().and_then(|t| {
+                        let ef = self.effect_of(&t.callee)?;
+                        if ef.true_mask.is_none() && ef.false_mask.is_none() {
+                            return None;
+                        }
+                        Some(DenseTest {
+                            place: c.place(&t.operand.place),
+                            negated: t.negated,
+                            true_mask: ef.true_mask,
+                            false_mask: ef.false_mask,
+                        })
+                    });
+                    Term::Branch { test, then_blk: *then_blk as u32, else_blk: *else_blk as u32 }
+                }
+                Some(Terminator::Return(_) | Terminator::Exit) | None => Term::Stop,
+            };
+            blocks.push((start, c.ops.len() as u32, term));
+        }
+
+        let reach: Vec<u32> = cfg.reachable().into_iter().map(|b| b as u32).collect();
+        let trivial = reach.iter().all(|&b| {
+            let (s, e, _) = blocks[b as usize];
+            c.ops[s as usize..e as usize]
+                .iter()
+                .all(|op| !matches!(op, Op::Check { .. } | Op::Forget { unproven: true, .. }))
+        });
+        MethodProgram {
+            n_places: c.places.len(),
+            n_tokens: c.n_tokens.min(64),
+            entry: cfg.entry,
+            entry_binds,
+            ops: c.ops,
+            blocks,
+            reach,
+            metas: c.metas,
+            trivial,
+            wide: c.wide,
+        }
+    }
+
+    /// Interprets a compiled program to a fixpoint and reports. Panics on
+    /// `wide` programs — the caller routes those to the reference path.
+    pub fn run(&self, prog: &MethodProgram, scratch: &mut Scratch) -> RunSummary {
+        scratch.findings.clear();
+        if prog.trivial {
+            return RunSummary { verdict: Verdict::ProvablyClean, checked_calls: 0, unproven: 0 };
+        }
+        assert!(!prog.wide, "wide programs use the reference interpreter");
+        let (np, nt, nb) = (prog.n_places, prog.n_tokens, prog.blocks.len());
+        scratch.alias.clear();
+        scratch.alias.resize(nb * np, 0);
+        scratch.words.clear();
+        scratch.words.resize(nb * nt, 0);
+        scratch.known.clear();
+        scratch.known.resize(nb, 0);
+        scratch.seen.clear();
+        scratch.seen.resize(nb, false);
+        scratch.dirty.clear();
+        scratch.dirty.resize(nb, false);
+        scratch.cur_alias.clear();
+        scratch.cur_alias.resize(np, 0);
+        scratch.cur_words.clear();
+        scratch.cur_words.resize(nt, 0);
+
+        scratch.seen[prog.entry] = true;
+        scratch.dirty[prog.entry] = true;
+        for &(p, t) in &prog.entry_binds {
+            scratch.alias[prog.entry * np + p as usize] = t + 1;
+        }
+
+        // ---- Fixpoint over block entry facts (RPO sweeps) ----
+        let budget = nb * 65 + 64;
+        let mut passes = 0usize;
+        let mut bailed = false;
+        let mut counts = Counts::default();
+        'fixpoint: loop {
+            let mut progressed = false;
+            for b in 0..nb {
+                if !scratch.dirty[b] {
+                    continue;
+                }
+                scratch.dirty[b] = false;
+                progressed = true;
+                passes += 1;
+                if passes > budget {
+                    bailed = true;
+                    break 'fixpoint;
+                }
+                let mut cur_alias = std::mem::take(&mut scratch.cur_alias);
+                let mut cur_words = std::mem::take(&mut scratch.cur_words);
+                cur_alias.copy_from_slice(&scratch.alias[b * np..(b + 1) * np]);
+                cur_words.copy_from_slice(&scratch.words[b * nt..(b + 1) * nt]);
+                let mut cur_known = scratch.known[b];
+                exec_ops(
+                    prog,
+                    prog.blocks[b].0,
+                    prog.blocks[b].1,
+                    &mut cur_alias,
+                    &mut cur_words,
+                    &mut cur_known,
+                    None,
+                    &mut counts,
+                    &mut scratch.findings,
+                );
+                for (succ, refine) in edges(prog, b, &cur_alias, &cur_words, cur_known) {
+                    if join_into(scratch, succ, np, nt, &cur_alias, &cur_words, cur_known, refine) {
+                        scratch.dirty[succ] = true;
+                    }
+                }
+                scratch.cur_alias = cur_alias;
+                scratch.cur_words = cur_words;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // ---- Reporting pass over the converged solution ----
+        if !bailed {
+            let mut cur_alias = std::mem::take(&mut scratch.cur_alias);
+            let mut cur_words = std::mem::take(&mut scratch.cur_words);
+            for &b in &prog.reach {
+                let b = b as usize;
+                if !scratch.seen[b] {
+                    continue;
+                }
+                cur_alias.copy_from_slice(&scratch.alias[b * np..(b + 1) * np]);
+                cur_words.copy_from_slice(&scratch.words[b * nt..(b + 1) * nt]);
+                let mut cur_known = scratch.known[b];
+                exec_ops(
+                    prog,
+                    prog.blocks[b].0,
+                    prog.blocks[b].1,
+                    &mut cur_alias,
+                    &mut cur_words,
+                    &mut cur_known,
+                    Some(()),
+                    &mut counts,
+                    &mut scratch.findings,
+                );
+            }
+            scratch.cur_alias = cur_alias;
+            scratch.cur_words = cur_words;
+        }
+
+        let verdict = if scratch.findings.iter().any(|f| f.definite) {
+            Verdict::DefiniteViolation
+        } else if bailed || counts.unproven > 0 || !scratch.findings.is_empty() {
+            Verdict::NeedsInference
+        } else {
+            Verdict::ProvablyClean
+        };
+        RunSummary { verdict, checked_calls: counts.checked_calls, unproven: counts.unproven }
+    }
+
+    /// Runs the bit-vector interpreter over one method: compile, run, and
+    /// materialize the report (wide methods use the reference path).
+    pub fn check_method(
+        &self,
+        id: &MethodId,
+        cfg: &Cfg,
+        params: &[String],
+        is_static: bool,
+    ) -> MethodReport {
+        let prog = self.compile_method(cfg, params, is_static);
+        if prog.wide {
+            return self.check_method_ref(id, cfg, params, is_static);
+        }
+        let mut scratch = Scratch::new();
+        let summary = self.run(&prog, &mut scratch);
+        let findings = scratch
+            .findings
+            .iter()
+            .map(|f| {
+                let meta = &prog.metas[f.meta as usize];
+                let dfa = meta.type_name.as_deref().and_then(|t| self.dfa(t));
+                Finding {
+                    method: id.clone(),
+                    span: meta.span,
+                    callee: meta.callee.clone(),
+                    required: meta.required.clone(),
+                    observed: dfa
+                        .map(|d| d.names_of(f.word).into_iter().map(str::to_string).collect())
+                        .unwrap_or_default(),
+                    definite: f.definite,
+                    clause: meta.clause.clone(),
+                }
+            })
+            .collect();
+        MethodReport {
+            id: id.clone(),
+            verdict: summary.verdict,
+            findings,
+            checked_calls: summary.checked_calls,
+            unproven: summary.unproven,
+        }
+    }
+}
+
+/// A successor block plus an optional `(token, refined word)` overlay to
+/// apply during the join.
+type Edge = (usize, Option<(u16, u64)>);
+
+/// Live successor edges of `b` with their branch refinements.
+fn edges(
+    prog: &MethodProgram,
+    b: usize,
+    alias: &[u16],
+    words: &[u64],
+    known: u64,
+) -> impl Iterator<Item = Edge> {
+    let mut out: [Option<Edge>; 2] = [None, None];
+    match prog.blocks[b].2 {
+        Term::Goto(t) => out[0] = Some((t as usize, None)),
+        Term::Branch { test, then_blk, else_blk } => {
+            let side = |taken: bool| -> Option<Edge> {
+                let succ = if taken { then_blk } else { else_blk } as usize;
+                let Some(t) = test else { return Some((succ, None)) };
+                let mask = if taken != t.negated { t.true_mask } else { t.false_mask };
+                let Some(mask) = mask else { return Some((succ, None)) };
+                let tok = alias[t.place as usize];
+                if tok == 0 {
+                    return Some((succ, None));
+                }
+                let tok = tok - 1;
+                let refined =
+                    if known & (1 << tok) != 0 { words[tok as usize] & mask } else { mask };
+                if refined == 0 {
+                    return None; // Infeasible edge.
+                }
+                Some((succ, Some((tok, refined))))
+            };
+            out[0] = side(true);
+            out[1] = side(false);
+        }
+        Term::Stop => {}
+    }
+    out.into_iter().flatten()
+}
+
+/// Joins an out-fact (with an optional refined word overlay) into the
+/// entry fact of `succ`. Returns whether the entry fact changed.
+#[allow(clippy::too_many_arguments)]
+fn join_into(
+    scratch: &mut Scratch,
+    succ: usize,
+    np: usize,
+    nt: usize,
+    alias: &[u16],
+    words: &[u64],
+    known: u64,
+    refine: Option<(u16, u64)>,
+) -> bool {
+    let src_known = match refine {
+        Some((t, _)) => known | (1 << t),
+        None => known,
+    };
+    let word_of = |t: usize| match refine {
+        Some((rt, rw)) if rt as usize == t => rw,
+        _ => words[t],
+    };
+    let dst_alias = &mut scratch.alias[succ * np..(succ + 1) * np];
+    if !scratch.seen[succ] {
+        scratch.seen[succ] = true;
+        dst_alias.copy_from_slice(alias);
+        let dst_words = &mut scratch.words[succ * nt..(succ + 1) * nt];
+        for (t, w) in dst_words.iter_mut().enumerate() {
+            *w = word_of(t);
+        }
+        scratch.known[succ] = src_known;
+        return true;
+    }
+    let mut changed = false;
+    for (d, &s) in dst_alias.iter_mut().zip(alias) {
+        // Keep only bindings both sides agree on.
+        if *d != 0 && *d != s {
+            *d = 0;
+            changed = true;
+        }
+    }
+    let new_known = scratch.known[succ] & src_known;
+    if new_known != scratch.known[succ] {
+        scratch.known[succ] = new_known;
+        changed = true;
+    }
+    let dst_words = &mut scratch.words[succ * nt..(succ + 1) * nt];
+    let mut bits = new_known;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let joined = dst_words[t] | word_of(t);
+        if joined != dst_words[t] {
+            dst_words[t] = joined;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Executes one block's instructions over an in-flight fact. `collect` is
+/// `Some` only during the reporting pass, where obligations are counted
+/// and findings recorded.
+#[allow(clippy::too_many_arguments)]
+fn exec_ops(
+    prog: &MethodProgram,
+    start: u32,
+    end: u32,
+    alias: &mut [u16],
+    words: &mut [u64],
+    known: &mut u64,
+    collect: Option<()>,
+    counts: &mut Counts,
+    findings: &mut Vec<DenseFinding>,
+) {
+    let collecting = collect.is_some();
+    for op in &prog.ops[start as usize..end as usize] {
+        match *op {
+            Op::Produce { place, token, word } => {
+                alias[place as usize] = token + 1;
+                match word {
+                    Some(w) => {
+                        words[token as usize] = w;
+                        *known |= 1 << token;
+                    }
+                    None => *known &= !(1 << token),
+                }
+            }
+            Op::Forget { place, unproven } => {
+                if collecting && unproven {
+                    counts.unproven += 1;
+                }
+                let t = alias[place as usize];
+                if t != 0 {
+                    *known &= !(1 << (t - 1));
+                }
+            }
+            Op::Copy { dest, src } => {
+                alias[dest as usize] = alias[src as usize];
+            }
+            Op::Check { meta, place, mask } => {
+                if collecting {
+                    counts.checked_calls += 1;
+                }
+                let t = alias[place as usize];
+                let word = if t != 0 && *known & (1 << (t - 1)) != 0 {
+                    Some(words[(t - 1) as usize])
+                } else {
+                    None
+                };
+                match (word, mask) {
+                    (Some(w), Some(m)) => {
+                        if w & m != w && collecting {
+                            findings.push(DenseFinding { meta, word: w, definite: w & m == 0 });
+                        }
+                    }
+                    // Untracked receiver or undeclared state: undecidable.
+                    _ => {
+                        if collecting {
+                            counts.unproven += 1;
+                        }
+                    }
+                }
+            }
+            Op::SetWord { place, mask } => {
+                let t = alias[place as usize];
+                if t != 0 {
+                    words[(t - 1) as usize] = mask;
+                    *known |= 1 << (t - 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::types::{ProgramIndex, TypeEnv};
+    use java_syntax::parse;
+    use spec_lang::stdlib::standard_api;
+
+    /// Every method of every source: the dense interpreter must agree with
+    /// the reference interpreter field for field.
+    fn assert_differential(sources: &[&str]) {
+        let api = standard_api();
+        let units: Vec<_> = sources.iter().map(|s| parse(s).unwrap()).collect();
+        let index = ProgramIndex::build(units.iter());
+        let machine = Machine::compile(&api, &BTreeMap::new());
+        let mut compared = 0usize;
+        for unit in &units {
+            for (t, m) in unit.methods() {
+                if m.body.is_none() {
+                    continue;
+                }
+                let id = MethodId::new(&t.name, &m.name);
+                let mut env = TypeEnv::for_method(&index, &api, &t.name, m);
+                let cfg = Cfg::build(m, &mut env);
+                let params: Vec<String> = m.params.iter().map(|p| p.name.clone()).collect();
+                let dense = machine.check_method(&id, &cfg, &params, m.modifiers.is_static);
+                let reference = machine.check_method_ref(&id, &cfg, &params, m.modifiers.is_static);
+                assert_eq!(dense.verdict, reference.verdict, "verdict of {id}");
+                assert_eq!(dense.checked_calls, reference.checked_calls, "checked_calls of {id}");
+                assert_eq!(dense.unproven, reference.unproven, "unproven of {id}");
+                assert_eq!(dense.findings.len(), reference.findings.len(), "findings of {id}");
+                for (a, b) in dense.findings.iter().zip(&reference.findings) {
+                    assert_eq!(a.span, b.span, "finding span in {id}");
+                    assert_eq!(a.callee, b.callee, "finding callee in {id}");
+                    assert_eq!(a.required, b.required, "finding required in {id}");
+                    assert_eq!(a.observed, b.observed, "finding observed in {id}");
+                    assert_eq!(a.definite, b.definite, "finding definite in {id}");
+                    assert_eq!(a.clause, b.clause, "finding clause in {id}");
+                }
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "differential suite compared nothing");
+    }
+
+    #[test]
+    fn dense_interpreter_matches_reference_on_protocol_shapes() {
+        assert_differential(&[
+            // Guarded loop, post-loop definite violation, aliasing.
+            "class A { void drain(Collection<Integer> c) {\n\
+               Iterator<Integer> it = c.iterator();\n\
+               while (it.hasNext()) { it.next(); }\n\
+               it.next(); } }",
+            "class B { void go(Collection<Integer> c) {\n\
+               Iterator<Integer> it = c.iterator();\n\
+               Iterator<Integer> jt = it;\n\
+               if (jt.hasNext()) { it.next(); } } }",
+            // Unknown receiver, unguarded next, stream protocol.
+            "class C { Object peek(Iterator<Integer> it) { return it.next(); }\n\
+               Object first(Collection<Integer> c) { return c.iterator().next(); }\n\
+               void stream(StreamFactory f) { Stream s = f.open(); s.close(); s.read(); } }",
+            // Escapes: unknown callees, field traffic, negated tests.
+            "class D { Collection<Integer> items;\n\
+               void f(Collection<Integer> c) {\n\
+                 Iterator<Integer> it = c.iterator();\n\
+                 mystery(it);\n\
+                 it.next(); }\n\
+               void g() {\n\
+                 Iterator<Integer> it = items.iterator();\n\
+                 if (!it.hasNext()) { return; }\n\
+                 it.next(); }\n\
+               int h(int x) { int a = 0; for (int i = 0; i < x; i++) { a = a + i; } return a; } }",
+        ]);
+    }
+
+    #[test]
+    fn dense_interpreter_matches_reference_on_the_small_corpus() {
+        let corpus = corpus::generator::generate(&corpus::generator::PmdConfig::small());
+        let api = standard_api();
+        let index = ProgramIndex::build(corpus.units.iter());
+        let machine = Machine::compile(&api, &BTreeMap::new());
+        let mut compared = 0usize;
+        for unit in &corpus.units {
+            for (t, m) in unit.methods() {
+                if m.body.is_none() {
+                    continue;
+                }
+                let id = MethodId::new(&t.name, &m.name);
+                let mut env = TypeEnv::for_method(&index, &api, &t.name, m);
+                let cfg = Cfg::build(m, &mut env);
+                let params: Vec<String> = m.params.iter().map(|p| p.name.clone()).collect();
+                let dense = machine.check_method(&id, &cfg, &params, m.modifiers.is_static);
+                let reference = machine.check_method_ref(&id, &cfg, &params, m.modifiers.is_static);
+                assert_eq!(
+                    (dense.verdict, dense.checked_calls, dense.unproven, dense.findings.len()),
+                    (
+                        reference.verdict,
+                        reference.checked_calls,
+                        reference.unproven,
+                        reference.findings.len()
+                    ),
+                    "dense/reference divergence in {id}"
+                );
+                compared += 1;
+            }
+        }
+        assert_eq!(compared, corpus.stats.methods, "every corpus method compared");
+    }
+
+    #[test]
+    fn trivial_methods_short_circuit() {
+        let api = standard_api();
+        let machine = Machine::compile(&api, &BTreeMap::new());
+        let unit = parse("class A { int f(int x) { return x + 1; } }").unwrap();
+        let index = ProgramIndex::build(std::iter::once(&unit));
+        let (t, m) = unit.methods().next().unwrap();
+        let mut env = TypeEnv::for_method(&index, &api, &t.name, m);
+        let cfg = Cfg::build(m, &mut env);
+        let prog = machine.compile_method(&cfg, &["x".into()], false);
+        assert!(prog.trivial, "no protocol obligations anywhere");
+        let mut scratch = Scratch::new();
+        let summary = machine.run(&prog, &mut scratch);
+        assert_eq!(summary.verdict, Verdict::ProvablyClean);
+        assert_eq!(summary.checked_calls, 0);
+    }
+}

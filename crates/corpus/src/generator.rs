@@ -112,6 +112,15 @@ pub struct PmdCorpus {
     pub gold: BTreeMap<MethodId, MethodSpec>,
     /// Ground truth for every interesting method (for Table 4).
     pub truth: BTreeMap<MethodId, MethodSpec>,
+    /// The planted protocol bugs (`first{i}`: `next()` on a fresh
+    /// iterator), in deterministic order. A checker must flag exactly
+    /// these methods.
+    pub bugs: Vec<MethodId>,
+    /// The planted branch traps (`head{i}`: `next()` on an iterator that is
+    /// provably `HASNEXT`, but only via branch reasoning). A checker
+    /// without state-test refinement reports these as false positives —
+    /// the documented precision gap.
+    pub traps: Vec<MethodId>,
     /// Table 1 statistics.
     pub stats: CorpusStats,
 }
@@ -302,6 +311,8 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
         next_calls_planned += 1;
         worker_methods.push(s);
     }
+    let mut bug_slots: Vec<(usize, String)> = Vec::new();
+    let mut trap_slots: Vec<(usize, String)> = Vec::new();
     for k in 0..cfg.buggy_sites {
         let i = mk_id(&mut worker_id);
         let helper = &helper_names[k % helper_names.len()];
@@ -311,6 +322,7 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
         let _ = writeln!(s, "        return r.createIter{hidx}().next();");
         let _ = writeln!(s, "    }}");
         next_calls_planned += 1;
+        bug_slots.push((worker_methods.len(), format!("first{i}")));
         worker_methods.push(s);
     }
     for _ in 0..cfg.branch_traps {
@@ -322,6 +334,7 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
         let _ = writeln!(s, "        return it.next();");
         let _ = writeln!(s, "    }}");
         next_calls_planned += 1;
+        trap_slots.push((worker_methods.len(), format!("head{i}")));
         worker_methods.push(s);
     }
     // A few delegate workers exercising the annotated utilities.
@@ -334,8 +347,14 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
         worker_methods.push(s);
     }
 
-    // Pack worker methods into classes of ~8.
+    // Pack worker methods into classes of ~8. The worker-list slot decides
+    // which class each planted bug/trap lands in.
     let per_class = 8usize;
+    let worker_class = |slot: usize| format!("Worker{}", slot / per_class);
+    let bugs: Vec<MethodId> =
+        bug_slots.iter().map(|(slot, name)| MethodId::new(worker_class(*slot), name)).collect();
+    let traps: Vec<MethodId> =
+        trap_slots.iter().map(|(slot, name)| MethodId::new(worker_class(*slot), name)).collect();
     for (ci, chunk) in worker_methods.chunks(per_class).enumerate() {
         let mut s = String::new();
         let _ = writeln!(s, "class Worker{ci} {{");
@@ -446,6 +465,8 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
         source,
         gold,
         truth,
+        bugs,
+        traps,
         stats: CorpusStats { lines, classes, methods: counted_methods, next_calls },
     }
 }
@@ -453,6 +474,8 @@ pub fn generate(cfg: &PmdConfig) -> PmdCorpus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use java_syntax::ast::CompilationUnit;
+    use std::collections::BTreeSet;
 
     #[test]
     fn small_corpus_generates_and_parses() {
@@ -506,6 +529,25 @@ mod tests {
             parse(&src).unwrap_or_else(|e| panic!("{} does not reparse: {e}", path.display()));
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn planted_bugs_and_traps_resolve_to_real_methods() {
+        for cfg in [PmdConfig::small(), PmdConfig::paper()] {
+            let corpus = generate(&cfg);
+            assert_eq!(corpus.bugs.len(), cfg.buggy_sites);
+            assert_eq!(corpus.traps.len(), cfg.branch_traps);
+            let all: BTreeSet<MethodId> = corpus
+                .units
+                .iter()
+                .flat_map(CompilationUnit::methods)
+                .map(|(t, m)| MethodId::new(&t.name, &m.name))
+                .collect();
+            for id in corpus.bugs.iter().chain(&corpus.traps) {
+                assert!(all.contains(id), "planted {id} not found in corpus");
+                assert!(id.class.starts_with("Worker"), "{id} should live in a Worker class");
+            }
+        }
     }
 
     #[test]

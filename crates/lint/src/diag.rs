@@ -56,6 +56,13 @@ pub mod rules {
     pub const BAD_PFG: &str = "IR002";
     /// A malformed constraint system (factor graph).
     pub const BAD_CONSTRAINTS: &str = "IR003";
+    /// A `anek check` may-violation: the bit-vector checker found a path on
+    /// which the receiver may be in a state the callee's precondition
+    /// excludes.
+    pub const CHECK_MAY_VIOLATION: &str = "CHK001";
+    /// A `anek check` definite violation: the receiver is provably *never*
+    /// in a state the callee's precondition admits at the call site.
+    pub const CHECK_DEFINITE_VIOLATION: &str = "CHK002";
 }
 
 /// One structured diagnostic.
@@ -71,6 +78,8 @@ pub struct Diagnostic {
     pub span: Span,
     /// `Class.method` context, when known.
     pub method: String,
+    /// Source file the span refers to, when known (empty otherwise).
+    pub file: String,
     /// Secondary notes.
     pub notes: Vec<String>,
 }
@@ -89,6 +98,7 @@ impl Diagnostic {
             message: message.into(),
             span,
             method: String::new(),
+            file: String::new(),
             notes: Vec::new(),
         }
     }
@@ -98,6 +108,20 @@ impl Diagnostic {
     pub fn in_method(mut self, method: impl Into<String>) -> Diagnostic {
         self.method = method.into();
         self
+    }
+
+    /// Attaches the source-file context.
+    #[must_use]
+    pub fn in_file(mut self, file: impl Into<String>) -> Diagnostic {
+        self.file = file.into();
+        self
+    }
+
+    /// The lint family: the rule id with its trailing digits stripped
+    /// (`PROT001` -> `PROT`, `CHK002` -> `CHK`). Families group rules for
+    /// filtering and for the machine-readable output.
+    pub fn family(&self) -> &'static str {
+        self.rule.trim_end_matches(|c: char| c.is_ascii_digit())
     }
 
     /// Appends a secondary note.
@@ -138,10 +162,12 @@ impl Diagnostic {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},\"method\":\"{}\",\"notes\":[{}]}}",
+            "{{\"rule\":\"{}\",\"family\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},\"method\":\"{}\",\"notes\":[{}]}}",
             self.rule,
+            self.family(),
             self.severity,
             json_escape(&self.message),
+            json_escape(&self.file),
             self.span.start.line,
             self.span.start.col,
             self.span.end.line,
@@ -164,10 +190,13 @@ pub fn to_json_array(diags: &[Diagnostic]) -> String {
     format!("[{items}]")
 }
 
-/// Sorts diagnostics into reporting order: by source position, then rule id.
+/// Sorts diagnostics into reporting order: by file, then source position,
+/// then rule id. Total and input-order-independent (the method and message
+/// break any remaining ties), so `--json` output is deterministic.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        (a.span.start.offset, a.rule, &a.method, &a.message).cmp(&(
+        (&a.file, a.span.start.offset, a.rule, &a.method, &a.message).cmp(&(
+            &b.file,
             b.span.start.offset,
             b.rule,
             &b.method,
@@ -244,6 +273,38 @@ mod tests {
         let arr = to_json_array(&[d.clone(), d]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));
         assert_eq!(arr.matches("\"rule\"").count(), 2);
+    }
+
+    #[test]
+    fn family_strips_trailing_digits() {
+        assert_eq!(sample().family(), "PROT");
+        let span = Span::DUMMY;
+        let chk = Diagnostic::new(rules::CHECK_MAY_VIOLATION, Severity::Error, "m", span);
+        assert_eq!(chk.family(), "CHK");
+        let ir = Diagnostic::new(rules::BAD_CFG, Severity::Error, "m", span);
+        assert_eq!(ir.family(), "IR");
+    }
+
+    #[test]
+    fn json_carries_family_and_file() {
+        let d = sample().in_file("W.java");
+        let j = d.to_json();
+        assert!(j.contains("\"family\":\"PROT\""), "{j}");
+        assert!(j.contains("\"file\":\"W.java\""), "{j}");
+    }
+
+    #[test]
+    fn sorting_is_by_file_first() {
+        let early = Span::new(Pos::new(1, 1, 2), Pos::new(2, 1, 3));
+        let late = Span::new(Pos::new(9, 2, 1), Pos::new(10, 2, 2));
+        let mut v = vec![
+            Diagnostic::new(rules::DEAD_STORE, Severity::Warning, "b", early).in_file("z.java"),
+            Diagnostic::new(rules::PROTOCOL_VIOLATION, Severity::Warning, "c", late)
+                .in_file("a.java"),
+        ];
+        sort_diagnostics(&mut v);
+        assert_eq!(v[0].file, "a.java");
+        assert_eq!(v[1].file, "z.java");
     }
 
     #[test]

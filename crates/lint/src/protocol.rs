@@ -29,12 +29,8 @@ use std::collections::{BTreeMap, BTreeSet};
 /// no refinements. `expand(Iterator, ALIVE) = {HASNEXT, END}`.
 fn expand_state(api: &ApiRegistry, type_name: Option<&str>, state: &str) -> BTreeSet<String> {
     if let Some(space) = type_name.and_then(|t| api.states.get(t)) {
-        let refined: BTreeSet<String> = space
-            .states()
-            .iter()
-            .filter(|s| **s != ALIVE && space.refines(s, state))
-            .map(|s| (*s).to_string())
-            .collect();
+        let refined: BTreeSet<String> =
+            space.concrete_states(state).into_iter().map(str::to_string).collect();
         if !refined.is_empty() {
             return refined;
         }

@@ -90,6 +90,14 @@ impl CheckResult {
     pub fn of_kind(&self, kind: WarningKind) -> impl Iterator<Item = &Warning> {
         self.warnings.iter().filter(move |w| w.kind == kind)
     }
+
+    /// The set of methods with at least one warning of the given kind, in
+    /// deterministic order. The differential oracle (`anek check
+    /// --cross-validate`) compares this per-kind verdict set against the
+    /// bit-vector checker's.
+    pub fn methods_with_warnings(&self, kind: WarningKind) -> BTreeSet<MethodId> {
+        self.of_kind(kind).map(|w| w.method.clone()).collect()
+    }
 }
 
 /// Object identity inside one method: parameters, or the allocation/call

@@ -120,6 +120,14 @@ impl StateSpace {
     pub fn parent(&self, state: &str) -> Option<&str> {
         self.parents.get(state).map(String::as_str)
     }
+
+    /// The *concrete* states an object "in `state`" may inhabit: every
+    /// declared (non-`ALIVE`) state refining `state`, in sorted order.
+    /// `concrete_states(ALIVE)` is all declared states; a leaf state expands
+    /// to itself; the result is empty for trivial spaces or unknown states.
+    pub fn concrete_states(&self, state: &str) -> Vec<&str> {
+        self.states().into_iter().filter(|s| *s != ALIVE && self.refines(s, state)).collect()
+    }
 }
 
 impl fmt::Display for StateSpace {
@@ -231,6 +239,17 @@ mod tests {
         // Forward references create the parent on demand.
         let t = StateSpace::parse_decl("T", "A > B");
         assert!(t.refines("B", "A"));
+    }
+
+    #[test]
+    fn concrete_states_expand_refinements() {
+        let s = iterator_space();
+        assert_eq!(s.concrete_states(ALIVE), vec!["END", "HASNEXT"]);
+        assert_eq!(s.concrete_states("HASNEXT"), vec!["HASNEXT"]);
+        assert!(s.concrete_states("UNKNOWN").is_empty());
+        assert!(StateSpace::trivial("Row").concrete_states(ALIVE).is_empty());
+        let nested = StateSpace::parse_decl("File", "OPEN, CLOSED, OPEN > EOF");
+        assert_eq!(nested.concrete_states("OPEN"), vec!["EOF", "OPEN"]);
     }
 
     #[test]

@@ -151,6 +151,11 @@ fn serve_stdio_runs_a_full_session() {
         lines[3]
     );
     assert!(lines[4].contains(r#""corrupt_entries":0"#), "{}", lines[4]);
+    assert!(
+        lines[4].contains(r#""discarded_solves""#) && lines[4].contains(r#""screened_methods""#),
+        "stats surfaces the worklist and screening counters: {}",
+        lines[4]
+    );
     assert!(lines[5].contains(r#""ok":true"#), "{}", lines[5]);
     assert!(store.join("manifest.bin").exists(), "shutdown flushed the store");
     let _ = std::fs::remove_dir_all(&dir);
