@@ -12,6 +12,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# The inference worklist clamps worker counts to the available cores (an
+# oversubscribed speculative solve is pure waste). CI runners are often
+# single-core, which would silently turn every `--threads 4` gate below into
+# a sequential run; lifting the clamp keeps the speculative commit pipeline
+# exercised. Results are byte-identical either way — that is what the gates
+# verify.
+export ANEK_OVERSUBSCRIBE=1
+
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
@@ -137,6 +145,9 @@ EOF
     exit 1
   fi
   echo "bench smoke ok: BENCH_infer.json written"
+
+  step "bench regression gate (residual updates <= sweep, wall within 20% of baseline)"
+  ./target/release/bench_gate "$tmp/BENCH_infer.json" tests/golden/bench_baseline_small.json
 
   step "check-engine bench smoke (check_bench --small + BENCH_check.json)"
   (cd "$tmp" && "$OLDPWD/target/release/check_bench" --small >/dev/null)

@@ -4,7 +4,7 @@
 //! `corpus::faults` drives).
 
 use analysis::types::MethodId;
-use factor_graph::{BpOptions, BpSchedule};
+use factor_graph::{BpOptions, BpPrecision, BpSchedule};
 
 /// Deterministic fault-injection switches, normally all empty.
 ///
@@ -120,8 +120,10 @@ pub struct InferConfig {
     /// Belief-propagation options for the per-method `Solve`.
     pub bp: BpOptions,
     /// Worker threads for the generation-parallel worklist: `0` means one
-    /// per available core, `1` forces the sequential path. Results are
-    /// identical for every value (see `infer`'s determinism notes).
+    /// per available core, `1` forces the sequential path, and explicit
+    /// counts are clamped to the available cores (set `ANEK_OVERSUBSCRIBE=1`
+    /// to lift the clamp). Results are identical for every value (see
+    /// `infer`'s determinism notes).
     pub threads: usize,
     /// Hard cap on factor-graph variables per method model. A method whose
     /// model exceeds it is refused before solving and reported as
@@ -174,6 +176,7 @@ impl Default for InferConfig {
                 damping: 0.1,
                 schedule: BpSchedule::Sweep,
                 update_budget: None,
+                precision: BpPrecision::F64,
             },
             threads: 1,
             max_model_vars: 1 << 20,

@@ -22,7 +22,7 @@ use factor_graph::{FactorGraph, Marginals};
 use java_syntax::ast::CompilationUnit;
 use spec_lang::{spec_of_method, ApiRegistry, PermissionKind};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Runs whole-program inference: one factor graph, one solve.
 ///
@@ -177,6 +177,8 @@ pub fn infer_global(
         bp_iterations: marginals.iterations,
         message_updates: marginals.updates,
         discarded_solves: 0,
+        speculative_solves: 0,
+        commit_stall: Duration::ZERO,
         threads: 1,
         outcomes,
         nonconverged_solves: usize::from(!marginals.converged),

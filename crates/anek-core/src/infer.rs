@@ -9,21 +9,36 @@
 //!
 //! ## Parallelism and determinism
 //!
-//! The worklist drains in *generations*: the queued methods are solved
-//! *speculatively* against a frozen snapshot of the summaries/evidence
-//! maps, concurrently on `InferConfig::threads` scoped threads; results are
-//! then merged single-threaded, in the generation's deterministic order. A
+//! The worklist drains in *generations*, and each generation commits in
+//! *chunks* of a few multiples of the thread count: a chunk's methods are
+//! solved *speculatively* against a frozen snapshot of the
+//! summaries/evidence maps — concurrently on `InferConfig::threads` scoped
+//! threads, the merge thread participating as a worker — and the results
+//! are then merged single-threaded, in the chunk's deterministic order. A
 //! speculative result is committed only if none of the merges before it in
-//! the generation changed the method's inputs — its program-callee
-//! summaries or its own caller-evidence store. If they did, the stale
-//! speculation is discarded and the method is re-solved inline against the
-//! merged state. A method's marginals are a pure function of exactly those
-//! inputs (the skeleton is immutable, stamping reads only callee summaries
-//! and own evidence, and BP is deterministic), so the committed sequence of
-//! solves is precisely the one the classic sequential worklist performs —
-//! the final specs, summaries and confidence are byte-identical for every
+//! the chunk changed the method's inputs — its program-callee summaries or
+//! its own caller-evidence store. If they did, the stale speculation is
+//! discarded and the method is re-solved inline against the merged state.
+//! A method's marginals are a pure function of exactly those inputs (the
+//! skeleton is immutable, stamping reads only callee summaries and own
+//! evidence, and BP is deterministic), so the committed sequence of solves
+//! is precisely the one the classic sequential worklist performs — the
+//! final specs, summaries and confidence are byte-identical for every
 //! `threads` value, including `1` (which skips speculation entirely and
 //! degenerates to plain sequential Gauss-Seidel with zero wasted work).
+//!
+//! Chunking (rather than speculating a whole generation at once) keeps the
+//! speculation snapshot fresh: a solve can only be invalidated by merges
+//! inside its own small chunk, not by every earlier merge of a long
+//! generation, which cuts the discarded-solve waste that used to make
+//! multithreaded runs slower than sequential ones. Wasted work is surfaced
+//! in [`InferResult::speculative_solves`] /
+//! [`InferResult::discarded_solves`], and the time the merge thread spends
+//! blocked on its workers in [`InferResult::commit_stall`].
+//!
+//! Every worker owns one long-lived BP [`Scratch`] (as does the merge
+//! thread), so message arrays and scheduler state are recycled across all
+//! the solves of a run instead of reallocated per solve.
 //!
 //! Each method's static model skeleton (variables, L1–L3, heuristics,
 //! own-spec and API priors) is built and compiled once, lazily at its first
@@ -38,7 +53,7 @@ use crate::outcome::{panic_message, DegradeReason, InferError, MethodOutcome};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
-use factor_graph::GuardEvents;
+use factor_graph::{GuardEvents, Scratch};
 use java_syntax::ast::CompilationUnit;
 use java_syntax::ExprId;
 use spec_lang::{
@@ -86,11 +101,21 @@ pub struct InferResult {
     /// Total BP message updates across all solves.
     pub message_updates: usize,
     /// Speculative parallel solves discarded because an earlier merge in
-    /// the same generation changed their inputs (always 0 single-threaded;
+    /// the same chunk changed their inputs (always 0 single-threaded;
     /// the committed results are identical regardless). Not counted in
     /// `solves`/`bp_iterations`/`message_updates`, which describe the
     /// sequential algorithm's work.
     pub discarded_solves: usize,
+    /// Solves attempted speculatively on the parallel path (always 0
+    /// single-threaded). `discarded_solves / speculative_solves` is the
+    /// waste ratio of the speculation; the difference is the solves the
+    /// merge loop got for free.
+    pub speculative_solves: usize,
+    /// Wall-clock time the merge thread spent blocked waiting for workers
+    /// to finish a speculation chunk after exhausting its own share of the
+    /// work (always zero single-threaded). The directly measurable cost of
+    /// commit serialization.
+    pub commit_stall: Duration,
     /// Worker threads actually used.
     pub threads: usize,
     /// Per-method outcome: `Ok`, `Degraded { reasons }` or
@@ -212,12 +237,24 @@ impl MethodUnit {
     }
 }
 
-/// Resolves `InferConfig::threads`: `0` means one per available core.
+/// Resolves `InferConfig::threads`: `0` means one per available core, and
+/// explicit counts are clamped to the cores actually present — speculative
+/// solving only pays off when the workers genuinely run concurrently, and
+/// oversubscribing a small machine turns the speculation into pure waste
+/// (every discarded solve burned a core the committed ones needed).
+///
+/// Results are byte-identical for any worker count, so the clamp never
+/// changes output, only cost. Setting `ANEK_OVERSUBSCRIBE=1` disables the
+/// clamp, which tests and CI use to exercise the speculative pipeline on
+/// single-core runners.
 fn resolve_threads(threads: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
+        cores
+    } else if std::env::var_os("ANEK_OVERSUBSCRIBE").is_some_and(|v| v != "0" && !v.is_empty()) {
         threads
+    } else {
+        threads.min(cores)
     }
 }
 
@@ -248,6 +285,44 @@ fn map_parallel<I: Sync, T: Send>(
         .into_iter()
         .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
         .collect()
+}
+
+/// Like [`map_parallel`], but every worker borrows one long-lived BP
+/// [`Scratch`] from `pool` (the caller's thread takes the first and
+/// participates as a worker), and the time the calling thread spent blocked
+/// on its workers after finishing its own share is returned alongside the
+/// results — that wait is precisely the commit pipeline's serialization
+/// stall.
+fn map_parallel_scratch<I: Sync, T: Send>(
+    items: &[I],
+    pool: &mut [Scratch],
+    f: impl Fn(&I, &mut Scratch) -> T + Sync,
+) -> (Vec<T>, Duration) {
+    let workers = pool.len().min(items.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let run = |scratch: &mut Scratch| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        *slots[i].lock().unwrap() = Some(f(item, scratch));
+    };
+    let (main_scratch, rest) = pool.split_first_mut().expect("non-empty scratch pool");
+    let mut idle_from: Option<Instant> = None;
+    std::thread::scope(|scope| {
+        let run = &run;
+        for s in rest.iter_mut().take(workers - 1) {
+            scope.spawn(move || run(s));
+        }
+        run(main_scratch);
+        idle_from = Some(Instant::now());
+        // The scope's implicit join is the wait being measured.
+    });
+    let stall = idle_from.map_or(Duration::ZERO, |t| t.elapsed());
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled every slot"))
+        .collect();
+    (results, stall)
 }
 
 /// Runs ANEK-INFER over the program.
@@ -429,6 +504,8 @@ pub fn infer_with_store(
     let mut bp_iterations = 0usize;
     let mut message_updates = 0usize;
     let mut discarded_solves = 0usize;
+    let mut speculative_solves = 0usize;
+    let mut commit_stall = Duration::ZERO;
     let mut nonconverged_solves = 0usize;
     let mut numeric_guard_events = 0usize;
     let mut memo_hits = 0usize;
@@ -439,6 +516,10 @@ pub fn infer_with_store(
     let mut failed: BTreeMap<MethodId, InferError> = BTreeMap::new();
     let mut last_health: BTreeMap<MethodId, (bool, usize, GuardEvents)> = BTreeMap::new();
     let empty_deps = BTreeSet::new();
+    // One long-lived BP scratch per worker (index 0 is the merge thread's):
+    // message arrays and scheduler state are recycled across every solve of
+    // the run instead of reallocated per method.
+    let mut scratch_pool: Vec<Scratch> = (0..threads.max(1)).map(|_| Scratch::new()).collect();
     // Solves one method against the *current* summary/evidence state.
     // Panics anywhere inside — injected or organic — are caught here, at
     // the per-method boundary, and become structured `Failed` outcomes.
@@ -447,7 +528,8 @@ pub fn infer_with_store(
                      evidence: &BTreeMap<
         MethodId,
         BTreeMap<(MethodId, ExprId), CallerEvidence>,
-    >|
+    >,
+                     scratch: &mut Scratch|
      -> SolveResult {
         let mu = &methods[id];
         // The full content key: the method's static key extended with its
@@ -496,7 +578,7 @@ pub fn infer_with_store(
             let own_evidence: Vec<CallerEvidence> =
                 evidence.get(id).map(|m| m.values().cloned().collect()).unwrap_or_default();
             let extras = skeleton.stamp(ctx, summaries, &own_evidence);
-            let marginals = skeleton.solve(&extras, cfg);
+            let marginals = skeleton.solve_scratch(&extras, cfg, scratch);
             Ok(Solved {
                 record: SolvedRecord {
                     summary: skeleton.read_summary(ctx, &marginals),
@@ -515,104 +597,119 @@ pub fn infer_with_store(
         // Take one generation, truncated so `solves` respects MaxIters.
         let take = pending.len().min(cfg.max_iters - solves);
         let generation: Vec<MethodId> = pending.drain(..take).collect();
-        // Speculatively solve the whole generation in parallel against
-        // frozen summary/evidence snapshots. The merge below commits a
-        // speculative result only if the merges before it left the
-        // method's inputs untouched; otherwise it re-solves against the
-        // merged state — so the committed sequence of solves is *exactly*
-        // the one the sequential worklist performs, for any thread count.
-        // With one worker the speculation is skipped and every solve runs
-        // lazily at merge time (plain sequential Gauss-Seidel, no waste).
-        let speculated: Option<Vec<SolveResult>> = (threads.min(generation.len()) > 1)
-            .then(|| map_parallel(threads, &generation, |id| solve_one(id, &summaries, &evidence)));
         solves += generation.len();
-        // Merge sequentially, in generation order. Inputs dirtied by the
-        // merges so far: summaries re-published and evidence stores touched
-        // during *this* generation.
-        let mut dirty_summaries: BTreeSet<MethodId> = BTreeSet::new();
-        let mut dirty_evidence: BTreeSet<MethodId> = BTreeSet::new();
-        for (pos, id) in generation.iter().enumerate() {
-            queued.remove(id);
-            let deps = callees.get(id).unwrap_or(&empty_deps);
-            let fresh = !dirty_evidence.contains(id) && deps.is_disjoint(&dirty_summaries);
-            let solved: SolveResult = match &speculated {
-                Some(outcomes) if fresh => outcomes[pos].clone(),
-                Some(_) => {
-                    // Speculation consumed stale inputs; redo sequentially.
-                    discarded_solves += 1;
-                    solve_one(id, &summaries, &evidence)
-                }
-                None => solve_one(id, &summaries, &evidence),
-            };
-            let s = match solved {
-                Ok(s) => s,
-                Err(error) => {
-                    // Fault isolation: freeze the method at its last
-                    // committed summary. It publishes nothing, so no other
-                    // method's inputs change; it is never re-queued, so a
-                    // deterministic fault costs exactly one failed solve.
-                    failed.insert(id.clone(), error);
-                    continue;
-                }
-            };
-            // Cache accounting happens here, at the sequential commit
-            // point, so hits/misses (and the store contents) evolve exactly
-            // as in a single-threaded run. Discarded speculations are never
-            // inserted — only committed solves enter the store.
-            match &s.cache {
-                Some((_, true)) => memo_hits += 1,
-                Some((key, false)) => {
-                    memo_misses += 1;
-                    if let Some(c) = cache {
-                        c.solve_insert(*key, &s.record);
+        // Commit the generation in chunks of a few thread-counts each.
+        // Each chunk is solved speculatively in parallel against the state
+        // merged so far (frozen for the chunk's duration); the merge below
+        // commits a speculative result only if the merges before it *in the
+        // same chunk* left the method's inputs untouched; otherwise it
+        // re-solves against the merged state — so the committed sequence of
+        // solves is *exactly* the one the sequential worklist performs, for
+        // any thread count. Small chunks keep the snapshot fresh (a solve
+        // can only be invalidated by the handful of merges in its own
+        // chunk), which bounds discarded-solve waste. With one worker the
+        // speculation is skipped and every solve runs lazily at merge time
+        // (plain sequential Gauss-Seidel, no waste).
+        let parallel = threads.min(generation.len()) > 1;
+        let chunk_len = if parallel { threads * 4 } else { generation.len() };
+        for chunk in generation.chunks(chunk_len.max(1)) {
+            let speculated: Option<Vec<SolveResult>> = (parallel && chunk.len() > 1).then(|| {
+                speculative_solves += chunk.len();
+                let (results, stall) = map_parallel_scratch(chunk, &mut scratch_pool, |id, s| {
+                    solve_one(id, &summaries, &evidence, s)
+                });
+                commit_stall += stall;
+                results
+            });
+            // Merge sequentially, in chunk order. Inputs dirtied by the
+            // merges so far: summaries re-published and evidence stores
+            // touched during *this* chunk (freshness is relative to the
+            // chunk-start snapshot the speculation consumed).
+            let mut dirty_summaries: BTreeSet<MethodId> = BTreeSet::new();
+            let mut dirty_evidence: BTreeSet<MethodId> = BTreeSet::new();
+            for (pos, id) in chunk.iter().enumerate() {
+                queued.remove(id);
+                let deps = callees.get(id).unwrap_or(&empty_deps);
+                let fresh = !dirty_evidence.contains(id) && deps.is_disjoint(&dirty_summaries);
+                let solved: SolveResult = match &speculated {
+                    Some(outcomes) if fresh => outcomes[pos].clone(),
+                    Some(_) => {
+                        // Speculation consumed stale inputs; redo sequentially.
+                        discarded_solves += 1;
+                        solve_one(id, &summaries, &evidence, &mut scratch_pool[0])
                     }
+                    None => solve_one(id, &summaries, &evidence, &mut scratch_pool[0]),
+                };
+                let s = match solved {
+                    Ok(s) => s,
+                    Err(error) => {
+                        // Fault isolation: freeze the method at its last
+                        // committed summary. It publishes nothing, so no other
+                        // method's inputs change; it is never re-queued, so a
+                        // deterministic fault costs exactly one failed solve.
+                        failed.insert(id.clone(), error);
+                        continue;
+                    }
+                };
+                // Cache accounting happens here, at the sequential commit
+                // point, so hits/misses (and the store contents) evolve exactly
+                // as in a single-threaded run. Discarded speculations are never
+                // inserted — only committed solves enter the store.
+                match &s.cache {
+                    Some((_, true)) => memo_hits += 1,
+                    Some((key, false)) => {
+                        memo_misses += 1;
+                        if let Some(c) = cache {
+                            c.solve_insert(*key, &s.record);
+                        }
+                    }
+                    None => {}
                 }
-                None => {}
-            }
-            let s = s.record;
-            bp_iterations += s.iterations;
-            message_updates += s.updates;
-            if !s.converged {
-                nonconverged_solves += 1;
-            }
-            numeric_guard_events += s.guards.non_finite + s.guards.zero_sum;
-            last_health.insert(id.clone(), (s.converged, s.iterations, s.guards));
-            let mut to_queue: Vec<MethodId> = Vec::new();
-            // Publish evidence about callees observed at this method's sites.
-            for (callee, sites) in s.call_evidence {
-                let store = evidence.entry(callee.clone()).or_default();
-                let mut changed = false;
-                for (site, ev) in sites {
-                    let key = (id.clone(), site);
-                    match store.get(&key) {
-                        Some(old) if old.max_delta(&ev) <= cfg.summary_epsilon => {}
-                        _ => {
-                            store.insert(key, ev);
-                            changed = true;
+                let s = s.record;
+                bp_iterations += s.iterations;
+                message_updates += s.updates;
+                if !s.converged {
+                    nonconverged_solves += 1;
+                }
+                numeric_guard_events += s.guards.non_finite + s.guards.zero_sum;
+                last_health.insert(id.clone(), (s.converged, s.iterations, s.guards));
+                let mut to_queue: Vec<MethodId> = Vec::new();
+                // Publish evidence about callees observed at this method's sites.
+                for (callee, sites) in s.call_evidence {
+                    let store = evidence.entry(callee.clone()).or_default();
+                    let mut changed = false;
+                    for (site, ev) in sites {
+                        let key = (id.clone(), site);
+                        match store.get(&key) {
+                            Some(old) if old.max_delta(&ev) <= cfg.summary_epsilon => {}
+                            _ => {
+                                store.insert(key, ev);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if changed {
+                        dirty_evidence.insert(callee.clone());
+                        if callee != *id {
+                            to_queue.push(callee);
                         }
                     }
                 }
-                if changed {
-                    dirty_evidence.insert(callee.clone());
-                    if callee != *id {
-                        to_queue.push(callee);
+                let old = &summaries[id];
+                if s.summary.max_delta(old) > cfg.summary_epsilon {
+                    summaries.insert(id.clone(), s.summary);
+                    dirty_summaries.insert(id.clone());
+                    // Re-enqueue the method itself (per Figure 9 line 19) and
+                    // its callers, whose models consumed the stale summary.
+                    to_queue.push(id.clone());
+                    if let Some(cs) = callers.get(id) {
+                        to_queue.extend(cs.iter().cloned());
                     }
                 }
-            }
-            let old = &summaries[id];
-            if s.summary.max_delta(old) > cfg.summary_epsilon {
-                summaries.insert(id.clone(), s.summary);
-                dirty_summaries.insert(id.clone());
-                // Re-enqueue the method itself (per Figure 9 line 19) and
-                // its callers, whose models consumed the stale summary.
-                to_queue.push(id.clone());
-                if let Some(cs) = callers.get(id) {
-                    to_queue.extend(cs.iter().cloned());
-                }
-            }
-            for q in to_queue {
-                if !failed.contains_key(&q) && queued.insert(q.clone()) {
-                    pending.push(q);
+                for q in to_queue {
+                    if !failed.contains_key(&q) && queued.insert(q.clone()) {
+                        pending.push(q);
+                    }
                 }
             }
         }
@@ -682,6 +779,8 @@ pub fn infer_with_store(
         bp_iterations,
         message_updates,
         discarded_solves,
+        speculative_solves,
+        commit_stall,
         threads,
         outcomes,
         nonconverged_solves,

@@ -52,7 +52,7 @@ use std::sync::Arc;
 /// set, the hash function, or the meaning of any hashed field changes —
 /// stale stores then miss cleanly instead of replaying records produced
 /// under different semantics.
-pub const KEY_SCHEME_VERSION: u32 = 1;
+pub const KEY_SCHEME_VERSION: u32 = 2;
 
 /// A 128-bit content hash addressing one cached artifact.
 pub type CacheKey = u128;
@@ -169,6 +169,7 @@ pub fn config_fingerprint(cfg: &InferConfig) -> CacheKey {
     h.write_f64(cfg.bp.tolerance);
     h.write_f64(cfg.bp.damping);
     h.write_str(&format!("{:?}", cfg.bp.schedule));
+    h.write_str(&format!("{:?}", cfg.bp.precision));
     match cfg.bp.update_budget {
         Some(b) => {
             h.write_bool(true);

@@ -12,7 +12,7 @@ use crate::constraints::{self, SlotVars};
 use crate::summary::{MethodSummary, SlotProbs};
 use analysis::pfg::{CallRole, NodeId, Pfg, PfgNodeKind};
 use analysis::types::{Callee, MethodId, ProgramIndex};
-use factor_graph::{CompiledGraph, Factor, FactorGraph, Marginals, VarId};
+use factor_graph::{CompiledGraph, Factor, FactorGraph, Marginals, Scratch, VarId};
 use spec_lang::{ApiRegistry, MethodSpec, PermissionKind, SpecTarget, StateRegistry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -346,6 +346,19 @@ impl MethodSkeleton {
     /// graph.
     pub fn solve(&self, extras: &[(VarId, f64)], cfg: &InferConfig) -> Marginals {
         self.compiled.solve_stamped(extras, &cfg.bp)
+    }
+
+    /// [`MethodSkeleton::solve`] with caller-provided scratch buffers —
+    /// bit-identical results, but message arrays and queue state are
+    /// recycled across solves instead of reallocated (the worklist gives
+    /// each worker thread one [`Scratch`] for its whole lifetime).
+    pub fn solve_scratch(
+        &self,
+        extras: &[(VarId, f64)],
+        cfg: &InferConfig,
+        scratch: &mut Scratch,
+    ) -> Marginals {
+        self.compiled.solve_stamped_scratch(extras, &cfg.bp, scratch)
     }
 
     /// Reads the method summary off solved marginals.

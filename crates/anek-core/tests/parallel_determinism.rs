@@ -28,8 +28,16 @@ fn fingerprint(r: &InferResult) -> String {
     )
 }
 
+/// Lifts the worker-count clamp so the speculative pipeline runs for real
+/// even on single-core CI runners (the clamp never changes results, but an
+/// unclamped run actually exercises the code under test).
+fn oversubscribe() {
+    std::env::set_var("ANEK_OVERSUBSCRIBE", "1");
+}
+
 #[test]
 fn infer_is_byte_identical_for_any_thread_count() {
+    oversubscribe();
     let api = standard_api();
     for case in corpus::suite() {
         let unit = case.unit();
@@ -50,6 +58,7 @@ fn infer_is_byte_identical_for_any_thread_count() {
 
 #[test]
 fn infer_is_byte_identical_on_figure3_for_any_thread_count() {
+    oversubscribe();
     let api = standard_api();
     let units = [corpus::figure3_unit()];
     let base = infer(&units, &api, &InferConfig { threads: 1, ..InferConfig::default() });
@@ -58,6 +67,28 @@ fn infer_is_byte_identical_on_figure3_for_any_thread_count() {
         let got = infer(&units, &api, &InferConfig { threads, ..InferConfig::default() });
         assert_eq!(fingerprint(&got), want, "threads={threads} diverged from threads=1");
     }
+}
+
+#[test]
+fn speculation_counters_reflect_parallel_commits() {
+    oversubscribe();
+    let api = standard_api();
+    let units = [corpus::figure3_unit()];
+
+    // Sequential runs never speculate: the counters must be exactly zero.
+    let seq = infer(&units, &api, &InferConfig { threads: 1, ..InferConfig::default() });
+    assert_eq!(seq.speculative_solves, 0, "threads=1 must not speculate");
+    assert_eq!(seq.discarded_solves, 0);
+    assert_eq!(seq.commit_stall, std::time::Duration::ZERO);
+
+    // Parallel runs speculate whole chunks; discards are the subset whose
+    // inputs an earlier merge changed, so they can never exceed the
+    // speculation that produced them — and none of it may change output.
+    let par = infer(&units, &api, &InferConfig { threads: 4, ..InferConfig::default() });
+    assert!(par.speculative_solves > 0, "threads=4 should speculate at least one chunk");
+    assert!(par.speculative_solves <= par.solves);
+    assert!(par.discarded_solves <= par.speculative_solves);
+    assert_eq!(fingerprint(&par), fingerprint(&seq));
 }
 
 #[test]

@@ -1,0 +1,155 @@
+//! Cross-schedule agreement: the residual schedule is a performance choice,
+//! never a semantic one. The strong form of that claim — identical marginals
+//! everywhere — does not hold on this corpus, because the damped Jacobi
+//! sweep fails to *converge* on most loopy iterator models (it oscillates
+//! until `max_iterations` stops it; `Spreadsheet.copy` is still unconverged
+//! after 50k sweeps at tolerance 1e-10), and a non-converged oscillation
+//! point is not comparable to a fixed point. What genuinely holds, and what
+//! this suite pins, is:
+//!
+//! 1. The residual schedule converges on **every** model in the corpus —
+//!    including all the loopy ones the sweep cannot settle.
+//! 2. Wherever **both** schedules converge, their marginals agree within a
+//!    tight band (observed worst case 2e-4; asserted at 1e-3).
+//! 3. Whole-corpus inference produces the same method sets and closely
+//!    agreeing annotation volume — the historical per-edge residual bug
+//!    manifested as 3120 phantom annotations vs Sweep's 1054 at paper
+//!    scale, and this gate would have caught it.
+//! 4. The residual schedule never spends more message updates than the
+//!    sweep it replaces.
+//!
+//! Exact Figure 3 reproducibility per schedule is pinned separately, to the
+//! last ulp, by the golden fixtures in `golden_figure3.rs`.
+
+use analysis::pfg::Pfg;
+use analysis::types::ProgramIndex;
+use anek_core::{infer, merged_states, InferConfig, InferResult, MethodModel, ModelCtx};
+use factor_graph::BpSchedule;
+use spec_lang::{spec_of_method, standard_api};
+use std::collections::BTreeMap;
+
+/// Band for marginals of models on which *both* schedules report
+/// convergence: both are then within `bp.tolerance` of the same fixed
+/// point, so any gap is tolerance slack, not disagreement.
+const CONVERGED_AGREEMENT: f64 = 1e-3;
+
+/// Solves every method model in `unit` in isolation (no summaries) under
+/// both schedules and checks the convergence/agreement contract. Returns
+/// `(methods_checked, both_converged)` so callers can assert non-vacuity.
+fn check_models(name: &str, unit: &java_syntax::ast::CompilationUnit) -> (usize, usize) {
+    let index = ProgramIndex::build([unit]);
+    let api = standard_api();
+    let states = merged_states(std::slice::from_ref(unit), &api);
+    let ctx = ModelCtx { index: &index, api: &api, states: &states };
+    let empty = BTreeMap::new();
+    let (mut checked, mut both) = (0, 0);
+    for t in &unit.types {
+        for m in t.methods() {
+            if m.body.is_none() {
+                continue;
+            }
+            let mut runs = Vec::new();
+            for schedule in [BpSchedule::Sweep, BpSchedule::Residual] {
+                let mut cfg = InferConfig::default();
+                cfg.bp.schedule = schedule;
+                let pfg = Pfg::build(&index, &api, &t.name, m);
+                let spec = spec_of_method(m).unwrap_or_default();
+                let model = MethodModel::build(ctx, pfg, &spec, m.is_constructor(), &empty, &cfg);
+                let r = model.graph.solve(&cfg.bp);
+                runs.push((r.as_slice().to_vec(), r.converged));
+            }
+            let (sweep, residual) = (&runs[0], &runs[1]);
+            checked += 1;
+            assert!(
+                residual.1,
+                "{name}: {}.{}: residual schedule failed to converge",
+                t.name, m.name
+            );
+            if sweep.1 {
+                both += 1;
+                let delta = sweep
+                    .0
+                    .iter()
+                    .zip(&residual.0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max);
+                assert!(
+                    delta <= CONVERGED_AGREEMENT,
+                    "{name}: {}.{}: both schedules converged but marginals differ \
+                     (max delta {delta:.6})",
+                    t.name,
+                    m.name
+                );
+            }
+        }
+    }
+    (checked, both)
+}
+
+fn run(units: &[java_syntax::ast::CompilationUnit], schedule: BpSchedule) -> InferResult {
+    let mut cfg = InferConfig::default();
+    cfg.bp.schedule = schedule;
+    infer(units, &standard_api(), &cfg)
+}
+
+/// Whole-corpus structural agreement: same methods summarized, and the
+/// inferred annotation volume within a third (or two annotations, for tiny
+/// cases where one near-threshold atom dominates the ratio).
+fn check_corpus_shape(name: &str, sweep: &InferResult, residual: &InferResult) {
+    assert_eq!(
+        sweep.summaries.keys().collect::<Vec<_>>(),
+        residual.summaries.keys().collect::<Vec<_>>(),
+        "{name}: schedules summarized different method sets"
+    );
+    let (sa, ra) = (sweep.annotation_count(), residual.annotation_count());
+    let diff = (sa as f64 - ra as f64).abs();
+    let spread = diff / (sa.max(ra).max(1) as f64);
+    assert!(
+        spread <= 0.34 || diff <= 2.0,
+        "{name}: annotation volume diverged across schedules: sweep {sa} vs residual {ra}"
+    );
+}
+
+#[test]
+fn residual_converges_and_agrees_where_sweep_converges_on_figure3() {
+    let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
+    let (checked, _) = check_models("figure3", &unit);
+    assert!(checked >= 7, "figure3 should exercise at least 7 method models, got {checked}");
+}
+
+#[test]
+fn residual_converges_and_agrees_where_sweep_converges_on_the_suite() {
+    let (mut checked, mut both) = (0, 0);
+    for case in corpus::suite() {
+        let (c, b) = check_models(case.name, &case.unit());
+        checked += c;
+        both += b;
+    }
+    assert!(checked >= 10, "suite should exercise at least 10 method models, got {checked}");
+    // Non-vacuity: the agreement clause must actually fire somewhere.
+    assert!(both >= 2, "expected at least 2 models where both schedules converge, got {both}");
+}
+
+#[test]
+fn schedules_agree_on_corpus_shape_and_residual_never_works_harder() {
+    let units = [corpus::figure3_unit()];
+    let sweep = run(&units, BpSchedule::Sweep);
+    let residual = run(&units, BpSchedule::Residual);
+    check_corpus_shape("figure3", &sweep, &residual);
+
+    for case in corpus::suite() {
+        let units = [case.unit()];
+        let sweep = run(&units, BpSchedule::Sweep);
+        let residual = run(&units, BpSchedule::Residual);
+        check_corpus_shape(case.name, &sweep, &residual);
+        // The residual schedule must not work harder than the sweep it
+        // replaces — that asymmetry is its entire reason to exist.
+        assert!(
+            residual.message_updates <= sweep.message_updates,
+            "case {}: residual used more updates ({}) than sweep ({})",
+            case.name,
+            residual.message_updates,
+            sweep.message_updates
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! anek infer [--threads N] [--bp-schedule sweep|residual]
-//!            [--inject PLAN] [--outcomes] [--screen] [--max-iters N]
-//!            <file.java>...
+//!            [--bp-precision f64|f32] [--inject PLAN] [--outcomes]
+//!            [--screen] [--max-iters N] <file.java>...
 //!                               infer specs, print them; --inject replays a
 //!                               fault plan (corpus::faults format) and
 //!                               --outcomes appends the per-method outcome
@@ -32,7 +32,8 @@
 //!                               (DF/PROT/SPEC rules) and optionally the IR
 //!                               verifier; exit non-zero on errors
 //! anek pipeline [--out DIR] [--verify-ir] [--threads N]
-//!               [--bp-schedule sweep|residual] <file.java>...
+//!               [--bp-schedule sweep|residual] [--bp-precision f64|f32]
+//!               <file.java>...
 //!                               infer, apply, re-check; print the annotated
 //!                               program (or write one file per input into
 //!                               DIR) and report both warning counts
@@ -51,7 +52,7 @@
 
 use anek::analysis::{MethodId, Pfg, ProgramIndex};
 use anek::bitstate;
-use anek::factor_graph::BpSchedule;
+use anek::factor_graph::{BpPrecision, BpSchedule};
 use anek::plural::SpecTable;
 use anek::spec_lang::standard_api;
 use anek::{Pipeline, ServeSession};
@@ -62,14 +63,14 @@ use std::sync::Arc;
 const USAGE: &str = "\
 usage: anek <infer|check|lint|pipeline|pfg|corpus|serve> [flags] <file.java>...
 
-  infer    [--threads N] [--bp-schedule sweep|residual] [--inject PLAN]
-           [--outcomes] [--screen] [--max-iters N] [--store DIR]
-           <file.java>...
+  infer    [--threads N] [--bp-schedule sweep|residual]
+           [--bp-precision f64|f32] [--inject PLAN] [--outcomes]
+           [--screen] [--max-iters N] [--store DIR] <file.java>...
   check    [--engine bitstate|plural] [--infer] [--branch-sensitive]
            [--json] [--cross-validate] [infer flags] <file.java>...
   lint     [--json] [--verify-ir] <file.java>...
   pipeline [--out DIR] [--verify-ir] [--threads N] [--bp-schedule S]
-           [--store DIR] <file.java>...
+           [--bp-precision P] [--store DIR] <file.java>...
   pfg      <file.java>... <Class.method>
   corpus   <dir> [--small]
   serve    (--stdio | --socket PATH) [--store DIR] [--threads N]
@@ -130,6 +131,7 @@ fn main() -> ExitCode {
 struct InferFlags {
     threads: Option<usize>,
     schedule: Option<BpSchedule>,
+    precision: Option<BpPrecision>,
     inject: Option<corpus::FaultPlan>,
     outcomes: bool,
     store: Option<String>,
@@ -138,9 +140,10 @@ struct InferFlags {
 }
 
 impl InferFlags {
-    /// Consumes `--threads N` / `--bp-schedule S` / `--inject PLAN` /
-    /// `--outcomes` / `--store DIR` / `--screen` / `--max-iters N` from
-    /// `args`, returning the flags and the remaining arguments.
+    /// Consumes `--threads N` / `--bp-schedule S` / `--bp-precision P` /
+    /// `--inject PLAN` / `--outcomes` / `--store DIR` / `--screen` /
+    /// `--max-iters N` from `args`, returning the flags and the remaining
+    /// arguments.
     fn parse(args: &[String]) -> Result<(InferFlags, Vec<String>), Box<dyn std::error::Error>> {
         let mut flags = InferFlags::default();
         let mut rest = Vec::new();
@@ -160,6 +163,15 @@ impl InferFlags {
                     Some(BpSchedule::parse(s).ok_or_else(|| {
                         usage_err(format!("--bp-schedule: unknown schedule `{s}`"))
                     })?);
+            } else if a == "--bp-precision" {
+                // f32 halves BP message storage (accumulation stays f64);
+                // marginals may differ from f64 in the last ulps, so the
+                // default f64 keeps historical byte-exact output.
+                let p =
+                    it.next().ok_or_else(|| usage_err("--bp-precision needs `f64` or `f32`"))?;
+                flags.precision = Some(BpPrecision::parse(p).ok_or_else(|| {
+                    usage_err(format!("--bp-precision: unknown precision `{p}`"))
+                })?);
             } else if a == "--inject" {
                 let path =
                     it.next().ok_or_else(|| usage_err("--inject needs a fault-plan file"))?;
@@ -197,6 +209,9 @@ impl InferFlags {
         }
         if let Some(s) = self.schedule {
             pipeline = pipeline.with_bp_schedule(s);
+        }
+        if let Some(p) = self.precision {
+            pipeline = pipeline.with_bp_precision(p);
         }
         if let Some(plan) = &self.inject {
             plan.apply_config(&mut pipeline.config);
@@ -315,6 +330,12 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 result.bp_iterations,
                 result.message_updates
             );
+            if result.speculative_solves > 0 {
+                eprintln!(
+                    "speculation: {} speculative solves, {} discarded, merge stalled {:?}",
+                    result.speculative_solves, result.discarded_solves, result.commit_stall
+                );
+            }
             if flags.screen {
                 eprintln!(
                     "screening pre-pass skipped {} provably-clean methods",

@@ -86,6 +86,19 @@ impl PipelineReport {
         self.inference.discarded_solves
     }
 
+    /// Solves the parallel worklist attempted speculatively; 0 on
+    /// single-threaded runs. `speculative_solves - discarded_solves` is the
+    /// work the merge loop got off the critical path.
+    pub fn speculative_solves(&self) -> usize {
+        self.inference.speculative_solves
+    }
+
+    /// Time the merge thread spent blocked on speculation workers (zero
+    /// single-threaded) — the measured cost of commit serialization.
+    pub fn commit_stall(&self) -> std::time::Duration {
+        self.inference.commit_stall
+    }
+
     /// Methods the bit-vector screening pre-pass proved clean and skipped
     /// (0 unless the pipeline ran with [`Pipeline::with_screen`]).
     pub fn screened_methods(&self) -> usize {
@@ -157,6 +170,14 @@ impl Pipeline {
     /// Selects the BP message schedule used by every model solve.
     pub fn with_bp_schedule(mut self, schedule: factor_graph::BpSchedule) -> Pipeline {
         self.config.bp.schedule = schedule;
+        self
+    }
+
+    /// Selects the BP message storage precision. `F32` halves message
+    /// memory (accumulation stays f64); `F64` (the default) keeps the
+    /// historical byte-exact behavior.
+    pub fn with_bp_precision(mut self, precision: factor_graph::BpPrecision) -> Pipeline {
+        self.config.bp.precision = precision;
         self
     }
 

@@ -292,6 +292,14 @@ impl ServeSession {
                 Json::num(self.result.as_ref().map_or(0, |r| r.discarded_solves)),
             ),
             (
+                "speculative_solves".into(),
+                Json::num(self.result.as_ref().map_or(0, |r| r.speculative_solves)),
+            ),
+            (
+                "commit_stall_ms".into(),
+                Json::num(self.result.as_ref().map_or(0, |r| r.commit_stall.as_millis() as usize)),
+            ),
+            (
                 "screened_methods".into(),
                 Json::num(self.result.as_ref().map_or(0, |r| r.screened_methods)),
             ),
@@ -423,5 +431,27 @@ mod tests {
         assert_eq!(status_in(&outcomes, "App.other"), Some(other_before));
         let shutdown = s.handle_line(r#"{"id":4,"method":"shutdown"}"#);
         assert!(shutdown.shutdown);
+    }
+
+    #[test]
+    fn stats_reports_speculation_counters() {
+        // Lift the worker clamp so the 4-thread session really speculates
+        // even on a single-core test runner.
+        std::env::set_var("ANEK_OVERSUBSCRIBE", "1");
+        let mut s = ServeSession::new(InferConfig { threads: 4, ..InferConfig::default() }, None);
+        req(
+            &mut s,
+            r#"{"id":1,"method":"load_sources","params":{"sources":[{"name":"App.java","text":"class App { void copy(Iterator<Integer> it) { it.next(); } void other(Iterator<Integer> it) { it.hasNext(); } }"}]}}"#,
+        );
+        let stats = req(&mut s, r#"{"id":2,"method":"stats"}"#);
+        let result = stats.get("result").expect("result").clone();
+        let num = |k: &str| result.get(k).and_then(Json::as_num).unwrap_or_else(|| panic!("{k}"));
+        // Two independent methods form one generation, so every worklist
+        // pass speculates both under 4 threads. The stall clock is
+        // wall-time — only its presence and non-negativity are stable
+        // enough to assert.
+        assert!(num("speculative_solves") >= 2.0, "expected speculation, got {stats}");
+        assert!(num("discarded_solves") <= num("speculative_solves"));
+        assert!(num("commit_stall_ms") >= 0.0);
     }
 }

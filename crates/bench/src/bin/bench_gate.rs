@@ -1,0 +1,172 @@
+//! Bench regression gate: compares a freshly written `BENCH_infer.json`
+//! against a checked-in baseline and fails (exit 1) when the fast paths
+//! stopped paying.
+//!
+//! Checks, on the `threads == 1` rows (single-thread runs are deterministic,
+//! so their wall-clock is the least noisy signal available):
+//!
+//! 1. Residual's `message_updates` must not exceed Sweep's — the residual
+//!    schedule's whole point is to converge in fewer updates, and a
+//!    scheduling bug (e.g. requeue churn) shows up here before it shows up
+//!    in wall-clock.
+//! 2. Per (threads=1, schedule) row, `wall_ms` must be within 20% of the
+//!    baseline row recorded on the reference machine.
+//!
+//! Run: `bench_gate <current BENCH_infer.json> <baseline json>` (wired into
+//! `ci.sh` right after the `table2 --small` smoke).
+
+use std::process::ExitCode;
+
+/// One parsed run row.
+#[derive(Debug)]
+struct Run {
+    threads: u64,
+    schedule: String,
+    wall_ms: f64,
+    message_updates: u64,
+}
+
+/// Extracts the raw token following `"key": ` in `chunk` (up to the next
+/// `,` or `}`), without any JSON library: the bench files are written by
+/// `table2`'s fixed formatter, so the shape is stable.
+fn raw_field<'a>(chunk: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = chunk.find(&pat)? + pat.len();
+    let rest = chunk[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn num_field(chunk: &str, key: &str) -> Option<f64> {
+    raw_field(chunk, key)?.parse().ok()
+}
+
+fn str_field(chunk: &str, key: &str) -> Option<String> {
+    Some(raw_field(chunk, key)?.trim_matches('"').to_string())
+}
+
+/// Parses every `{"threads": ...}` row of a BENCH_infer.json document.
+fn parse_runs(doc: &str, what: &str) -> Result<Vec<Run>, String> {
+    let mut runs = Vec::new();
+    for chunk in doc.split('{').skip(1) {
+        if !chunk.trim_start().starts_with("\"threads\"") {
+            continue;
+        }
+        let run = Run {
+            threads: num_field(chunk, "threads").ok_or(format!("{what}: bad threads field"))?
+                as u64,
+            schedule: str_field(chunk, "schedule").ok_or(format!("{what}: bad schedule field"))?,
+            wall_ms: num_field(chunk, "wall_ms").ok_or(format!("{what}: bad wall_ms field"))?,
+            message_updates: num_field(chunk, "message_updates")
+                .ok_or(format!("{what}: bad message_updates field"))?
+                as u64,
+        };
+        runs.push(run);
+    }
+    if runs.is_empty() {
+        return Err(format!("{what}: no runs found"));
+    }
+    Ok(runs)
+}
+
+fn find<'a>(runs: &'a [Run], threads: u64, schedule: &str) -> Option<&'a Run> {
+    runs.iter().find(|r| r.threads == threads && r.schedule == schedule)
+}
+
+fn gate(current: &[Run], baseline: &[Run]) -> Result<(), String> {
+    let sweep = find(current, 1, "sweep").ok_or("current: missing threads=1 sweep run")?;
+    let residual = find(current, 1, "residual").ok_or("current: missing threads=1 residual run")?;
+
+    if residual.message_updates > sweep.message_updates {
+        return Err(format!(
+            "residual performed MORE message updates than sweep ({} > {}) — \
+             the prioritized schedule has stopped paying for itself",
+            residual.message_updates, sweep.message_updates
+        ));
+    }
+    println!(
+        "updates ok: residual {} <= sweep {}",
+        residual.message_updates, sweep.message_updates
+    );
+
+    for run in [sweep, residual] {
+        let Some(base) = find(baseline, 1, &run.schedule) else {
+            return Err(format!("baseline: missing threads=1 {} run", run.schedule));
+        };
+        let limit = base.wall_ms * 1.2;
+        if run.wall_ms > limit {
+            return Err(format!(
+                "{} wall-clock regressed: {:.0}ms > 120% of baseline {:.0}ms",
+                run.schedule, run.wall_ms, base.wall_ms
+            ));
+        }
+        println!(
+            "wall ok: {} {:.0}ms within 20% of baseline {:.0}ms",
+            run.schedule, run.wall_ms, base.wall_ms
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(current_path), Some(baseline_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <current BENCH_infer.json> <baseline json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let result = (|| {
+        let current = parse_runs(&read(&current_path)?, "current")?;
+        let baseline = parse_runs(&read(&baseline_path)?, "baseline")?;
+        gate(&current, &baseline)
+    })();
+    match result {
+        Ok(()) => {
+            println!("bench regression gate ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench regression gate failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "infer",
+  "scale": "small",
+  "runs": [
+    {"threads": 1, "schedule": "sweep", "wall_ms": 5000.0, "message_updates": 1611888, "annotations": 47},
+    {"threads": 1, "schedule": "residual", "wall_ms": 3500.0, "message_updates": 419176, "annotations": 47}
+  ]
+}"#;
+
+    #[test]
+    fn parses_rows_and_passes_against_itself() {
+        let runs = parse_runs(DOC, "t").unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].schedule, "sweep");
+        assert_eq!(runs[1].message_updates, 419176);
+        gate(&runs, &parse_runs(DOC, "t").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn fails_when_residual_updates_exceed_sweep() {
+        let flipped = DOC.replace("419176", "9999999");
+        let runs = parse_runs(&flipped, "t").unwrap();
+        let base = parse_runs(DOC, "t").unwrap();
+        assert!(gate(&runs, &base).unwrap_err().contains("MORE message updates"));
+    }
+
+    #[test]
+    fn fails_on_wall_clock_regression() {
+        let slow = DOC.replace("3500.0", "9500.0");
+        let runs = parse_runs(&slow, "t").unwrap();
+        let base = parse_runs(DOC, "t").unwrap();
+        assert!(gate(&runs, &base).unwrap_err().contains("regressed"));
+    }
+}

@@ -1,24 +1,40 @@
-//! One-off: dump bit-exact Sweep marginals of the Figure 3 models.
+//! One-off: dump bit-exact per-method marginals of the Figure 3 models.
 //!
-//! Regenerate the fixture with:
+//! Regenerate the fixtures with:
 //!
 //! ```console
 //! cargo run --release -p bench --bin golden_dump \
 //!     > crates/anek-core/tests/golden/figure3_sweep.txt
+//! cargo run --release -p bench --bin golden_dump -- residual \
+//!     > crates/anek-core/tests/golden/figure3_residual.txt
 //! ```
+//!
+//! The sweep fixture pins the historical (pre-arena) numerics bit-for-bit;
+//! the residual fixture pins the bucketed batch schedule's deterministic
+//! commit ordering — same graphs, same bits on every run and machine.
 
 use anek::analysis::{Pfg, ProgramIndex};
 use anek::anek_core::{merged_states, InferConfig, MethodModel, ModelCtx};
+use anek::factor_graph::BpSchedule;
 use anek::spec_lang::{spec_of_method, standard_api};
 use std::collections::BTreeMap;
 
 fn main() {
+    let schedule = match std::env::args().nth(1).as_deref() {
+        Some("residual") => BpSchedule::Residual,
+        Some("sweep") | None => BpSchedule::Sweep,
+        Some(other) => {
+            eprintln!("usage: golden_dump [sweep|residual] (got `{other}`)");
+            std::process::exit(2);
+        }
+    };
     let unit = java_syntax::parse(corpus::FIGURE3).unwrap();
     let index = ProgramIndex::build([&unit]);
     let api = standard_api();
     let states = merged_states(std::slice::from_ref(&unit), &api);
     let ctx = ModelCtx { index: &index, api: &api, states: &states };
-    let cfg = InferConfig::default();
+    let mut cfg = InferConfig::default();
+    cfg.bp.schedule = schedule;
     let empty = BTreeMap::new();
     for t in &unit.types {
         for m in t.methods() {

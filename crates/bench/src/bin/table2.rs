@@ -61,13 +61,16 @@ fn main() {
         let result = Pipeline::new(corpus.units.clone()).with_config(cfg).infer();
         eprintln!(
             "anek infer [threads={threads} schedule={schedule}]: {} in {:?} \
-             ({} solves, {} BP iterations, {} message updates, {} discarded speculations)",
+             ({} solves, {} BP iterations, {} message updates, \
+             {} speculative / {} discarded, merge stalled {:?})",
             result.annotation_count(),
             result.elapsed,
             result.solves,
             result.bp_iterations,
             result.message_updates,
-            result.discarded_solves
+            result.speculative_solves,
+            result.discarded_solves,
+            result.commit_stall
         );
         runs.push((threads, schedule, result));
     }
@@ -181,13 +184,16 @@ fn write_bench_json(
         s.push_str(&format!(
             "\n    {{\"threads\": {threads}, \"schedule\": {}, \"wall_ms\": {:.3}, \
              \"solves\": {}, \"bp_iterations\": {}, \"message_updates\": {}, \
-             \"discarded_solves\": {}, \"annotations\": {}}}",
+             \"speculative_solves\": {}, \"discarded_solves\": {}, \
+             \"commit_stall_ms\": {:.3}, \"annotations\": {}}}",
             json_str(&schedule.to_string()),
             r.elapsed.as_secs_f64() * 1e3,
             r.solves,
             r.bp_iterations,
             r.message_updates,
+            r.speculative_solves,
             r.discarded_solves,
+            r.commit_stall.as_secs_f64() * 1e3,
             r.annotation_count()
         ));
     }

@@ -1,22 +1,42 @@
 //! The flat-arena belief-propagation kernel.
 //!
 //! [`CompiledGraph`] lowers a [`FactorGraph`] into contiguous CSR arrays —
-//! one edge per (factor, scope-position) pair, factor tables laid out flat,
-//! and a variable→edge adjacency index — so the message-passing loops touch
-//! only dense `f64`/`u32` slices. A single core parameterized by the
-//! sum/max semiring serves both marginal ([`CompiledGraph::solve`]) and MAP
-//! ([`CompiledGraph::solve_map`]) inference, with specialized paths for
-//! unary and pairwise factors that skip the generic `2^n` table walk.
+//! one edge per (factor, scope-position) pair, factor tables laid out flat
+//! (each row padded to a 32-byte boundary), and a variable→edge adjacency
+//! index — so the message-passing loops touch only dense scalar slices.
+//!
+//! ## Message layout
+//!
+//! Messages are stored as `(p, 1-p)` *pairs*, so the two product chains a
+//! Bernoulli message pass maintains (`p_t` and `p_f`) read one contiguous
+//! pair per hop — a shape the autovectorizer turns into two-lane SIMD
+//! multiplies. Factor→variable messages live in **variable-major** order
+//! (grouped by target variable, via the `vslot` permutation), which makes
+//! the inner loops of the variable→factor pass and the belief read-out walk
+//! contiguous memory; variable→factor messages stay **factor-major** so the
+//! factor pass reads its scope as one slice. Storing `1-p` next to `p` is
+//! bit-neutral: the pre-pair kernel computed `1.0 - m` from the same stored
+//! `m` at every read, which produces exactly the bits the pair caches at
+//! write time.
+//!
+//! Message *storage* is generic over `BpPrecision`: `f64` (the default,
+//! bit-for-bit identical to the historical solver) or opt-in `f32` —
+//! halved message bandwidth while every product, normalization and damping
+//! step still **accumulates in `f64`** (only the stored message is
+//! rounded).
+//!
+//! A single core parameterized by the sum/max semiring serves both marginal
+//! ([`CompiledGraph::solve`]) and MAP ([`CompiledGraph::solve_map`])
+//! inference, with specialized paths for unary and pairwise factors that
+//! skip the generic `2^n` table walk.
 //!
 //! Two message schedules are provided (see [`BpSchedule`]):
 //!
 //! * **Sweep** — the classic synchronous two-phase sweep. This reproduces
 //!   the pre-arena nested-`Vec` solver bit-for-bit: identical update order,
 //!   identical floating-point accumulation order.
-//! * **Residual** — residual belief propagation (Elidan et al., UAI 2006):
-//!   factor→variable messages are updated highest-residual first from a
-//!   priority queue, which converges in far fewer message updates on large
-//!   loopy graphs.
+//! * **Residual** — residual belief propagation (Elidan et al., UAI 2006)
+//!   on a bucketed coarse-residual queue; see the schedule notes below.
 //!
 //! The kernel also supports *stamped* solves: a compiled skeleton plus a
 //! list of extra unary potentials supplied per solve. Stamped extras behave
@@ -24,24 +44,118 @@
 //! skeleton factor, which is what lets callers cache a method's static
 //! factor-graph skeleton and re-solve with fresh evidence without
 //! recompiling (see `anek-core`'s incremental `ANEK-INFER`).
+//!
+//! Callers that solve many graphs in a row should reuse a [`Scratch`]
+//! across solves ([`CompiledGraph::solve_stamped_scratch`]): all working
+//! arrays — messages, candidates, residuals, the bucket queue — are then
+//! recycled instead of reallocated per solve.
+//!
+//! ## The bucketed residual schedule
+//!
+//! The residual schedule orders pending factor→variable updates by a
+//! *coarse* residual: edges whose pending change shares a power-of-two
+//! magnitude land in the same bucket (the bucket index is read straight
+//! off the residual's exponent bits), buckets are drained
+//! largest-magnitude-first, and within a bucket edges keep FIFO order. A
+//! drained bucket is applied as one **batch** — every message in it is
+//! committed against the same pre-batch state, and only then are the
+//! affected variable→factor messages and candidate residuals recomputed,
+//! each exactly once per batch rather than once per push.
+//!
+//! Queue entries are invalidated *lazily* by an epoch stamp per edge:
+//! re-bucketing an edge bumps its epoch, and a popped entry whose stamp no
+//! longer matches the edge's current epoch (or whose edge is no longer
+//! queued at all) is simply skipped. There is no heap search and no
+//! bit-matching of residual values against live state — an entry is
+//! authoritative if and only if its `(edge, epoch)` pair matches, an O(1)
+//! array probe. An edge whose residual changes *within* its current bucket
+//! is not re-queued at all; its queue entry stays valid and the live
+//! candidate is read from the side array at application time.
+//!
+//! Batch application is what keeps the residual schedule's fixed points
+//! aligned with the sweep's: an evidence-free soft one-hot subgraph (the
+//! model's exactly-one-kind factor groups) is perfectly symmetric, and its
+//! symmetric BP fixed point is *unstable* under one-edge-at-a-time
+//! asynchronous updates — the first applied message tips the component
+//! into an arbitrary asymmetric corner, manufacturing a confident marginal
+//! out of no evidence (the previous heap-based schedule did exactly this;
+//! see the cross-schedule agreement tests). Symmetric edges always carry
+//! bit-equal residuals, therefore share a bucket, therefore commit in the
+//! same batch against the same state — the symmetry is preserved
+//! inductively and the schedule converges to the same symmetric fixed
+//! point the sweep finds. The update order across buckets still differs
+//! from a pure max-residual heap; it is fully deterministic, and the
+//! resulting marginals are pinned by the `figure3_residual` golden
+//! fixture.
 
 use crate::factor::VarId;
-use crate::graph::{BpOptions, BpSchedule, FactorGraph, GuardEvents, Marginals};
-use std::collections::BinaryHeap;
+use crate::graph::{BpOptions, BpPrecision, BpSchedule, FactorGraph, GuardEvents, Marginals};
+use std::collections::VecDeque;
+
+/// One stored message element: `f64` for exact/historical numerics, `f32`
+/// for the compact opt-in representation. Products, normalizations and
+/// damping always run in `f64`; only the store rounds.
+trait MsgElem: Copy + Send + Sync + 'static {
+    /// Rounds an `f64` into the stored representation.
+    fn enc(x: f64) -> Self;
+    /// Widens the stored representation back to `f64`.
+    fn dec(self) -> f64;
+    /// The canonical uniform message.
+    fn half() -> Self;
+}
+
+impl MsgElem for f64 {
+    #[inline(always)]
+    fn enc(x: f64) -> f64 {
+        x
+    }
+    #[inline(always)]
+    fn dec(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn half() -> f64 {
+        0.5
+    }
+}
+
+impl MsgElem for f32 {
+    #[inline(always)]
+    fn enc(x: f64) -> f32 {
+        x as f32
+    }
+    #[inline(always)]
+    fn dec(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn half() -> f32 {
+        0.5
+    }
+}
+
+/// Factor tables are padded so each row starts on a 32-byte boundary (4
+/// `f64`s). Pad entries are zero potentials, which both semirings already
+/// skip; the message loops additionally slice rows to their exact
+/// `1 << arity` length, so padding is value- and bit-neutral.
+const TABLE_ALIGN: usize = 4;
 
 /// A [`FactorGraph`] compiled into flat arena form.
 ///
 /// Compilation is cheap (one linear pass) but not free; callers that solve
 /// the same graph repeatedly — possibly with different stamped extras —
-/// should compile once and reuse.
+/// should compile once and reuse (and hand the solver a recycled
+/// [`Scratch`]).
 #[derive(Debug, Clone)]
 pub struct CompiledGraph {
     n_vars: usize,
     /// Per factor: half-open edge range `f_off[fi]..f_off[fi+1]`.
     f_off: Vec<u32>,
-    /// Per factor: offset of its table in `tables` (length `1 << arity`).
+    /// Per factor: offset of its table row in `tables`. Rows start on a
+    /// [`TABLE_ALIGN`] boundary; the live row is the first `1 << arity`
+    /// entries, the rest (up to the next row) is zero padding.
     t_off: Vec<u32>,
-    /// All factor tables, concatenated.
+    /// All factor tables, concatenated (aligned rows, zero padding).
     tables: Vec<f64>,
     /// Per edge: the variable it connects.
     edge_var: Vec<u32>,
@@ -52,20 +166,193 @@ pub struct CompiledGraph {
     /// Edge ids grouped by variable, ascending within each group (this is
     /// exactly the insertion order the nested solver used).
     v_edges: Vec<u32>,
+    /// Per edge: its position in `v_edges` — the variable-major slot the
+    /// factor→variable message for this edge is stored at (the inverse
+    /// permutation of `v_edges`).
+    vslot: Vec<u32>,
+    /// Per factor: sparse summary of a two-valued table (see [`TwoValued`]),
+    /// `None` when the factor is small or its table has more than two
+    /// distinct values.
+    sparse: Vec<Option<TwoValued>>,
+    /// Minority table indices for all [`TwoValued`] rows, concatenated,
+    /// ascending within each row.
+    sparse_idx: Vec<u16>,
 }
 
-/// Per-solve adjacency for stamped extra unary potentials: extras grouped
-/// by variable, preserving stamp order within each variable.
-struct ExtraIndex {
-    /// `p(true)` per extra, in stamp order.
+/// Sparse summary of a two-valued factor table: every cell holds `maj`
+/// except the cells listed at `sparse_idx[i0..i1]`, which hold `minv`.
+///
+/// Soft factors built from predicates (`Factor::soft`) always produce such
+/// tables (`h` where the predicate holds, `1-h` elsewhere), so for a wide
+/// factor the sum-product message collapses to a rank-one correction:
+///
+/// ```text
+/// acc(b) = maj * Π_{i≠pos}(m_i(0)+m_i(1)) + (minv-maj) * Σ_{minority, bit_pos=b} Π_{i≠pos} m_i
+/// ```
+///
+/// which costs `O(|minority| * n)` instead of `O(2^n * n)`. Only the
+/// residual schedule uses this path — the sweep schedule's dense
+/// accumulation order is frozen bit-for-bit by the golden fixtures.
+#[derive(Debug, Clone, Copy)]
+struct TwoValued {
+    maj: f64,
+    minv: f64,
+    i0: u32,
+    i1: u32,
+}
+
+/// Arity floor for the sparse two-valued message path. Narrow factors gain
+/// little, and keeping them on the dense walk means the symmetric one-hot
+/// selector factors (arity ≤ 5) retain the exact historical accumulation —
+/// the order the batch scheduler's symmetric-fixed-point guarantee was
+/// validated against.
+const SPARSE_MIN_ARITY: usize = 6;
+
+/// Builds the [`TwoValued`] summary for one factor table, appending its
+/// minority indices to `sparse_idx`. Values are compared bit-exactly (so a
+/// NaN-poisoned table still groups, and is handled by `normalize`'s
+/// non-finite guard like the dense path). Ties pick `table[0]` as the
+/// majority, deterministically.
+fn two_valued_summary(table: &[f64], sparse_idx: &mut Vec<u16>) -> Option<TwoValued> {
+    let n_cells = table.len();
+    if !(1 << SPARSE_MIN_ARITY..=1 << 16).contains(&n_cells) {
+        return None;
+    }
+    let a = table[0].to_bits();
+    let mut b = None;
+    let mut count_b = 0usize;
+    for &v in table {
+        let bits = v.to_bits();
+        if bits == a {
+            continue;
+        }
+        match b {
+            None => {
+                b = Some(bits);
+                count_b = 1;
+            }
+            Some(x) if x == bits => count_b += 1,
+            Some(_) => return None,
+        }
+    }
+    let (maj_bits, min_bits) = match b {
+        // Constant table: empty minority, the correction term vanishes.
+        None => (a, a),
+        Some(bits) if count_b * 2 <= n_cells => (a, bits),
+        Some(bits) => (bits, a),
+    };
+    let i0 = sparse_idx.len() as u32;
+    if min_bits != maj_bits {
+        for (idx, &v) in table.iter().enumerate() {
+            if v.to_bits() == min_bits {
+                sparse_idx.push(idx as u16);
+            }
+        }
+    }
+    Some(TwoValued {
+        maj: f64::from_bits(maj_bits),
+        minv: f64::from_bits(min_bits),
+        i0,
+        i1: sparse_idx.len() as u32,
+    })
+}
+
+/// Reusable per-solve working memory: message pair arrays (one pool per
+/// stored precision), the stamped-extra index, and the residual schedule's
+/// candidate/bucket state.
+///
+/// A `Scratch` may be reused across solves of *different* graphs — every
+/// buffer is (re)sized and reinitialized at the start of each solve, so a
+/// fresh `Scratch` and a recycled one produce bit-identical results, and a
+/// solve that panics leaves no state behind that could poison the next
+/// one.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    // Message pools, `(p, 1-p)` interleaved; only the pool matching
+    // `BpOptions::precision` is touched by a given solve.
+    fv64: Vec<f64>,
+    vf64: Vec<f64>,
+    x64: Vec<f64>,
+    fv32: Vec<f32>,
+    vf32: Vec<f32>,
+    x32: Vec<f32>,
+    // Stamped-extra index (`ExtraIndex` borrows these).
     ps: Vec<f64>,
     x_off: Vec<u32>,
     x_idx: Vec<u32>,
+    // Residual schedule state.
+    cand: Vec<f64>,
+    resid: Vec<f64>,
+    epoch: Vec<u32>,
+    queued: Vec<u8>,
+    buckets: Vec<VecDeque<(u32, u32)>>,
+    batch: Vec<u32>,
+    affected_vars: Vec<u32>,
+    changed_vf: Vec<u32>,
+    touched: Vec<u32>,
+    vmark: Vec<u8>,
+    emark: Vec<u8>,
 }
 
-impl ExtraIndex {
-    fn build(n_vars: usize, extras: &[(VarId, f64)]) -> ExtraIndex {
-        let mut x_off = vec![0u32; n_vars + 1];
+impl Scratch {
+    /// A fresh, empty scratch. Buffers grow on first use and are retained
+    /// across solves.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}
+
+/// Access to the per-precision message pools inside [`Scratch`]. The pools
+/// are moved out for the duration of a solve (leaving empty `Vec`s behind)
+/// and restored on completion, which keeps the borrow of the remaining
+/// scratch fields independent.
+trait MsgPool: MsgElem {
+    fn take(s: &mut Scratch) -> (Vec<Self>, Vec<Self>, Vec<Self>);
+    fn restore(s: &mut Scratch, fv: Vec<Self>, vf: Vec<Self>, x: Vec<Self>);
+}
+
+impl MsgPool for f64 {
+    fn take(s: &mut Scratch) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (std::mem::take(&mut s.fv64), std::mem::take(&mut s.vf64), std::mem::take(&mut s.x64))
+    }
+    fn restore(s: &mut Scratch, fv: Vec<f64>, vf: Vec<f64>, x: Vec<f64>) {
+        s.fv64 = fv;
+        s.vf64 = vf;
+        s.x64 = x;
+    }
+}
+
+impl MsgPool for f32 {
+    fn take(s: &mut Scratch) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        (std::mem::take(&mut s.fv32), std::mem::take(&mut s.vf32), std::mem::take(&mut s.x32))
+    }
+    fn restore(s: &mut Scratch, fv: Vec<f32>, vf: Vec<f32>, x: Vec<f32>) {
+        s.fv32 = fv;
+        s.vf32 = vf;
+        s.x32 = x;
+    }
+}
+
+/// Per-solve adjacency for stamped extra unary potentials: extras grouped
+/// by variable, preserving stamp order within each variable. Borrows its
+/// storage from [`Scratch`].
+struct ExtraIndex<'a> {
+    /// `p(true)` per extra, in stamp order.
+    ps: &'a [f64],
+    x_off: &'a [u32],
+    x_idx: &'a [u32],
+}
+
+impl<'a> ExtraIndex<'a> {
+    fn build(
+        n_vars: usize,
+        extras: &[(VarId, f64)],
+        ps: &'a mut Vec<f64>,
+        x_off: &'a mut Vec<u32>,
+        x_idx: &'a mut Vec<u32>,
+    ) -> ExtraIndex<'a> {
+        x_off.clear();
+        x_off.resize(n_vars + 1, 0);
         for (v, _) in extras {
             assert!((v.0 as usize) < n_vars, "stamped extra references unknown variable {v}");
             x_off[v.0 as usize + 1] += 1;
@@ -74,12 +361,15 @@ impl ExtraIndex {
             x_off[i + 1] += x_off[i];
         }
         let mut cursor = x_off.clone();
-        let mut x_idx = vec![0u32; extras.len()];
+        x_idx.clear();
+        x_idx.resize(extras.len(), 0);
         for (i, (v, _)) in extras.iter().enumerate() {
             x_idx[cursor[v.0 as usize] as usize] = i as u32;
             cursor[v.0 as usize] += 1;
         }
-        ExtraIndex { ps: extras.iter().map(|&(_, p)| p).collect(), x_off, x_idx }
+        ps.clear();
+        ps.extend(extras.iter().map(|&(_, p)| p));
+        ExtraIndex { ps, x_off, x_idx }
     }
 
     #[inline]
@@ -89,9 +379,23 @@ impl ExtraIndex {
 }
 
 /// Synchronous sweeps run before the residual schedule starts prioritizing
-/// (see the warm-start note in [`CompiledGraph::solve_stamped`]'s residual
-/// path).
+/// (see the warm-start note in the residual path).
 const WARM_SWEEPS: usize = 2;
+
+/// Residual buckets: bucket `b` holds residuals in `[2^-(b+1), 2^-b)`.
+/// Bucket 0 additionally absorbs anything ≥ 0.5 and the last bucket
+/// everything smaller than its lower edge (but still above tolerance).
+const NUM_BUCKETS: usize = 48;
+
+/// The bucket of a non-negative residual, read straight off its exponent
+/// bits — no logarithm, no magnitude branch. Zero and subnormals clamp
+/// into the last bucket (they never enqueue in practice: enqueue is gated
+/// on `resid >= tolerance`).
+#[inline]
+fn bucket_of(r: f64) -> usize {
+    let exp = ((r.to_bits() >> 52) & 0x7ff) as i32;
+    (1022 - exp).clamp(0, NUM_BUCKETS as i32 - 1) as usize
+}
 
 #[inline]
 fn damp(old: f64, new: f64, d: f64) -> f64 {
@@ -122,6 +426,25 @@ fn normalize(p_t: f64, p_f: f64, ev: &mut GuardEvents) -> f64 {
     }
 }
 
+/// Writes message `m` as an `(m, 1-m)` pair at pair-slot `i`.
+#[inline(always)]
+fn put<S: MsgElem>(buf: &mut [S], i: usize, m: f64) {
+    buf[2 * i] = S::enc(m);
+    buf[2 * i + 1] = S::enc(1.0 - m);
+}
+
+/// Reads the `p(true)` half of the pair at slot `i`.
+#[inline(always)]
+fn get_t<S: MsgElem>(buf: &[S], i: usize) -> f64 {
+    buf[2 * i].dec()
+}
+
+/// Resets a pair buffer to `n` uniform messages.
+fn reset_pairs<S: MsgElem>(buf: &mut Vec<S>, n: usize) {
+    buf.clear();
+    buf.resize(2 * n, S::half());
+}
+
 impl CompiledGraph {
     /// Lowers a graph into arena form.
     pub fn compile(g: &FactorGraph) -> CompiledGraph {
@@ -133,6 +456,8 @@ impl CompiledGraph {
         let mut edge_var = Vec::with_capacity(n_edges);
         let mut edge_factor = Vec::with_capacity(n_edges);
         let mut tables = Vec::new();
+        let mut sparse = Vec::with_capacity(factors.len());
+        let mut sparse_idx: Vec<u16> = Vec::new();
         f_off.push(0u32);
         t_off.push(0u32);
         for (fi, f) in factors.iter().enumerate() {
@@ -140,7 +465,14 @@ impl CompiledGraph {
                 edge_var.push(v.0);
                 edge_factor.push(fi as u32);
             }
+            sparse.push(two_valued_summary(f.table(), &mut sparse_idx));
             tables.extend_from_slice(f.table());
+            // Pad the row to the alignment boundary with zero potentials
+            // (sliced off / skipped by every consumer), so the next row
+            // starts aligned.
+            while tables.len() % TABLE_ALIGN != 0 {
+                tables.push(0.0);
+            }
             f_off.push(edge_var.len() as u32);
             t_off.push(tables.len() as u32);
         }
@@ -155,11 +487,26 @@ impl CompiledGraph {
         }
         let mut cursor = v_off.clone();
         let mut v_edges = vec![0u32; n_edges];
+        let mut vslot = vec![0u32; n_edges];
         for (e, &v) in edge_var.iter().enumerate() {
-            v_edges[cursor[v as usize] as usize] = e as u32;
+            let slot = cursor[v as usize];
+            v_edges[slot as usize] = e as u32;
+            vslot[e] = slot;
             cursor[v as usize] += 1;
         }
-        CompiledGraph { n_vars, f_off, t_off, tables, edge_var, edge_factor, v_off, v_edges }
+        CompiledGraph {
+            n_vars,
+            f_off,
+            t_off,
+            tables,
+            edge_var,
+            edge_factor,
+            v_off,
+            v_edges,
+            vslot,
+            sparse,
+            sparse_idx,
+        }
     }
 
     /// Number of variables.
@@ -184,22 +531,56 @@ impl CompiledGraph {
 
     /// Sum-product inference with extra unary potentials stamped onto the
     /// compiled skeleton. Equivalent — bit-for-bit under
-    /// [`BpSchedule::Sweep`] — to appending `Factor::unary(var, p)` for each
-    /// extra and solving the extended graph.
+    /// [`BpSchedule::Sweep`] with `BpPrecision::F64` — to appending
+    /// `Factor::unary(var, p)` for each extra and solving the extended
+    /// graph.
     pub fn solve_stamped(&self, extras: &[(VarId, f64)], opts: &BpOptions) -> Marginals {
-        let extras = ExtraIndex::build(self.n_vars, extras);
-        match opts.schedule {
-            BpSchedule::Sweep => self.sweep::<false>(&extras, opts),
-            BpSchedule::Residual => self.residual::<false>(&extras, opts),
-        }
+        self.solve_stamped_scratch(extras, opts, &mut Scratch::new())
     }
 
     /// Max-product inference with stamped extras.
     pub fn solve_map_stamped(&self, extras: &[(VarId, f64)], opts: &BpOptions) -> Marginals {
-        let extras = ExtraIndex::build(self.n_vars, extras);
+        self.solve_map_stamped_scratch(extras, opts, &mut Scratch::new())
+    }
+
+    /// [`CompiledGraph::solve_stamped`] with caller-provided scratch
+    /// buffers. Reusing one [`Scratch`] across many solves removes every
+    /// per-solve allocation except the returned marginal vector; results
+    /// are bit-identical to a fresh scratch.
+    pub fn solve_stamped_scratch(
+        &self,
+        extras: &[(VarId, f64)],
+        opts: &BpOptions,
+        scratch: &mut Scratch,
+    ) -> Marginals {
+        match opts.precision {
+            BpPrecision::F64 => self.run::<false, f64>(extras, opts, scratch),
+            BpPrecision::F32 => self.run::<false, f32>(extras, opts, scratch),
+        }
+    }
+
+    /// [`CompiledGraph::solve_map_stamped`] with caller-provided scratch.
+    pub fn solve_map_stamped_scratch(
+        &self,
+        extras: &[(VarId, f64)],
+        opts: &BpOptions,
+        scratch: &mut Scratch,
+    ) -> Marginals {
+        match opts.precision {
+            BpPrecision::F64 => self.run::<true, f64>(extras, opts, scratch),
+            BpPrecision::F32 => self.run::<true, f32>(extras, opts, scratch),
+        }
+    }
+
+    fn run<const MAX: bool, S: MsgPool>(
+        &self,
+        extras: &[(VarId, f64)],
+        opts: &BpOptions,
+        scratch: &mut Scratch,
+    ) -> Marginals {
         match opts.schedule {
-            BpSchedule::Sweep => self.sweep::<true>(&extras, opts),
-            BpSchedule::Residual => self.residual::<true>(&extras, opts),
+            BpSchedule::Sweep => self.sweep::<MAX, S>(extras, opts, scratch),
+            BpSchedule::Residual => self.residual::<MAX, S>(extras, opts, scratch),
         }
     }
 
@@ -208,22 +589,68 @@ impl CompiledGraph {
         &self.v_edges[self.v_off[v] as usize..self.v_off[v + 1] as usize]
     }
 
+    /// The exclusive product over a variable's incoming message pairs: all
+    /// factor→variable messages of `v` except local slot `skip` (pass
+    /// `usize::MAX` to skip nothing, e.g. for beliefs), then all extras.
+    ///
+    /// `fv` is the variable-major pair array, so the hot loop walks one
+    /// contiguous slice in ascending-edge order — exactly the historical
+    /// accumulation order, now as two-lane multiplies the autovectorizer
+    /// can keep in one register.
+    #[inline]
+    fn var_product<S: MsgElem>(
+        &self,
+        v: usize,
+        skip: usize,
+        fv: &[S],
+        x_msg: &[S],
+        extras: &ExtraIndex<'_>,
+    ) -> (f64, f64) {
+        let s0 = self.v_off[v] as usize;
+        let s1 = self.v_off[v + 1] as usize;
+        let pairs = &fv[2 * s0..2 * s1];
+        let mut p_t = 1.0f64;
+        let mut p_f = 1.0f64;
+        for (j, pair) in pairs.chunks_exact(2).enumerate() {
+            if j == skip {
+                continue;
+            }
+            p_t *= pair[0].dec();
+            p_f *= pair[1].dec();
+        }
+        for &x in extras.of(v) {
+            p_t *= x_msg[2 * x as usize].dec();
+            p_f *= x_msg[2 * x as usize + 1].dec();
+        }
+        (p_t, p_f)
+    }
+
     /// The synchronous two-phase sweep schedule (bit-for-bit compatible
-    /// with the historical nested-`Vec` solver).
-    fn sweep<const MAX: bool>(&self, extras: &ExtraIndex, opts: &BpOptions) -> Marginals {
+    /// with the historical nested-`Vec` solver under `f64` storage).
+    fn sweep<const MAX: bool, S: MsgPool>(
+        &self,
+        extras_in: &[(VarId, f64)],
+        opts: &BpOptions,
+        scratch: &mut Scratch,
+    ) -> Marginals {
         let ne = self.edge_var.len();
         let nf = self.f_off.len() - 1;
-        let nx = extras.ps.len();
+        let nx = extras_in.len();
         let d = opts.damping;
         let budget = opts.update_budget.unwrap_or(usize::MAX);
-        let mut msg_fv = vec![0.5f64; ne];
-        let mut msg_vf = vec![0.5f64; ne];
-        let mut x_msg = vec![0.5f64; nx];
-        let mut marginals = vec![0.5f64; self.n_vars];
+        let mut ev = GuardEvents::default();
+
+        let (mut fv, mut vf, mut xm) = S::take(scratch);
+        reset_pairs(&mut fv, ne);
+        reset_pairs(&mut vf, ne);
+        reset_pairs(&mut xm, nx);
+        let Scratch { ps, x_off, x_idx, .. } = scratch;
+        let extras = ExtraIndex::build(self.n_vars, extras_in, ps, x_off, x_idx);
+
+        let mut beliefs = vec![0.5f64; self.n_vars];
         let mut iterations = 0;
         let mut converged = false;
         let mut updates = 0usize;
-        let mut ev = GuardEvents::default();
 
         for it in 0..opts.max_iterations {
             iterations = it + 1;
@@ -232,27 +659,11 @@ impl CompiledGraph {
             // except the target edge (extras always contribute; they have no
             // outgoing variable message of their own to exclude).
             for v in 0..self.n_vars {
-                let es = self.var_edges(v);
-                let xs = extras.of(v);
-                for &e in es {
-                    let mut p_t = 1.0f64;
-                    let mut p_f = 1.0f64;
-                    for &o in es {
-                        if o == e {
-                            continue;
-                        }
-                        let m = msg_fv[o as usize];
-                        p_t *= m;
-                        p_f *= 1.0 - m;
-                    }
-                    for &x in xs {
-                        let m = x_msg[x as usize];
-                        p_t *= m;
-                        p_f *= 1.0 - m;
-                    }
+                for (j, &e) in self.var_edges(v).iter().enumerate() {
+                    let (p_t, p_f) = self.var_product(v, j, &fv, &xm, &extras);
                     let new = normalize(p_t, p_f, &mut ev);
-                    let slot = &mut msg_vf[e as usize];
-                    *slot = damp(*slot, new, d);
+                    let old = get_t(&vf, e as usize);
+                    put(&mut vf, e as usize, damp(old, new, d));
                 }
             }
 
@@ -261,35 +672,26 @@ impl CompiledGraph {
                 let e0 = self.f_off[fi] as usize;
                 let e1 = self.f_off[fi + 1] as usize;
                 for pos in 0..(e1 - e0) {
-                    let new = self.factor_message_local::<MAX>(fi, pos, &msg_vf[e0..e1], &mut ev);
-                    let slot = &mut msg_fv[e0 + pos];
-                    *slot = damp(*slot, new, d);
+                    let new =
+                        self.factor_message_local::<MAX, S>(fi, pos, &vf[2 * e0..2 * e1], &mut ev);
+                    let slot = self.vslot[e0 + pos] as usize;
+                    let old = get_t(&fv, slot);
+                    put(&mut fv, slot, damp(old, new, d));
                 }
             }
             // Stamped extras behave as unary factors appended after every
             // skeleton factor: constant normalized message, damped in.
             for (x, &p) in extras.ps.iter().enumerate() {
                 let new = normalize(p, 1.0 - p, &mut ev);
-                let slot = &mut x_msg[x];
-                *slot = damp(*slot, new, d);
+                let old = get_t(&xm, x);
+                put(&mut xm, x, damp(old, new, d));
             }
             updates += ne + nx;
 
             // Beliefs and convergence.
             let mut max_delta = 0.0f64;
-            for (v, belief) in marginals.iter_mut().enumerate() {
-                let mut p_t = 1.0f64;
-                let mut p_f = 1.0f64;
-                for &e in self.var_edges(v) {
-                    let m = msg_fv[e as usize];
-                    p_t *= m;
-                    p_f *= 1.0 - m;
-                }
-                for &x in extras.of(v) {
-                    let m = x_msg[x as usize];
-                    p_t *= m;
-                    p_f *= 1.0 - m;
-                }
+            for (v, belief) in beliefs.iter_mut().enumerate() {
+                let (p_t, p_f) = self.var_product(v, usize::MAX, &fv, &xm, &extras);
                 let b = normalize(p_t, p_f, &mut ev);
                 max_delta = max_delta.max((b - *belief).abs());
                 *belief = b;
@@ -303,60 +705,106 @@ impl CompiledGraph {
             }
         }
 
-        Marginals { probs: marginals, iterations, converged, updates, guards: ev }
+        S::restore(scratch, fv, vf, xm);
+        Marginals { probs: beliefs, iterations, converged, updates, guards: ev }
     }
 
     /// The variable→factor message for edge `e`, computed on demand from
     /// the current factor→variable messages (asynchronous form).
-    fn vf_message(
+    fn vf_message<S: MsgElem>(
         &self,
         e: usize,
-        msg_fv: &[f64],
-        x_msg: &[f64],
-        extras: &ExtraIndex,
+        fv: &[S],
+        x_msg: &[S],
+        extras: &ExtraIndex<'_>,
         ev: &mut GuardEvents,
     ) -> f64 {
         let v = self.edge_var[e] as usize;
-        let mut p_t = 1.0f64;
-        let mut p_f = 1.0f64;
-        for &o in self.var_edges(v) {
-            if o as usize == e {
-                continue;
-            }
-            let m = msg_fv[o as usize];
-            p_t *= m;
-            p_f *= 1.0 - m;
-        }
-        for &x in extras.of(v) {
-            let m = x_msg[x as usize];
-            p_t *= m;
-            p_f *= 1.0 - m;
-        }
+        let j = (self.vslot[e] - self.v_off[v]) as usize;
+        let (p_t, p_f) = self.var_product(v, j, fv, x_msg, extras);
         normalize(p_t, p_f, ev)
     }
 
     /// The damped candidate update for factor→variable message `e`, read
-    /// from a cache of current variable→factor messages (`msg_vf[o]` must
-    /// hold [`CompiledGraph::vf_message`] of `o` for every edge `o` of `e`'s
-    /// factor).
-    fn candidate_cached<const MAX: bool>(
+    /// from a cache of current variable→factor messages (`vf` pair slot `o`
+    /// must hold [`CompiledGraph::vf_message`] of `o` for every edge `o` of
+    /// `e`'s factor).
+    fn candidate_cached<const MAX: bool, S: MsgElem>(
         &self,
         e: usize,
-        msg_fv: &[f64],
-        msg_vf: &[f64],
+        fv: &[S],
+        vf: &[S],
         d: f64,
         ev: &mut GuardEvents,
     ) -> f64 {
         let fi = self.edge_factor[e] as usize;
         let e0 = self.f_off[fi] as usize;
         let e1 = self.f_off[fi + 1] as usize;
-        let new = self.factor_message_local::<MAX>(fi, e - e0, &msg_vf[e0..e1], ev);
-        damp(msg_fv[e], new, d)
+        let local = &vf[2 * e0..2 * e1];
+        // Wide two-valued tables take the sparse rank-one path (sum-product
+        // only; the max semiring does not decompose over the majority
+        // value). Everything else replicates the sweep kernel exactly.
+        let new = match self.sparse[fi] {
+            Some(row) if !MAX => self.factor_message_sparse::<S>(&row, e - e0, local, ev),
+            _ => self.factor_message_local::<MAX, S>(fi, e - e0, local, ev),
+        };
+        damp(get_t(fv, self.vslot[e] as usize), new, d)
+    }
+
+    /// One sum-product factor→variable message through a [`TwoValued`]
+    /// sparse table summary: a full-sum majority term plus a minority
+    /// correction that only walks the `minv`-valued cells.
+    ///
+    /// Accumulation is deterministic — minority cells in ascending
+    /// table-index order, operand products left-associated in ascending
+    /// scope order skipping `pos` — but *not* bit-identical to the dense
+    /// walk, which is why only the residual schedule dispatches here.
+    fn factor_message_sparse<S: MsgElem>(
+        &self,
+        row: &TwoValued,
+        pos: usize,
+        local: &[S],
+        ev: &mut GuardEvents,
+    ) -> f64 {
+        let n = local.len() / 2;
+        // Σ over all assignments of the other variables of Π m_i(bit_i)
+        // factorizes into Π (m_i(0) + m_i(1)).
+        let mut p_all = 1.0f64;
+        for opos in 0..n {
+            if opos == pos {
+                continue;
+            }
+            p_all *= local[2 * opos].dec() + local[2 * opos + 1].dec();
+        }
+        let mut t_t = 0.0f64;
+        let mut t_f = 0.0f64;
+        for &idx in &self.sparse_idx[row.i0 as usize..row.i1 as usize] {
+            let idx = idx as usize;
+            let mut w = 1.0f64;
+            for opos in 0..n {
+                if opos == pos {
+                    continue;
+                }
+                let bit = idx & (1 << opos) != 0;
+                w *= if bit { local[2 * opos].dec() } else { local[2 * opos + 1].dec() };
+            }
+            if idx & (1 << pos) != 0 {
+                t_t += w;
+            } else {
+                t_f += w;
+            }
+        }
+        let delta = row.minv - row.maj;
+        // Each lane is mathematically a sum of non-negative products; the
+        // clamp only absorbs last-ulp cancellation when `delta` is negative.
+        let acc_t = (row.maj * p_all + delta * t_t).max(0.0);
+        let acc_f = (row.maj * p_all + delta * t_f).max(0.0);
+        normalize(acc_t, acc_f, ev)
     }
 
     /// One factor→variable message for factor `fi`, target scope position
     /// `pos`, reading the incoming variable→factor messages from a
-    /// factor-local slice (`local[opos]` for scope position `opos`).
+    /// factor-local *pair* slice (pair `opos` for scope position `opos`).
     ///
     /// `MAX` selects max-product; otherwise sum-product. The arithmetic
     /// replicates the pre-arena solver exactly: accumulation in ascending
@@ -365,20 +813,21 @@ impl CompiledGraph {
     /// (zero-potential rows contribute exactly `+0.0` / lose every `max`,
     /// so skipping them never changes a bit).
     #[inline]
-    fn factor_message_local<const MAX: bool>(
+    fn factor_message_local<const MAX: bool, S: MsgElem>(
         &self,
         fi: usize,
         pos: usize,
-        local: &[f64],
+        local: &[S],
         ev: &mut GuardEvents,
     ) -> f64 {
-        let n = local.len();
-        let table = &self.tables[self.t_off[fi] as usize..self.t_off[fi + 1] as usize];
+        let n = local.len() / 2;
+        let table = &self.tables[self.t_off[fi] as usize..][..1 << n];
         match n {
             1 => normalize(table[1], table[0], ev),
             2 => {
-                let m = local[1 - pos];
-                let om = 1.0 - m;
+                let o = 1 - pos;
+                let m = local[2 * o].dec();
+                let om = local[2 * o + 1].dec();
                 let (t_lo, t_hi, f_lo, f_hi) = if pos == 0 {
                     (table[1] * om, table[3] * m, table[0] * om, table[2] * m)
                 } else {
@@ -399,12 +848,12 @@ impl CompiledGraph {
                         continue;
                     }
                     let mut w = pot;
-                    for (opos, &m) in local.iter().enumerate() {
+                    for opos in 0..n {
                         if opos == pos {
                             continue;
                         }
                         let bit = idx & (1 << opos) != 0;
-                        w *= if bit { m } else { 1.0 - m };
+                        w *= if bit { local[2 * opos].dec() } else { local[2 * opos + 1].dec() };
                     }
                     if idx & (1 << pos) != 0 {
                         acc_t = if MAX { acc_t.max(w) } else { acc_t + w };
@@ -417,161 +866,318 @@ impl CompiledGraph {
         }
     }
 
-    /// Residual-prioritized belief propagation: repeatedly apply the
-    /// factor→variable message with the largest pending change.
+    /// Residual-prioritized belief propagation on the bucketed batch queue
+    /// (see the module notes on the schedule's design and determinism).
     ///
     /// `max_iterations` bounds the *sweep-equivalent* work: the update
     /// budget is `max_iterations * num_edges`, so a `BpOptions` tuned for
     /// the sweep schedule spends at most comparable effort here.
-    fn residual<const MAX: bool>(&self, extras: &ExtraIndex, opts: &BpOptions) -> Marginals {
+    fn residual<const MAX: bool, S: MsgPool>(
+        &self,
+        extras_in: &[(VarId, f64)],
+        opts: &BpOptions,
+        scratch: &mut Scratch,
+    ) -> Marginals {
         let ne = self.edge_var.len();
         let d = opts.damping;
-        let mut msg_fv = vec![0.5f64; ne];
         let mut ev = GuardEvents::default();
-        // Extras are constant under the asynchronous schedule: install their
-        // normalized value up front.
-        let x_msg: Vec<f64> = extras.ps.iter().map(|&p| normalize(p, 1.0 - p, &mut ev)).collect();
+
+        let (mut fv, mut vf, mut xm) = S::take(scratch);
+        reset_pairs(&mut fv, ne);
+        reset_pairs(&mut vf, ne);
+        // Extras are constant under the asynchronous schedule: install
+        // their normalized value up front.
+        xm.clear();
+        xm.reserve(2 * extras_in.len());
+        for &(_, p) in extras_in {
+            let m = normalize(p, 1.0 - p, &mut ev);
+            xm.push(S::enc(m));
+            xm.push(S::enc(1.0 - m));
+        }
+        let Scratch {
+            ps,
+            x_off,
+            x_idx,
+            cand,
+            resid,
+            epoch,
+            queued,
+            buckets,
+            batch,
+            affected_vars,
+            changed_vf,
+            touched,
+            vmark,
+            emark,
+            ..
+        } = scratch;
+        let extras = ExtraIndex::build(self.n_vars, extras_in, ps, x_off, x_idx);
+
         let budget = opts
             .max_iterations
             .saturating_mul(ne.max(1))
             .min(opts.update_budget.unwrap_or(usize::MAX));
         let mut updates = 0usize;
-        // Warm start: a few synchronous sweeps before greedy prioritization.
-        // Loopy graphs with near-symmetric structure (e.g. soft one-hot
-        // constraints) have several BP fixed points; updating
-        // highest-residual-first from a cold uniform start breaks the
-        // symmetry towards whichever strong local factor is popped first and
-        // can land in a different basin than the synchronous schedule. A
-        // couple of Jacobi sweeps propagate all evidence one hop before any
-        // greedy choice is made, after which prioritization only
-        // *accelerates* convergence within the sweep's basin.
-        let mut msg_vf = vec![0.5f64; ne];
+
+        // Warm start: a few synchronous (Jacobi) sweeps before any
+        // prioritization, so all evidence propagates one hop before the
+        // first greedy choice. The batch schedule already preserves
+        // symmetric fixed points on its own; the warm sweeps additionally
+        // keep early update counts comparable with the sweep schedule and
+        // seed the residuals with informative values.
         for _ in 0..WARM_SWEEPS.min(opts.max_iterations) {
             if updates >= budget {
                 break;
             }
-            for (e, m) in msg_vf.iter_mut().enumerate() {
-                *m = self.vf_message(e, &msg_fv, &x_msg, extras, &mut ev);
+            for e in 0..ne {
+                let m = self.vf_message(e, &fv, &xm, &extras, &mut ev);
+                put(&mut vf, e, m);
             }
-            let next: Vec<f64> = (0..ne)
-                .map(|e| self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d, &mut ev))
-                .collect();
-            msg_fv = next;
+            // In-place is still Jacobi here: the factor message reads only
+            // `vf`, and each edge's `fv` slot is read (for damping) only by
+            // its own candidate.
+            for e in 0..ne {
+                let c = self.candidate_cached::<MAX, S>(e, &fv, &vf, d, &mut ev);
+                put(&mut fv, self.vslot[e] as usize, c);
+            }
             updates += ne;
         }
-        // Cached state, kept current as messages are applied: `msg_vf[e]`
-        // is the variable→factor message along `e`; `cand[e]`/`resid[e]`
-        // are the pending damped update of factor→variable message `e` and
-        // its residual. A heap entry is *stale* (superseded by a later
-        // push) exactly when its residual no longer bit-matches `resid`.
-        for (e, m) in msg_vf.iter_mut().enumerate() {
-            *m = self.vf_message(e, &msg_fv, &x_msg, extras, &mut ev);
-        }
-        let mut cand = vec![0.0f64; ne];
-        let mut resid = vec![0.0f64; ne];
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(ne * 2);
+
+        // Live cached state: `vf[o]` is the variable→factor message along
+        // `o`; `cand[e]`/`resid[e]` are the pending damped update of
+        // factor→variable message `e` and its residual. `queued[e]` is
+        // `bucket + 1` while `e` has an authoritative queue entry (0
+        // otherwise), and that entry is the unique one stamped `epoch[e]`.
         for e in 0..ne {
-            cand[e] = self.candidate_cached::<MAX>(e, &msg_fv, &msg_vf, d, &mut ev);
-            resid[e] = (cand[e] - msg_fv[e]).abs();
-            if resid[e] >= opts.tolerance {
-                heap.push(HeapEntry { residual: resid[e], edge: e as u32 });
-            }
+            let m = self.vf_message(e, &fv, &xm, &extras, &mut ev);
+            put(&mut vf, e, m);
         }
-        let mut converged = true;
-        while let Some(entry) = heap.pop() {
-            let e = entry.edge as usize;
-            if entry.residual.to_bits() != resid[e].to_bits() || resid[e] < opts.tolerance {
-                continue; // superseded by a newer push for this edge
-            }
-            if updates >= budget {
-                converged = false;
-                break;
-            }
-            msg_fv[e] = cand[e];
-            updates += 1;
-            // `msg_fv[e]` feeds the variable→factor messages of `v`'s other
-            // edges (its own `msg_vf[e]` excludes it), which in turn feed
-            // the pending updates of those factors' messages to their other
-            // variables. This edge's own pending update only changes under
-            // damping (the geometric tail towards the undamped value).
-            let v = self.edge_var[e] as usize;
-            let f = self.edge_factor[e];
-            for &o in self.var_edges(v) {
-                if o as usize != e {
-                    msg_vf[o as usize] =
-                        self.vf_message(o as usize, &msg_fv, &x_msg, extras, &mut ev);
-                }
-            }
-            let mut repush =
-                |e3: usize, cand: &mut [f64], resid: &mut [f64], ev: &mut GuardEvents| {
-                    cand[e3] = self.candidate_cached::<MAX>(e3, &msg_fv, &msg_vf, d, ev);
-                    resid[e3] = (cand[e3] - msg_fv[e3]).abs();
-                    if resid[e3] >= opts.tolerance {
-                        heap.push(HeapEntry { residual: resid[e3], edge: e3 as u32 });
-                    }
-                };
-            repush(e, &mut cand, &mut resid, &mut ev);
-            for &e2 in self.var_edges(v) {
-                let f2 = self.edge_factor[e2 as usize];
-                if f2 == f {
-                    continue;
-                }
-                let b0 = self.f_off[f2 as usize];
-                let b1 = self.f_off[f2 as usize + 1];
-                for e3 in b0..b1 {
-                    if self.edge_var[e3 as usize] as usize != v {
-                        repush(e3 as usize, &mut cand, &mut resid, &mut ev);
-                    }
-                }
+        cand.clear();
+        cand.resize(ne, 0.0);
+        resid.clear();
+        resid.resize(ne, 0.0);
+        epoch.clear();
+        epoch.resize(ne, 0);
+        queued.clear();
+        queued.resize(ne, 0);
+        vmark.clear();
+        vmark.resize(self.n_vars, 0);
+        emark.clear();
+        emark.resize(ne, 0);
+        if buckets.len() < NUM_BUCKETS {
+            buckets.resize_with(NUM_BUCKETS, VecDeque::new);
+        }
+        for q in buckets.iter_mut() {
+            q.clear();
+        }
+        for e in 0..ne {
+            cand[e] = self.candidate_cached::<MAX, S>(e, &fv, &vf, d, &mut ev);
+            resid[e] = (cand[e] - get_t(&fv, self.vslot[e] as usize)).abs();
+            if resid[e] >= opts.tolerance {
+                let b = bucket_of(resid[e]);
+                buckets[b].push_back((e as u32, 0));
+                queued[e] = b as u8 + 1;
             }
         }
 
-        let mut marginals = vec![0.5f64; self.n_vars];
-        for (v, belief) in marginals.iter_mut().enumerate() {
-            let mut p_t = 1.0f64;
-            let mut p_f = 1.0f64;
-            for &e in self.var_edges(v) {
-                let m = msg_fv[e as usize];
-                p_t *= m;
-                p_f *= 1.0 - m;
+        let mut converged = true;
+        // Highest-magnitude non-empty bucket; entirely drained as one
+        // batch (stale entries — epoch mismatch or dequeued edge — are
+        // skipped on pop).
+        'solve: while let Some(b) = buckets.iter().position(|q| !q.is_empty()) {
+            batch.clear();
+            while let Some((e, ep)) = buckets[b].pop_front() {
+                let eu = e as usize;
+                if queued[eu] as usize != b + 1 || epoch[eu] != ep {
+                    continue;
+                }
+                queued[eu] = 0;
+                batch.push(e);
             }
-            for &x in extras.of(v) {
-                let m = x_msg[x as usize];
-                p_t *= m;
-                p_f *= 1.0 - m;
+            if batch.is_empty() {
+                continue;
             }
+
+            // Phase 1: commit the whole batch against the pre-batch state.
+            // Bit-equal residuals (symmetric edges) share a bucket, so they
+            // are always applied together from identical inputs.
+            for &e in batch.iter() {
+                if updates >= budget {
+                    converged = false;
+                    break 'solve;
+                }
+                let eu = e as usize;
+                put(&mut fv, self.vslot[eu] as usize, cand[eu]);
+                resid[eu] = 0.0;
+                updates += 1;
+            }
+
+            // Phase 2: recompute the variable→factor messages of every
+            // variable the batch touched — once per variable, not once per
+            // applied edge — and remember which ones actually changed.
+            affected_vars.clear();
+            for &e in batch.iter() {
+                let v = self.edge_var[e as usize];
+                if vmark[v as usize] == 0 {
+                    vmark[v as usize] = 1;
+                    affected_vars.push(v);
+                }
+            }
+            changed_vf.clear();
+            for &v in affected_vars.iter() {
+                for &o in self.var_edges(v as usize) {
+                    let m = self.vf_message(o as usize, &fv, &xm, &extras, &mut ev);
+                    if S::enc(m).dec() != get_t(&vf, o as usize) {
+                        put(&mut vf, o as usize, m);
+                        changed_vf.push(o);
+                    }
+                }
+            }
+
+            // Phase 3: recompute each candidate the batch invalidated,
+            // exactly once — the applied edges themselves (their damping
+            // base moved) and the co-scope edges of every changed
+            // variable→factor message.
+            touched.clear();
+            for &e in batch.iter() {
+                if emark[e as usize] == 0 {
+                    emark[e as usize] = 1;
+                    touched.push(e);
+                }
+            }
+            for &o in changed_vf.iter() {
+                let f2 = self.edge_factor[o as usize] as usize;
+                for e3 in self.f_off[f2]..self.f_off[f2 + 1] {
+                    if e3 != o && emark[e3 as usize] == 0 {
+                        emark[e3 as usize] = 1;
+                        touched.push(e3);
+                    }
+                }
+            }
+            for &e3 in touched.iter() {
+                let eu = e3 as usize;
+                cand[eu] = self.candidate_cached::<MAX, S>(eu, &fv, &vf, d, &mut ev);
+                let r = (cand[eu] - get_t(&fv, self.vslot[eu] as usize)).abs();
+                resid[eu] = r;
+                if r >= opts.tolerance {
+                    let nb = bucket_of(r) as u8 + 1;
+                    // Same bucket → the existing entry stays authoritative
+                    // (no churn); new bucket → bump the epoch (killing the
+                    // old entry lazily) and enqueue.
+                    if queued[eu] != nb {
+                        epoch[eu] = epoch[eu].wrapping_add(1);
+                        buckets[nb as usize - 1].push_back((e3, epoch[eu]));
+                        queued[eu] = nb;
+                    }
+                } else {
+                    // Below tolerance: dequeue lazily.
+                    queued[eu] = 0;
+                }
+            }
+            for &v in affected_vars.iter() {
+                vmark[v as usize] = 0;
+            }
+            for &e in touched.iter() {
+                emark[e as usize] = 0;
+            }
+        }
+
+        let mut beliefs = vec![0.5f64; self.n_vars];
+        for (v, belief) in beliefs.iter_mut().enumerate() {
+            let (p_t, p_f) = self.var_product(v, usize::MAX, &fv, &xm, &extras);
             *belief = normalize(p_t, p_f, &mut ev);
         }
         let iterations = updates.div_ceil(ne.max(1)).max(1);
-        Marginals { probs: marginals, iterations, converged, updates, guards: ev }
+        S::restore(scratch, fv, vf, xm);
+        Marginals { probs: beliefs, iterations, converged, updates, guards: ev }
     }
 }
 
-/// Max-heap entry ordered by residual, tie-broken by edge id so the
-/// schedule (and therefore the result) is fully deterministic.
-#[derive(Debug, Clone, Copy)]
-struct HeapEntry {
-    residual: f64,
-    edge: u32,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::Factor;
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &HeapEntry) -> bool {
-        self.residual == other.residual && self.edge == other.edge
+    #[test]
+    fn bucket_of_maps_magnitude_ranges() {
+        assert_eq!(bucket_of(0.75), 0);
+        assert_eq!(bucket_of(0.5), 0);
+        assert_eq!(bucket_of(2.0), 0); // ≥ 0.5 clamps up
+        assert_eq!(bucket_of(0.49), 1);
+        assert_eq!(bucket_of(0.25), 1);
+        assert_eq!(bucket_of(0.125), 2);
+        assert_eq!(bucket_of(1e-300), NUM_BUCKETS - 1); // tiny clamps down
+        assert_eq!(bucket_of(0.0), NUM_BUCKETS - 1);
     }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &HeapEntry) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+    fn loopy_fixture() -> FactorGraph {
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..6).map(|i| g.add_var(format!("x{i}"))).collect();
+        g.add_factor(Factor::unary(xs[0], 0.9));
+        g.add_factor(Factor::unary(xs[3], 0.2));
+        for i in 0..6 {
+            let a = xs[i];
+            let b = xs[(i + 1) % 6];
+            g.add_factor(Factor::soft(vec![a, b], 0.8, |v| v[0] == v[1]));
+        }
+        g.add_factor(Factor::soft(xs[..3].to_vec(), 0.9, |a| {
+            a.iter().filter(|b| **b).count() == 1
+        }));
+        g
     }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &HeapEntry) -> std::cmp::Ordering {
-        // Residuals are absolute differences of guarded normalizations, so
-        // they are finite and non-negative; `total_cmp` agrees with
-        // `partial_cmp` on that domain while staying total (no panic path)
-        // if a poisoned table ever slips a NaN through.
-        self.residual.total_cmp(&other.residual).then_with(|| other.edge.cmp(&self.edge))
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh() {
+        let g = loopy_fixture();
+        let compiled = CompiledGraph::compile(&g);
+        for schedule in [BpSchedule::Sweep, BpSchedule::Residual] {
+            let opts = BpOptions { schedule, damping: 0.1, ..BpOptions::default() };
+            let extras = [(VarId(1), 0.7), (VarId(4), 0.3)];
+            let mut scratch = Scratch::new();
+            // Dirty the scratch with a different solve first.
+            let _ = compiled.solve_stamped_scratch(&[], &opts, &mut scratch);
+            let reused = compiled.solve_stamped_scratch(&extras, &opts, &mut scratch);
+            let fresh = compiled.solve_stamped(&extras, &opts);
+            assert_eq!(reused, fresh, "{schedule}");
+        }
+    }
+
+    #[test]
+    fn f32_precision_tracks_f64_closely() {
+        let g = loopy_fixture();
+        let compiled = CompiledGraph::compile(&g);
+        for schedule in [BpSchedule::Sweep, BpSchedule::Residual] {
+            let o64 = BpOptions { schedule, damping: 0.1, ..BpOptions::default() };
+            let o32 = BpOptions { precision: BpPrecision::F32, ..o64 };
+            let m64 = compiled.solve(&o64);
+            let m32 = compiled.solve(&o32);
+            for (a, b) in m64.as_slice().iter().zip(m32.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{schedule}: f64 {a} vs f32 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_batches_preserve_symmetric_fixed_points() {
+        // An evidence-free soft one-hot group: all members must stay at
+        // their common symmetric marginal instead of being tipped into an
+        // arbitrary corner by asynchronous update order.
+        let mut g = FactorGraph::new();
+        let xs: Vec<_> = (0..4).map(|i| g.add_var(format!("k{i}"))).collect();
+        g.add_factor(Factor::soft(xs.clone(), 0.9, |a| a.iter().filter(|b| **b).count() == 1));
+        for schedule in [BpSchedule::Sweep, BpSchedule::Residual] {
+            let m = g.solve(&BpOptions { schedule, ..BpOptions::default() });
+            let p0 = m.prob(xs[0]);
+            for &x in &xs {
+                assert_eq!(m.prob(x).to_bits(), p0.to_bits(), "{schedule}: symmetry broken at {x}");
+            }
+        }
+        // And the two schedules agree with each other.
+        let sweep = g.solve(&BpOptions::default());
+        let residual =
+            g.solve(&BpOptions { schedule: BpSchedule::Residual, ..BpOptions::default() });
+        for (a, b) in sweep.as_slice().iter().zip(residual.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "sweep {a} vs residual {b}");
+        }
     }
 }
