@@ -116,6 +116,15 @@ EOF
   fi
   echo "serve gate ok: byte-identical transcript"
 
+  step "serve overload gate (admission-cap 0 rejects with retry hints, vs golden)"
+  ./target/release/anek serve --stdio --admission-cap 0 --store "$tmp/serve-overload-store" \
+    <tests/golden/serve_overload_session.jsonl 2>/dev/null >"$tmp/serve-overload.out"
+  if ! diff -u tests/golden/serve_overload_transcript.golden "$tmp/serve-overload.out"; then
+    echo "serve overload gate failed: reject path drifted from tests/golden/serve_overload_transcript.golden" >&2
+    exit 1
+  fi
+  echo "serve overload gate ok: structured overloaded/retry_after_ms rejections"
+
   step "store warm-vs-cold determinism gate (threads 1 and 4)"
   mkdir -p "$tmp/incr"
   cp "$tmp"/det/*.java "$tmp/incr/"
@@ -213,6 +222,17 @@ EOF
     exit 1
   fi
   echo "serve-latency ok: BENCH_serve.json written (10x criterion enforced by the binary)"
+
+  step "serve-load bench (multi-session overload: coalescing, shedding, byte-identity)"
+  # The binary enforces its own invariants via exit status: zero failed
+  # outcomes, exact coalesced/rejected/cancelled counts, byte-identical
+  # replay against a serial session, and the query p99 bound.
+  (cd "$tmp" && "$OLDPWD/target/release/serve_load" --small >/dev/null)
+  if ! grep -q '"bench": "serve_load"' "$tmp/BENCH_serve_load.json"; then
+    echo "serve-load bench failed: BENCH_serve_load.json missing or malformed" >&2
+    exit 1
+  fi
+  echo "serve-load ok: BENCH_serve_load.json written (invariants enforced by the binary)"
 
   step "anek lint self-check on the seeded corpus"
   ./target/release/anek corpus "$tmp" 2>/dev/null

@@ -27,6 +27,12 @@ pub struct FaultInjection {
     /// Methods whose factor graph is padded with this many extra variables
     /// (tripping `InferConfig::max_model_vars` when large enough).
     pub oversize_methods: Vec<(String, usize)>,
+    /// Methods whose solve sleeps this many milliseconds before running —
+    /// a replayable stand-in for a pathologically slow model, used to
+    /// exercise deadline and cancellation paths. A slow fault never changes
+    /// the solve's *result*, so (like `threads`) it is excluded from the
+    /// store's config fingerprint and from `method_fault_token`.
+    pub slow_methods: Vec<(String, u64)>,
 }
 
 impl FaultInjection {
@@ -35,6 +41,7 @@ impl FaultInjection {
         self.panic_methods.is_empty()
             && self.nan_methods.is_empty()
             && self.oversize_methods.is_empty()
+            && self.slow_methods.is_empty()
     }
 
     fn matches(pattern: &str, id: &MethodId) -> bool {
@@ -56,6 +63,15 @@ impl FaultInjection {
     /// Whether `id`'s skeleton gets a NaN factor.
     pub fn nan_factor(&self, id: &MethodId) -> bool {
         self.nan_methods.iter().any(|p| FaultInjection::matches(p, id))
+    }
+
+    /// Milliseconds `id`'s solve sleeps before running (`None` = no delay).
+    pub fn slow_ms(&self, id: &MethodId) -> Option<u64> {
+        self.slow_methods
+            .iter()
+            .filter(|(p, _)| FaultInjection::matches(p, id))
+            .map(|&(_, ms)| ms)
+            .max()
     }
 
     /// Extra padding variables for `id`'s factor graph (0 = none).
@@ -177,6 +193,7 @@ impl Default for InferConfig {
                 schedule: BpSchedule::Sweep,
                 update_budget: None,
                 precision: BpPrecision::F64,
+                deadline: None,
             },
             threads: 1,
             max_model_vars: 1 << 20,
@@ -244,12 +261,15 @@ mod tests {
             panic_methods: vec!["App.copy".into()],
             nan_methods: vec!["Row.*".into()],
             oversize_methods: vec![("*".into(), 7)],
+            slow_methods: vec![("Row.first".into(), 25)],
         };
         assert!(faults.should_panic(&MethodId::new("App", "copy")));
         assert!(!faults.should_panic(&MethodId::new("App", "paste")));
         assert!(faults.nan_factor(&MethodId::new("Row", "anything")));
         assert!(!faults.nan_factor(&MethodId::new("App", "copy")));
         assert_eq!(faults.oversize_extra(&MethodId::new("X", "y")), 7);
+        assert_eq!(faults.slow_ms(&MethodId::new("Row", "first")), Some(25));
+        assert_eq!(faults.slow_ms(&MethodId::new("Row", "second")), None);
         assert!(!FaultInjection::default().should_panic(&MethodId::new("App", "copy")));
         assert!(FaultInjection::default().is_empty());
         assert!(!faults.is_empty());

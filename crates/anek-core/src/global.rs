@@ -187,6 +187,8 @@ pub fn infer_global(
         memo_misses: 0,
         callers: BTreeMap::new(),
         screened_methods: 0,
+        deadline_hit: marginals.deadline_expired,
+        deadline_truncated_solves: usize::from(marginals.deadline_expired),
     }
 }
 

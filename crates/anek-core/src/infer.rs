@@ -72,6 +72,22 @@ use std::time::{Duration, Instant};
 struct Solved {
     record: SolvedRecord,
     cache: Option<(CacheKey, bool)>,
+    /// True when the solve stopped because `BpOptions::deadline` passed.
+    /// Kept outside [`SolvedRecord`] on purpose: deadline truncation is
+    /// timing-dependent, so such a record must never enter the store (the
+    /// commit loop clears `cache` for it), and the store codec stays
+    /// unchanged.
+    deadline_expired: bool,
+}
+
+/// Health of a method's last *committed* solve, feeding outcome
+/// classification after the worklist drains.
+#[derive(Debug, Clone, Copy)]
+struct SolveHealth {
+    converged: bool,
+    iterations: usize,
+    guards: GuardEvents,
+    deadline_expired: bool,
 }
 
 /// A solve either completes (possibly with degradations recorded in its
@@ -146,6 +162,14 @@ pub struct InferResult {
     /// in the call graph, so no model was built for them. Always 0 with
     /// screening off. Their outcome is [`MethodOutcome::Screened`].
     pub screened_methods: usize,
+    /// Whether `BpOptions::deadline` expired during this run — either
+    /// inside a solve (truncating it) or between chunks (stopping the
+    /// worklist early). Always `false` without a deadline; when `true`,
+    /// the affected methods carry [`DegradeReason::DeadlineExpired`] and
+    /// nothing deadline-truncated was written to the cache.
+    pub deadline_hit: bool,
+    /// Committed solves whose BP was truncated by the wall-clock deadline.
+    pub deadline_truncated_solves: usize,
 }
 
 impl InferResult {
@@ -514,7 +538,11 @@ pub fn infer_with_store(
     // last committed summary and never re-solved or re-queued; the health
     // of every other method's *latest committed* solve feeds the outcomes.
     let mut failed: BTreeMap<MethodId, InferError> = BTreeMap::new();
-    let mut last_health: BTreeMap<MethodId, (bool, usize, GuardEvents)> = BTreeMap::new();
+    let mut last_health: BTreeMap<MethodId, SolveHealth> = BTreeMap::new();
+    let mut deadline_truncated_solves = 0usize;
+    // Set when the wall-clock deadline stops the worklist between chunks;
+    // still-queued methods are then truncated *because of* the deadline.
+    let mut worklist_deadline = false;
     let empty_deps = BTreeSet::new();
     // One long-lived BP scratch per worker (index 0 is the merge thread's):
     // message arrays and scheduler state are recycled across every solve of
@@ -532,6 +560,13 @@ pub fn infer_with_store(
                      scratch: &mut Scratch|
      -> SolveResult {
         let mu = &methods[id];
+        // Injected slowness: a replayable stand-in for a pathologically
+        // slow model. Applied before the cache lookup so deadline tests
+        // behave the same against a warm store. Never changes the result,
+        // so it stays out of the content key (like `threads`).
+        if let Some(ms) = cfg.faults.slow_ms(id) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         // The full content key: the method's static key extended with its
         // dynamic inputs — exactly the program-callee summaries and own
         // caller evidence the stamp reads. A hit replays the bit-identical
@@ -563,7 +598,7 @@ pub fn infer_with_store(
         });
         if let (Some(c), Some(key)) = (cache, key) {
             if let Some(record) = c.solve_lookup(key) {
-                return Ok(Solved { record, cache: Some((key, true)) });
+                return Ok(Solved { record, cache: Some((key, true)), deadline_expired: false });
             }
         }
         catch_unwind(AssertUnwindSafe(|| -> SolveResult {
@@ -579,6 +614,10 @@ pub fn infer_with_store(
                 evidence.get(id).map(|m| m.values().cloned().collect()).unwrap_or_default();
             let extras = skeleton.stamp(ctx, summaries, &own_evidence);
             let marginals = skeleton.solve_scratch(&extras, cfg, scratch);
+            // A deadline-truncated solve is timing-dependent: never let it
+            // into the shared store, where it would poison byte-identical
+            // warm replays for every other client.
+            let cache = if marginals.deadline_expired { None } else { key.map(|k| (k, false)) };
             Ok(Solved {
                 record: SolvedRecord {
                     summary: skeleton.read_summary(ctx, &marginals),
@@ -588,12 +627,13 @@ pub fn infer_with_store(
                     converged: marginals.converged,
                     guards: marginals.guards,
                 },
-                cache: key.map(|k| (k, false)),
+                cache,
+                deadline_expired: marginals.deadline_expired,
             })
         }))
         .unwrap_or_else(|p| Err(InferError::SolvePanicked { message: panic_message(p.as_ref()) }))
     };
-    while !pending.is_empty() && solves < cfg.max_iters {
+    while !pending.is_empty() && solves < cfg.max_iters && !worklist_deadline {
         // Take one generation, truncated so `solves` respects MaxIters.
         let take = pending.len().min(cfg.max_iters - solves);
         let generation: Vec<MethodId> = pending.drain(..take).collect();
@@ -613,6 +653,16 @@ pub fn infer_with_store(
         let parallel = threads.min(generation.len()) > 1;
         let chunk_len = if parallel { threads * 4 } else { generation.len() };
         for chunk in generation.chunks(chunk_len.max(1)) {
+            // Deadline polled at chunk granularity: once it passes, the
+            // remaining chunks are never scheduled. Their methods stay in
+            // `queued`, so they classify as worklist-truncated (with the
+            // deadline as the recorded cause) — and `solves` keeps counting
+            // only the sequential algorithm's committed work.
+            if worklist_deadline || deadline_passed(cfg) {
+                worklist_deadline = true;
+                solves -= chunk.len();
+                continue;
+            }
             let speculated: Option<Vec<SolveResult>> = (parallel && chunk.len() > 1).then(|| {
                 speculative_solves += chunk.len();
                 let (results, stall) = map_parallel_scratch(chunk, &mut scratch_pool, |id, s| {
@@ -665,6 +715,10 @@ pub fn infer_with_store(
                     }
                     None => {}
                 }
+                let deadline_expired = s.deadline_expired;
+                if deadline_expired {
+                    deadline_truncated_solves += 1;
+                }
                 let s = s.record;
                 bp_iterations += s.iterations;
                 message_updates += s.updates;
@@ -672,7 +726,15 @@ pub fn infer_with_store(
                     nonconverged_solves += 1;
                 }
                 numeric_guard_events += s.guards.non_finite + s.guards.zero_sum;
-                last_health.insert(id.clone(), (s.converged, s.iterations, s.guards));
+                last_health.insert(
+                    id.clone(),
+                    SolveHealth {
+                        converged: s.converged,
+                        iterations: s.iterations,
+                        guards: s.guards,
+                        deadline_expired,
+                    },
+                );
                 let mut to_queue: Vec<MethodId> = Vec::new();
                 // Publish evidence about callees observed at this method's sites.
                 for (callee, sites) in s.call_evidence {
@@ -724,7 +786,7 @@ pub fn infer_with_store(
         }
         let mut reasons: Vec<DegradeReason> = Vec::new();
         let health = last_health.get(id).copied();
-        if let Some((converged, iterations, guards)) = health {
+        if let Some(SolveHealth { converged, iterations, guards, deadline_expired }) = health {
             if !converged {
                 reasons.push(DegradeReason::BpNonConverged { iterations });
             }
@@ -734,9 +796,15 @@ pub fn infer_with_store(
                     zero_sum: guards.zero_sum,
                 });
             }
+            if deadline_expired {
+                reasons.push(DegradeReason::DeadlineExpired);
+            }
         }
         if queued.contains(id) {
             reasons.push(DegradeReason::WorklistTruncated);
+            if worklist_deadline {
+                reasons.push(DegradeReason::DeadlineExpired);
+            }
         }
         // The configured fallback: a non-converged method republishes its
         // INIT prior summary (uniform-h — soft constraints still give an
@@ -748,7 +816,7 @@ pub fn infer_with_store(
             reasons.push(DegradeReason::PriorFallback);
         }
         let outcome = if reasons.is_empty() {
-            MethodOutcome::Ok { iterations: health.map_or(0, |(_, it, _)| it) }
+            MethodOutcome::Ok { iterations: health.map_or(0, |h| h.iterations) }
         } else {
             reasons.sort();
             reasons.dedup();
@@ -789,7 +857,14 @@ pub fn infer_with_store(
         memo_misses,
         callers,
         screened_methods: screened.len(),
+        deadline_hit: worklist_deadline || deadline_truncated_solves > 0,
+        deadline_truncated_solves,
     }
+}
+
+/// Whether the run's wall-clock deadline (if any) has passed.
+fn deadline_passed(cfg: &InferConfig) -> bool {
+    cfg.bp.deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// The screening pre-pass: classifies every candidate method with the
@@ -861,6 +936,7 @@ fn screen_methods(
                 && !cfg.faults.should_panic(id)
                 && !cfg.faults.nan_factor(id)
                 && cfg.faults.oversize_extra(id) == 0
+                && cfg.faults.slow_ms(id).is_none()
                 && !m.is_constructor()
         })
         .map(|((id, _, _, _), _)| id.clone())

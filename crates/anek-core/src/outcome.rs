@@ -51,6 +51,12 @@ pub enum DegradeReason {
     /// of the non-converged solve's marginals
     /// (see `InferConfig::degraded_fallback`).
     PriorFallback,
+    /// The solve's wall-clock deadline (`BpOptions::deadline`, set by a
+    /// server request's `deadline_ms`) expired before convergence, or the
+    /// worklist stopped scheduling because the deadline had passed. The
+    /// spec comes from whatever marginals were produced in time; the result
+    /// is never cached (deadline truncation is timing-dependent).
+    DeadlineExpired,
 }
 
 impl fmt::Display for DegradeReason {
@@ -64,6 +70,7 @@ impl fmt::Display for DegradeReason {
             }
             DegradeReason::WorklistTruncated => write!(f, "worklist-truncated"),
             DegradeReason::PriorFallback => write!(f, "prior-fallback"),
+            DegradeReason::DeadlineExpired => write!(f, "deadline-expired"),
         }
     }
 }

@@ -115,6 +115,7 @@ fn outcome_table_is_byte_identical_for_any_thread_count_under_faults() {
         panic_methods: vec!["Spreadsheet.copy".into()],
         nan_methods: vec!["Row.*".into()],
         oversize_methods: vec![("Spreadsheet.testParseCSV".into(), 1 << 21)],
+        slow_methods: vec![],
     };
     let base_cfg = InferConfig { faults: faults.clone(), threads: 1, ..InferConfig::default() };
     let base = infer(&units, &api, &base_cfg);

@@ -42,8 +42,16 @@
 //! anek corpus <dir> [--small]   materialize the PMD-shaped synthetic corpus
 //!                               as .java files under <dir>
 //! anek serve (--stdio | --socket PATH) [--store DIR] [--threads N]
-//!                               long-running inference daemon speaking
-//!                               line-delimited JSON (see anek::serve)
+//!            [--workers N] [--admission-cap N] [--screen-depth N]
+//!            [--retry-after-ms MS] [--memory-budget-mb MB]
+//!            [--max-request-bytes N]
+//!                               long-running multi-session inference daemon
+//!                               speaking line-delimited JSON (see
+//!                               anek::serve): named sessions share one
+//!                               store, stacked edits coalesce, deep queues
+//!                               shed load (screen, then reject with
+//!                               retry_after_ms), and a memory budget evicts
+//!                               idle sessions' heavyweight state
 //! ```
 //!
 //! `--store DIR` (on `infer`, `pipeline` and `serve`) attaches the
@@ -55,8 +63,8 @@ use anek::bitstate;
 use anek::factor_graph::{BpPrecision, BpSchedule};
 use anek::plural::SpecTable;
 use anek::spec_lang::standard_api;
-use anek::{Pipeline, ServeSession};
-use std::io::{BufRead, Write};
+use anek::{Pipeline, Server, ServerOptions};
+use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -74,6 +82,9 @@ usage: anek <infer|check|lint|pipeline|pfg|corpus|serve> [flags] <file.java>...
   pfg      <file.java>... <Class.method>
   corpus   <dir> [--small]
   serve    (--stdio | --socket PATH) [--store DIR] [--threads N]
+           [--workers N] [--admission-cap N] [--screen-depth N]
+           [--retry-after-ms MS] [--memory-budget-mb MB]
+           [--max-request-bytes N]
 
 exit codes:
   0  success (infer: every source parsed and every method solved;
@@ -582,7 +593,13 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
             let mut socket: Option<String> = None;
             let mut store_dir: Option<String> = None;
             let mut threads: Option<usize> = None;
+            let mut opts = ServerOptions::default();
             let mut it = rest.iter();
+            let num =
+                |flag: &str, value: Option<&String>| -> Result<usize, Box<dyn std::error::Error>> {
+                    let v = value.ok_or_else(|| usage_err(format!("{flag} needs a number")))?;
+                    v.parse().map_err(|_| usage_err(format!("{flag}: bad number `{v}`")))
+                };
             while let Some(a) = it.next() {
                 if a == "--stdio" {
                     stdio = true;
@@ -594,10 +611,19 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                         it.next().ok_or_else(|| usage_err("--store needs a directory"))?.clone(),
                     );
                 } else if a == "--threads" {
-                    let n = it.next().ok_or_else(|| usage_err("--threads needs a count"))?;
-                    threads = Some(
-                        n.parse().map_err(|_| usage_err(format!("--threads: bad count `{n}`")))?,
-                    );
+                    threads = Some(num("--threads", it.next())?);
+                } else if a == "--workers" {
+                    opts.workers = num("--workers", it.next())?.max(1);
+                } else if a == "--admission-cap" {
+                    opts.policy.reject_depth = num("--admission-cap", it.next())?;
+                } else if a == "--screen-depth" {
+                    opts.policy.screen_depth = num("--screen-depth", it.next())?;
+                } else if a == "--retry-after-ms" {
+                    opts.policy.retry_after_ms = num("--retry-after-ms", it.next())? as u64;
+                } else if a == "--memory-budget-mb" {
+                    opts.memory_budget_bytes = num("--memory-budget-mb", it.next())? * 1024 * 1024;
+                } else if a == "--max-request-bytes" {
+                    opts.max_request_bytes = num("--max-request-bytes", it.next())?;
                 } else {
                     return Err(usage_err(format!("unknown serve argument `{a}`")));
                 }
@@ -615,11 +641,12 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
                 )),
                 None => None,
             };
-            let mut session = ServeSession::new(config, store);
+            let max_request_bytes = opts.max_request_bytes;
+            let server = Server::start(config, store, opts);
             if stdio {
-                serve_stdio(&mut session)?;
+                serve_stdio(server, max_request_bytes)?;
             } else {
-                serve_socket(&mut session, socket.as_deref().expect("checked above"))?;
+                serve_socket(server, socket.as_deref().expect("checked above"), max_request_bytes)?;
             }
             Ok(ExitCode::SUCCESS)
         }
@@ -627,62 +654,167 @@ fn run(cmd: &str, rest: &[String]) -> Result<ExitCode, Box<dyn std::error::Error
     }
 }
 
+/// One line from a bounded reader: the reader never buffers more than the
+/// configured maximum, so an oversized (or maliciously endless) request
+/// costs a structured error, not memory.
+enum BoundedLine {
+    /// A complete line within the limit (newline stripped).
+    Line(String),
+    /// A line longer than the limit; carries the discarded byte count.
+    Oversized(usize),
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes. Once the
+/// limit is crossed the rest of the line is consumed and discarded, so the
+/// stream stays aligned on the next line.
+fn read_bounded_line(
+    reader: &mut impl std::io::BufRead,
+    max: usize,
+) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarded = 0usize;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if discarded > 0 {
+                BoundedLine::Oversized(discarded)
+            } else if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if discarded > 0 || buf.len() + take > max {
+            // Over the limit: stop buffering, keep counting and skipping.
+            discarded += buf.len() + take;
+            buf.clear();
+            reader.consume(take + usize::from(newline.is_some()));
+            if newline.is_some() {
+                return Ok(BoundedLine::Oversized(discarded));
+            }
+        } else {
+            buf.extend_from_slice(&chunk[..take]);
+            reader.consume(take + usize::from(newline.is_some()));
+            if newline.is_some() {
+                return Ok(BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+        }
+    }
+}
+
+/// Pumps one transport connection: reads bounded lines into the client,
+/// closing the request stream at EOF.
+fn pump_requests(
+    mut client: anek::Client,
+    mut reader: impl std::io::BufRead,
+    max_request_bytes: usize,
+) {
+    loop {
+        match read_bounded_line(&mut reader, max_request_bytes) {
+            Ok(BoundedLine::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                client.send(&line);
+            }
+            Ok(BoundedLine::Oversized(bytes)) => {
+                client.send_oversized(bytes);
+            }
+            Ok(BoundedLine::Eof) | Err(_) => break,
+        }
+    }
+    client.close();
+}
+
 /// Serves line-delimited JSON over stdin/stdout until EOF or `shutdown`.
-fn serve_stdio(session: &mut ServeSession) -> Result<(), Box<dyn std::error::Error>> {
-    let stdin = std::io::stdin();
+fn serve_stdio(server: Server, max_request_bytes: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let client = server.connect();
+    let responses = client.responses();
+    server.detach();
+    std::thread::spawn(move || pump_requests(client, std::io::stdin().lock(), max_request_bytes));
     let mut out = std::io::stdout().lock();
-    for line in stdin.lock().lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let handled = session.handle_line(&line);
-        writeln!(out, "{}", handled.response)?;
+    while let Some((line, _)) = responses.pop() {
+        writeln!(out, "{line}")?;
         out.flush()?;
-        if handled.shutdown {
-            break;
-        }
     }
     Ok(())
 }
 
-/// Serves clients one at a time over a Unix socket until `shutdown`.
+/// Removes the socket file when the daemon exits cleanly.
 #[cfg(unix)]
-fn serve_socket(session: &mut ServeSession, path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    // A stale socket file from a previous run would make bind fail.
-    let _ = std::fs::remove_file(path);
+struct SocketGuard(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Serves concurrent clients over a Unix socket until `shutdown`.
+#[cfg(unix)]
+fn serve_socket(
+    server: Server,
+    path: &str,
+    max_request_bytes: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use std::os::unix::fs::FileTypeExt;
+    // Unlink a stale socket left by a crashed daemon, but refuse to clobber
+    // a path that is some other kind of file.
+    match std::fs::symlink_metadata(path) {
+        Ok(meta) if meta.file_type().is_socket() => {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(_) => {
+            return Err(format!("--socket {path}: path exists and is not a socket").into());
+        }
+        Err(_) => {}
+    }
     let listener = std::os::unix::net::UnixListener::bind(path)
         .map_err(|e| format!("--socket {path}: {e}"))?;
+    let _guard = SocketGuard(std::path::PathBuf::from(path));
+    listener.set_nonblocking(true)?;
     eprintln!("anek serve: listening on {path}");
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let mut reader = std::io::BufReader::new(stream.try_clone()?);
-        let mut writer = std::io::BufWriter::new(stream);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                break; // client hung up; accept the next one
+    let mut handlers = Vec::new();
+    while !server.stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let client = server.connect();
+                let responses = client.responses();
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                std::thread::spawn(move || pump_requests(client, reader, max_request_bytes));
+                handlers.push(std::thread::spawn(move || {
+                    let mut writer = std::io::BufWriter::new(stream);
+                    while let Some((line, _)) = responses.pop() {
+                        if writeln!(writer, "{line}").and_then(|()| writer.flush()).is_err() {
+                            break;
+                        }
+                    }
+                }));
             }
-            if line.trim().is_empty() {
-                continue;
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
             }
-            let handled = session.handle_line(&line);
-            writeln!(writer, "{}", handled.response)?;
-            writer.flush()?;
-            if handled.shutdown {
-                let _ = std::fs::remove_file(path);
-                return Ok(());
-            }
+            Err(e) => return Err(e.into()),
         }
+    }
+    // The drain is done: hang up every outbox so writers finish flushing.
+    server.join();
+    for h in handlers {
+        let _ = h.join();
     }
     Ok(())
 }
 
 #[cfg(not(unix))]
 fn serve_socket(
-    _session: &mut ServeSession,
+    _server: Server,
     _path: &str,
+    _max_request_bytes: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     Err("--socket is only supported on Unix; use --stdio".into())
 }

@@ -44,7 +44,9 @@ pub mod serve;
 pub use apply::{apply_specs, render};
 pub use check::{cross_validate, CrossReport, CrossRow};
 pub use pipeline::{Pipeline, PipelineReport, SkippedSource};
-pub use serve::{Handled, ServeSession};
+pub use serve::{
+    Client, Handled, SendStatus, ServeSession, Server, ServerOptions, ShedPolicy, ShedTier,
+};
 
 pub use analysis;
 pub use anek_core;

@@ -1,0 +1,68 @@
+//! The `anek serve` inference daemon: a multi-tenant, long-running server
+//! answering line-delimited JSON requests with millisecond-scale latency.
+//!
+//! ## Protocol (one JSON object per line, in and out)
+//!
+//! ```text
+//! → {"id":1,"method":"load_sources","params":{"sources":[{"name":"A.java","text":"..."}]}}
+//! ← {"id":1,"result":{"loaded":1,"skipped":[],"methods":3,"solves":5,"memo_hits":0,"memo_misses":5}}
+//! → {"id":2,"method":"query_spec","params":{"session":"alice","method":"A.m","deadline_ms":250}}
+//! ← {"id":2,"result":{"method":"A.m","requires":"...","ensures":"...","confidence":0.97}}
+//! ```
+//!
+//! Requests: `load_sources`, `update_source`, `query_spec`,
+//! `query_outcomes`, `inject_faults`, `stats`, `open_session`,
+//! `close_session`, `server_stats`, `shutdown`. Every request may carry
+//! `params.session` (default `"default"`) and `params.deadline_ms`.
+//! Responses carry either `result` or `error`; structured errors add a
+//! `code` (`overloaded`, `deadline`, `too_large`, `shutting_down`) and
+//! `overloaded` adds `retry_after_ms`. No response contains wall-clock
+//! times, so a scripted session's transcript is byte-stable (the CI golden
+//! gates rely on this).
+//!
+//! ## Architecture
+//!
+//! - [`session`] — one workspace: sources, config, last result.
+//! - [`registry`] — named sessions sharing one process and one store, with
+//!   LRU eviction of heavyweight state under a memory budget.
+//! - [`scheduler`] — per-session FIFO queues, a global admission cap,
+//!   coalescing of stacked edits, and ordered per-client delivery.
+//! - [`shed`] — the three-tier overload policy (full → screen → reject).
+//! - [`server`] — the worker pool and the in-process [`Client`] handle.
+//!
+//! Fault tolerance: per-method solve faults (including injected panics)
+//! are isolated by the worklist, so a failing method surfaces in
+//! `query_outcomes` as `failed` while the daemon keeps serving; `shutdown`
+//! drains gracefully — everything already queued is answered first.
+
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod shed;
+
+pub use registry::{SessionRegistry, SessionSlot};
+pub use scheduler::{Admission, Outbox, SchedCounters, Scheduler};
+pub use server::{Client, SendStatus, Server, ServerOptions};
+pub use session::{Handled, RequestCtx, ServeSession};
+pub use shed::{ShedPolicy, ShedTier};
+
+use crate::json::Json;
+
+/// Renders the classic error response: `{"id":…,"error":{"message":…}}`.
+/// The shape predates error codes and is pinned by the golden transcript.
+pub(crate) fn error_response(id: Json, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".into(), id),
+        ("error".into(), Json::Obj(vec![("message".into(), Json::str(message))])),
+    ])
+    .to_string()
+}
+
+/// Renders a structured error response:
+/// `{"id":…,"error":{"message":…,"code":…,…extra}}`.
+pub(crate) fn error_coded(id: Json, code: &str, message: &str, extra: &[(String, Json)]) -> String {
+    let mut fields = vec![("message".into(), Json::str(message)), ("code".into(), Json::str(code))];
+    fields.extend(extra.iter().cloned());
+    Json::Obj(vec![("id".into(), id), ("error".into(), Json::Obj(fields))]).to_string()
+}

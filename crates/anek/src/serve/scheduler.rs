@@ -1,0 +1,531 @@
+//! The bounded request scheduler: per-session FIFO queues under a global
+//! admission cap, with coalescing of stacked edits and ordered per-client
+//! response delivery.
+//!
+//! ## Invariants
+//!
+//! - **Per-session FIFO**: at most one request of a session runs at a time,
+//!   and requests of a session start in exactly their enqueue order. All
+//!   cross-session interleaving affects only latency, never any session's
+//!   final state.
+//! - **Every request is answered exactly once** — executed, coalesced
+//!   (`{"superseded": true}`), rejected (`overloaded` + `retry_after_ms`),
+//!   cancelled (`deadline`), or drained at shutdown (`shutting_down`).
+//! - **Per-client responses deliver in request order**: workers finish out
+//!   of order across sessions, but each response is released through the
+//!   client's [`Outbox`] only after every earlier response of that client —
+//!   a scripted transcript is byte-stable no matter how many workers run.
+//! - **Coalescing**: a queued-but-not-started `update_source` for the same
+//!   session and source as a newly enqueued one is superseded — removed
+//!   from the queue and answered immediately. Only the newest edit's dirty
+//!   cone is ever solved. Because a session's inference state is a pure
+//!   function of (sources, config) warmed by the shared store, skipping the
+//!   intermediate solve cannot change any later answer.
+
+use crate::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use super::shed::{ShedPolicy, ShedTier};
+
+/// The parsed envelope of one request.
+#[derive(Debug, Clone)]
+pub struct RequestMeta {
+    /// The request `id`, echoed in the response.
+    pub id: Json,
+    /// The request method name.
+    pub method: String,
+    /// The request `params` object.
+    pub params: Json,
+    /// Target session name (`"default"` when the request names none).
+    pub session: String,
+    /// Absolute deadline derived from `deadline_ms`, if any.
+    pub deadline: Option<Instant>,
+}
+
+/// A request waiting in (or running from) a session queue, bound to the
+/// client outbox slot that must receive its answer.
+pub(crate) struct Queued {
+    pub meta: RequestMeta,
+    pub outbox: std::sync::Arc<Outbox>,
+    pub seq: u64,
+}
+
+/// Whether `method` performs model solves when it runs (the requests the
+/// admission cap and shed tiers apply to). Queries, stats and control
+/// requests are always admitted — an overloaded server stays observable.
+pub fn is_solving(method: &str) -> bool {
+    matches!(method, "load_sources" | "update_source" | "inject_faults")
+}
+
+/// Ordered response channel of one client.
+///
+/// Workers push responses tagged with the request's per-client sequence
+/// number; the outbox releases them strictly in sequence order, parking
+/// out-of-order completions until the gap fills. The transport (or an
+/// in-process client) blocks on [`Outbox::pop`].
+pub struct Outbox {
+    inner: Mutex<OutboxInner>,
+    cv: Condvar,
+}
+
+struct OutboxInner {
+    /// Completions that arrived ahead of their turn: seq → (line, at).
+    parked: BTreeMap<u64, (String, Instant)>,
+    /// Released lines not yet popped.
+    ready: VecDeque<(String, Instant)>,
+    /// Next sequence number to release.
+    next: u64,
+    /// Total requests the client will ever send (set by `close`); once
+    /// `next` reaches it and `ready` drains, `pop` returns `None`.
+    total: Option<u64>,
+    /// Server went away (shutdown): `pop` drains `ready` then ends.
+    hangup: bool,
+}
+
+impl Outbox {
+    pub(crate) fn new() -> Outbox {
+        Outbox {
+            inner: Mutex::new(OutboxInner {
+                parked: BTreeMap::new(),
+                ready: VecDeque::new(),
+                next: 0,
+                total: None,
+                hangup: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Delivers the response for request `seq`, releasing it (and any
+    /// parked successors) once every earlier response has been delivered.
+    pub(crate) fn push(&self, seq: u64, line: String) {
+        let mut g = self.inner.lock().unwrap();
+        g.parked.insert(seq, (line, Instant::now()));
+        while let Some(entry) = {
+            let next = g.next;
+            g.parked.remove(&next)
+        } {
+            g.ready.push_back(entry);
+            g.next += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks the sequence space complete: the client has sent `total`
+    /// requests and will send no more.
+    pub(crate) fn close(&self, total: u64) {
+        let mut g = self.inner.lock().unwrap();
+        g.total = Some(total);
+        self.cv.notify_all();
+    }
+
+    /// Server-side hangup: release whatever is ready, then end the stream.
+    pub(crate) fn hangup(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.hangup = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next in-order response; `None` when the stream is
+    /// complete (client closed and fully drained, or server hangup). The
+    /// instant is when the response became ready — latency measured against
+    /// it excludes the consumer's own read delay.
+    pub fn pop(&self) -> Option<(String, Instant)> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(entry) = g.ready.pop_front() {
+                return Some(entry);
+            }
+            if g.hangup || g.total.is_some_and(|t| g.next >= t) {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Monotonic counters of scheduler traffic, exported via `server_stats`
+/// and the load bench.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    /// Requests accepted into a session queue.
+    pub admitted: AtomicU64,
+    /// Requests whose execution completed (any response).
+    pub completed: AtomicU64,
+    /// Solving requests refused at admission (tier 3).
+    pub rejected: AtomicU64,
+    /// `update_source` requests superseded by a newer stacked edit to the
+    /// same source (answered `{"superseded": true}` without running).
+    pub coalesced: AtomicU64,
+    /// Solving requests executed under the screening tier (tier 2).
+    pub shed_screen: AtomicU64,
+    /// Requests cancelled because their deadline passed before they ran.
+    pub deadline_cancelled: AtomicU64,
+    /// High-water mark of the global queue depth.
+    pub peak_depth: AtomicU64,
+}
+
+impl SchedCounters {
+    fn bump_peak(&self, depth: usize) {
+        self.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// (admitted, completed, rejected, coalesced, shed_screen,
+    /// deadline_cancelled, peak_depth) — one consistent-enough snapshot.
+    pub fn snapshot(&self) -> [u64; 7] {
+        [
+            self.admitted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.shed_screen.load(Ordering::Relaxed),
+            self.deadline_cancelled.load(Ordering::Relaxed),
+            self.peak_depth.load(Ordering::Relaxed),
+        ]
+    }
+}
+
+struct SessionQueue {
+    fifo: VecDeque<Queued>,
+    /// A worker is executing a request of this session right now.
+    running: bool,
+}
+
+struct SchedState {
+    queues: BTreeMap<String, SessionQueue>,
+    /// Requests queued and not yet started, across all sessions.
+    depth: usize,
+    /// Requests currently executing.
+    running: usize,
+    /// `shutdown` was executed: no new admissions, queues drain, then stop.
+    draining: bool,
+    /// Drain complete: workers exit.
+    stopped: bool,
+    /// Test/bench hook: workers pause dequeuing while held, so a burst can
+    /// be enqueued deterministically (guaranteed stacking → guaranteed
+    /// coalescing/shed tiers, independent of worker speed).
+    held: bool,
+}
+
+/// What [`Scheduler::next`] hands a worker.
+pub(crate) enum Dispatch {
+    /// Execute this request under this shed tier.
+    Run(Queued, ShedTier),
+    /// Drain finished; the worker exits.
+    Exit,
+}
+
+/// Outcome of [`Scheduler::enqueue`], for callers (the load generator) that
+/// want to react to backpressure without reading the outbox out of order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; the response will arrive through the outbox.
+    Queued,
+    /// Refused at admission; an `overloaded` error response (with
+    /// `retry_after_ms`) was pushed to the outbox.
+    Rejected,
+    /// The server is shutting down; a `shutting_down` error was pushed.
+    ShuttingDown,
+}
+
+/// The bounded multi-session scheduler (see the module docs).
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    /// Signaled when runnable work may exist (or the world changed).
+    work: Condvar,
+    /// Signaled when the drain may have completed.
+    idle: Condvar,
+    /// The shed policy consulted at admission and dispatch.
+    pub policy: ShedPolicy,
+    /// Traffic counters.
+    pub counters: SchedCounters,
+}
+
+impl Scheduler {
+    pub(crate) fn new(policy: ShedPolicy) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                queues: BTreeMap::new(),
+                depth: 0,
+                running: 0,
+                draining: false,
+                stopped: false,
+                held: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            policy,
+            counters: SchedCounters::default(),
+        }
+    }
+
+    /// Admits (or refuses) one request. Every path answers the request
+    /// eventually: refusal paths push their error response here and now.
+    pub(crate) fn enqueue(&self, q: Queued) -> Admission {
+        let mut g = self.state.lock().unwrap();
+        if g.draining || g.stopped {
+            q.outbox.push(
+                q.seq,
+                super::error_coded(q.meta.id, "shutting_down", "server is shutting down", &[]),
+            );
+            return Admission::ShuttingDown;
+        }
+        let solving = is_solving(&q.meta.method);
+        if solving && self.policy.tier(g.depth) == ShedTier::Reject {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let retry = self.policy.retry_after_ms;
+            q.outbox.push(
+                q.seq,
+                super::error_coded(
+                    q.meta.id,
+                    "overloaded",
+                    "admission queue full",
+                    &[("retry_after_ms".into(), Json::num(retry as usize))],
+                ),
+            );
+            return Admission::Rejected;
+        }
+        let queue = g
+            .queues
+            .entry(q.meta.session.clone())
+            .or_insert_with(|| SessionQueue { fifo: VecDeque::new(), running: false });
+        // Coalesce stacked edits: an older queued-not-started update to the
+        // same source is superseded by this one.
+        if q.meta.method == "update_source" {
+            let name = q.meta.params.get("name").and_then(Json::as_str).map(ToOwned::to_owned);
+            if let Some(name) = name {
+                let stale = queue.fifo.iter().position(|p| {
+                    p.meta.method == "update_source"
+                        && p.meta.params.get("name").and_then(Json::as_str) == Some(name.as_str())
+                });
+                if let Some(at) = stale {
+                    let old = queue.fifo.remove(at).expect("position came from this queue");
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let body = Json::Obj(vec![
+                        ("id".into(), old.meta.id),
+                        ("result".into(), Json::Obj(vec![("superseded".into(), Json::Bool(true))])),
+                    ]);
+                    old.outbox.push(old.seq, body.to_string());
+                    g.depth -= 1;
+                }
+            }
+        }
+        let queue = g.queues.get_mut(&q.meta.session).expect("inserted above");
+        queue.fifo.push_back(q);
+        g.depth += 1;
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.bump_peak(g.depth);
+        self.work.notify_all();
+        Admission::Queued
+    }
+
+    /// Blocks until a request is runnable (first eligible session in name
+    /// order — deterministic given a deterministic queue state) or the
+    /// drain completes.
+    pub(crate) fn next(&self) -> Dispatch {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if g.stopped {
+                return Dispatch::Exit;
+            }
+            if !g.held {
+                let ready = g
+                    .queues
+                    .iter()
+                    .find(|(_, q)| !q.running && !q.fifo.is_empty())
+                    .map(|(name, _)| name.clone());
+                if let Some(name) = ready {
+                    let queue = g.queues.get_mut(&name).expect("found above");
+                    queue.running = true;
+                    let item = queue.fifo.pop_front().expect("non-empty above");
+                    g.depth -= 1;
+                    g.running += 1;
+                    let tier = if is_solving(&item.meta.method) {
+                        // Depth after removing this item: the backlog the
+                        // request leaves behind decides its tier.
+                        match self.policy.tier(g.depth) {
+                            ShedTier::Reject => ShedTier::Screen,
+                            t => t,
+                        }
+                    } else {
+                        ShedTier::Full
+                    };
+                    return Dispatch::Run(item, tier);
+                }
+                if g.draining && g.depth == 0 && g.running == 0 {
+                    g.stopped = true;
+                    self.work.notify_all();
+                    self.idle.notify_all();
+                    return Dispatch::Exit;
+                }
+            }
+            g = self.work.wait(g).unwrap();
+        }
+    }
+
+    /// Marks a dispatched request finished, unblocking the session's queue.
+    pub(crate) fn finish(&self, session: &str) {
+        let mut g = self.state.lock().unwrap();
+        if let Some(queue) = g.queues.get_mut(session) {
+            queue.running = false;
+        }
+        g.running -= 1;
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        if g.draining && g.depth == 0 && g.running == 0 {
+            g.stopped = true;
+            self.idle.notify_all();
+        }
+        self.work.notify_all();
+    }
+
+    /// Begins a graceful drain: no new admissions; queued and running work
+    /// completes; workers then stop.
+    pub(crate) fn begin_drain(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.draining = true;
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Pauses (`true`) or resumes (`false`) worker dispatch. While held,
+    /// enqueues stack deterministically — the load generator and the
+    /// overload tests use this to exercise coalescing and shed tiers
+    /// independently of worker speed.
+    pub fn hold(&self, on: bool) {
+        let mut g = self.state.lock().unwrap();
+        g.held = on;
+        if !on {
+            self.work.notify_all();
+        }
+    }
+
+    /// Current queued-not-started request count.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().depth
+    }
+
+    /// Whether the drain has completed.
+    pub(crate) fn stopped(&self) -> bool {
+        self.state.lock().unwrap().stopped
+    }
+
+    /// Blocks until the drain completes (after [`Scheduler::begin_drain`]).
+    pub(crate) fn wait_stopped(&self) {
+        let mut g = self.state.lock().unwrap();
+        while !g.stopped {
+            g = self.idle.wait(g).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn meta(method: &str, session: &str, source: Option<&str>) -> RequestMeta {
+        let params = match source {
+            Some(s) => Json::Obj(vec![
+                ("name".into(), Json::str(s)),
+                ("text".into(), Json::str("class A {}")),
+            ]),
+            None => Json::Obj(Vec::new()),
+        };
+        RequestMeta {
+            id: Json::num(1),
+            method: method.into(),
+            params,
+            session: session.into(),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn outbox_releases_in_sequence_order() {
+        let ob = Outbox::new();
+        ob.push(2, "third".into());
+        ob.push(0, "first".into());
+        assert_eq!(ob.pop().unwrap().0, "first");
+        ob.push(1, "second".into());
+        assert_eq!(ob.pop().unwrap().0, "second");
+        assert_eq!(ob.pop().unwrap().0, "third");
+        ob.close(3);
+        assert!(ob.pop().is_none());
+    }
+
+    #[test]
+    fn stacked_updates_coalesce_to_the_newest() {
+        let sched = Scheduler::new(ShedPolicy::default());
+        sched.hold(true);
+        let ob = Arc::new(Outbox::new());
+        for seq in 0..3 {
+            let q = Queued {
+                meta: meta("update_source", "s", Some("A.java")),
+                outbox: Arc::clone(&ob),
+                seq,
+            };
+            assert_eq!(sched.enqueue(q), Admission::Queued);
+        }
+        // Two older edits superseded; only the newest remains queued.
+        assert_eq!(sched.counters.coalesced.load(Ordering::Relaxed), 2);
+        assert_eq!(sched.depth(), 1);
+        let (line, _) = ob.pop().expect("superseded response");
+        assert!(line.contains("\"superseded\":true"), "{line}");
+    }
+
+    #[test]
+    fn admission_cap_rejects_with_retry_hint() {
+        let policy = ShedPolicy { screen_depth: 1, reject_depth: 2, retry_after_ms: 9 };
+        let sched = Scheduler::new(policy);
+        sched.hold(true);
+        let ob = Arc::new(Outbox::new());
+        // A second client sends the request that gets refused — its outbox
+        // has no earlier pending responses, so the refusal pops directly.
+        let ob2 = Arc::new(Outbox::new());
+        let mk = |ob: &Arc<Outbox>, seq, src: &str| Queued {
+            meta: meta("update_source", "s", Some(src)),
+            outbox: Arc::clone(ob),
+            seq,
+        };
+        assert_eq!(sched.enqueue(mk(&ob, 0, "A.java")), Admission::Queued);
+        assert_eq!(sched.enqueue(mk(&ob, 1, "B.java")), Admission::Queued);
+        assert_eq!(sched.enqueue(mk(&ob2, 0, "C.java")), Admission::Rejected);
+        // Non-solving requests are still admitted at full depth.
+        let q = Queued { meta: meta("query_outcomes", "s", None), outbox: Arc::clone(&ob), seq: 2 };
+        assert_eq!(sched.enqueue(q), Admission::Queued);
+        let (line, _) = ob2.pop().expect("rejection response");
+        assert!(line.contains("\"code\":\"overloaded\""), "{line}");
+        assert!(line.contains("\"retry_after_ms\":9"), "{line}");
+    }
+
+    #[test]
+    fn drain_answers_everything_then_stops() {
+        let sched = Arc::new(Scheduler::new(ShedPolicy::default()));
+        let ob = Arc::new(Outbox::new());
+        sched.hold(true);
+        let q = Queued { meta: meta("stats", "s", None), outbox: Arc::clone(&ob), seq: 0 };
+        sched.enqueue(q);
+        let worker = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || {
+                while let Dispatch::Run(item, _) = sched.next() {
+                    item.outbox.push(item.seq, "{}".into());
+                    sched.finish(&item.meta.session);
+                }
+            })
+        };
+        sched.begin_drain();
+        sched.hold(false);
+        sched.wait_stopped();
+        worker.join().unwrap();
+        assert_eq!(ob.pop().unwrap().0, "{}");
+        // Enqueue after drain answers shutting_down immediately.
+        let q = Queued { meta: meta("stats", "s", None), outbox: Arc::clone(&ob), seq: 1 };
+        assert_eq!(sched.enqueue(q), Admission::ShuttingDown);
+        let (line, _) = ob.pop().expect("shutdown refusal");
+        assert!(line.contains("shutting_down"), "{line}");
+    }
+}

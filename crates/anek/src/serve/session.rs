@@ -1,6 +1,9 @@
-//! The `anek serve` inference daemon: a long-running session that keeps
-//! parsed sources, the persistent store and the last inference result warm,
-//! and answers line-delimited JSON requests with millisecond-scale latency.
+//! One serve workspace: a session that keeps parsed sources, the shared
+//! store and the last inference result warm, and answers line-delimited
+//! JSON requests with millisecond-scale latency. The multi-tenant server
+//! (see [`super::server`]) runs many of these behind a scheduler; a single
+//! session driven serially through [`ServeSession::handle_line`] is the
+//! byte-stable reference the CI golden gate scripts.
 //!
 //! Protocol (one JSON object per line, in and out):
 //!
@@ -21,13 +24,30 @@
 //! are already isolated by the worklist, so a failing method surfaces in
 //! `query_outcomes` as `failed` while the daemon keeps serving.
 
+use super::error_response;
 use crate::json::{self, Json};
 use anek_core::{infer_with_store, InferCache, InferConfig, InferResult};
 use java_syntax::ast::CompilationUnit;
 use spec_lang::{standard_api, ApiRegistry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 use store::{DepIndex, Store, StoreStats};
+
+/// Per-request execution context the scheduler hands a session: an
+/// absolute deadline and whether the load shedder degraded this request to
+/// a screening-only solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestCtx {
+    /// Absolute wall-clock deadline for solves run by this request. A
+    /// deadline-truncated run reports `Degraded{deadline-expired}` outcomes
+    /// and is never recorded to the store.
+    pub deadline: Option<Instant>,
+    /// Force the bit-vector screening pre-pass on for this request's solve
+    /// (shed tier 2). The session remembers it owes a full catch-up solve;
+    /// the next query performs it.
+    pub shed_screen: bool,
+}
 
 /// One serve session: sources, configuration, optional store, and the most
 /// recent inference result.
@@ -45,6 +65,12 @@ pub struct ServeSession {
     /// Reverse-call dependency index from the last run, used to report the
     /// dirty cone of an update.
     dep: DepIndex,
+    /// Monotonic count of inference runs this session has performed. The
+    /// registry mirrors it per slot for `server_stats`.
+    pub generation: u64,
+    /// A shed (screening-only) run left the cached result degraded; the
+    /// next query must re-solve fully before answering.
+    needs_full: bool,
 }
 
 /// What [`ServeSession::handle_line`] produced: the response line and
@@ -67,10 +93,13 @@ impl ServeSession {
             skipped: Vec::new(),
             result: None,
             dep: DepIndex::default(),
+            generation: 0,
+            needs_full: false,
         }
     }
 
-    /// Handles one request line.
+    /// Handles one request line serially (no deadline, no shedding) — the
+    /// protocol path the golden transcript exercises byte-for-byte.
     pub fn handle_line(&mut self, line: &str) -> Handled {
         let request = match json::parse(line) {
             Ok(v) => v,
@@ -84,13 +113,28 @@ impl ServeSession {
         let id = request.get("id").cloned().unwrap_or(Json::Null);
         let method = request.get("method").and_then(Json::as_str).unwrap_or("").to_string();
         let params = request.get("params").cloned().unwrap_or(Json::Obj(Vec::new()));
+        self.handle_request(id, &method, &params, &RequestCtx::default())
+    }
+
+    /// Handles one parsed request under an execution context. With the
+    /// default context this is exactly [`ServeSession::handle_line`] after
+    /// parsing; a deadline or shed flag only ever *adds* response fields
+    /// (`"deadline":true`, `"shed":"screen"`), so undegraded responses stay
+    /// byte-identical to the serial protocol.
+    pub fn handle_request(
+        &mut self,
+        id: Json,
+        method: &str,
+        params: &Json,
+        ctx: &RequestCtx,
+    ) -> Handled {
         let mut shutdown = false;
-        let outcome = match method.as_str() {
-            "load_sources" => self.load_sources(&params),
-            "update_source" => self.update_source(&params),
-            "query_spec" => self.query_spec(&params),
+        let outcome = match method {
+            "load_sources" => self.load_sources(params, ctx),
+            "update_source" => self.update_source(params, ctx),
+            "query_spec" => self.query_spec(params),
             "query_outcomes" => self.query_outcomes(),
-            "inject_faults" => self.inject_faults(&params),
+            "inject_faults" => self.inject_faults(params, ctx),
             "stats" => Ok(self.stats()),
             "shutdown" => {
                 shutdown = true;
@@ -103,7 +147,19 @@ impl ServeSession {
             other => Err(format!("unknown method `{other}`")),
         };
         let response = match outcome {
-            Ok(result) => Json::Obj(vec![("id".into(), id), ("result".into(), result)]).to_string(),
+            Ok(mut result) => {
+                if matches!(method, "load_sources" | "update_source" | "inject_faults") {
+                    if let Json::Obj(fields) = &mut result {
+                        if self.result.as_ref().is_some_and(|r| r.deadline_hit) {
+                            fields.push(("deadline".into(), Json::Bool(true)));
+                        }
+                        if ctx.shed_screen {
+                            fields.push(("shed".into(), Json::str("screen")));
+                        }
+                    }
+                }
+                Json::Obj(vec![("id".into(), id), ("result".into(), result)]).to_string()
+            }
             Err(message) => error_response(id, &message),
         };
         Handled { response, shutdown }
@@ -111,7 +167,7 @@ impl ServeSession {
 
     /// Re-parses every source (leniently) and re-runs inference through the
     /// store. Returns counters shared by several responses.
-    fn run_infer(&mut self) -> Json {
+    fn run_infer(&mut self, ctx: &RequestCtx) -> Json {
         let mut units: Vec<CompilationUnit> = Vec::new();
         self.skipped.clear();
         for (name, text) in &self.sources {
@@ -120,10 +176,28 @@ impl ServeSession {
                 Err(_) => self.skipped.push(name.clone()),
             }
         }
+        let saved_screen = self.config.screen;
+        self.config.screen = saved_screen || ctx.shed_screen;
+        self.config.bp.deadline = ctx.deadline;
         let cache = self.store.as_deref().map(|s| s as &dyn InferCache);
         let result = infer_with_store(&units, &self.api, &self.config, cache);
+        self.config.screen = saved_screen;
+        self.config.bp.deadline = None;
+        self.generation += 1;
+        // A degraded run (shed to screening, or truncated by its deadline)
+        // never records to the store — partial results must not poison the
+        // shared cache — and a shed run marks the session as owing a full
+        // catch-up before the next query answers.
+        let degraded_run = ctx.shed_screen || result.deadline_hit;
         if let Some(store) = &self.store {
-            let _ = store.record_run(&units, &self.api, &self.config, &result);
+            if !degraded_run {
+                let _ = store.record_run(&units, &self.api, &self.config, &result);
+            }
+        }
+        if ctx.shed_screen {
+            self.needs_full = true;
+        } else if !result.deadline_hit {
+            self.needs_full = false;
         }
         self.dep = DepIndex::default();
         for id in result.summaries.keys() {
@@ -142,7 +216,7 @@ impl ServeSession {
         counters
     }
 
-    fn load_sources(&mut self, params: &Json) -> Result<Json, String> {
+    fn load_sources(&mut self, params: &Json, ctx: &RequestCtx) -> Result<Json, String> {
         let sources = params
             .get("sources")
             .and_then(Json::as_arr)
@@ -161,7 +235,7 @@ impl ServeSession {
                 .to_string();
             self.sources.insert(name, text);
         }
-        let counters = self.run_infer();
+        let counters = self.run_infer(ctx);
         let mut fields = vec![
             ("loaded".into(), Json::num(self.sources.len())),
             ("skipped".into(), Json::Arr(self.skipped.iter().map(Json::str).collect())),
@@ -172,7 +246,7 @@ impl ServeSession {
         Ok(Json::Obj(fields))
     }
 
-    fn update_source(&mut self, params: &Json) -> Result<Json, String> {
+    fn update_source(&mut self, params: &Json, ctx: &RequestCtx) -> Result<Json, String> {
         let name = params
             .get("name")
             .and_then(Json::as_str)
@@ -202,7 +276,7 @@ impl ServeSession {
         }
         let cone = self.dep.dirty_cone(roots);
         self.sources.insert(name, text);
-        let counters = self.run_infer();
+        let counters = self.run_infer(ctx);
         let mut fields = vec![(
             "dirty".into(),
             Json::Arr(cone.iter().map(|id| Json::str(id.to_string())).collect()),
@@ -214,6 +288,7 @@ impl ServeSession {
     }
 
     fn query_spec(&mut self, params: &Json) -> Result<Json, String> {
+        self.ensure_full();
         let target =
             params.get("method").and_then(Json::as_str).ok_or("query_spec needs params.method")?;
         let (class, method) =
@@ -232,6 +307,7 @@ impl ServeSession {
     }
 
     fn query_outcomes(&mut self) -> Result<Json, String> {
+        self.ensure_full();
         let result = self.result.as_ref().ok_or("no sources loaded")?;
         let outcomes = result
             .outcomes
@@ -250,7 +326,37 @@ impl ServeSession {
         ]))
     }
 
-    fn inject_faults(&mut self, params: &Json) -> Result<Json, String> {
+    /// Re-solves fully when the cached result is missing (evicted) or was
+    /// produced by a shed screening-only run. The content-addressed store
+    /// makes the catch-up warm, so the rebuilt state is byte-identical to
+    /// the state an unshedded serial run would hold.
+    fn ensure_full(&mut self) {
+        if (self.needs_full || self.result.is_none()) && !self.sources.is_empty() {
+            self.run_infer(&RequestCtx::default());
+        }
+    }
+
+    /// Drops the heavyweight state (last result + dependency index),
+    /// keeping sources and configuration. The next query transparently
+    /// rebuilds it via [`ServeSession::ensure_full`].
+    pub fn evict_heavy(&mut self) {
+        self.result = None;
+        self.dep = DepIndex::default();
+    }
+
+    /// Coarse, deterministic estimate of this session's *evictable*
+    /// heavyweight footprint in bytes — LRU bookkeeping for the registry's
+    /// memory budget, not an allocator measurement. Zero after
+    /// [`ServeSession::evict_heavy`] (unevictable sources and config are
+    /// deliberately excluded, so the budget loop always terminates).
+    pub fn resident_bytes(&self) -> usize {
+        self.result.as_ref().map_or(0, |r| {
+            let sources: usize = self.sources.iter().map(|(n, t)| n.len() + t.len()).sum();
+            sources + r.summaries.len() * 4096
+        })
+    }
+
+    fn inject_faults(&mut self, params: &Json, ctx: &RequestCtx) -> Result<Json, String> {
         let text =
             params.get("plan").and_then(Json::as_str).ok_or("inject_faults needs params.plan")?;
         let plan = corpus::FaultPlan::parse(text)?;
@@ -262,7 +368,7 @@ impl ServeSession {
         for (slot, text) in self.sources.values_mut().zip(texts) {
             *slot = text;
         }
-        let counters = self.run_infer();
+        let counters = self.run_infer(ctx);
         let failed: Vec<Json> = self
             .result
             .as_ref()
@@ -284,6 +390,7 @@ impl ServeSession {
     fn stats(&self) -> Json {
         let mut fields = vec![
             ("sources".into(), Json::num(self.sources.len())),
+            ("generation".into(), Json::num(self.generation as usize)),
             ("methods".into(), Json::num(self.result.as_ref().map_or(0, |r| r.summaries.len()))),
             ("memo_hits".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_hits))),
             ("memo_misses".into(), Json::num(self.result.as_ref().map_or(0, |r| r.memo_misses))),
@@ -330,14 +437,6 @@ impl ServeSession {
         fields.push(("store".into(), store_field));
         Json::Obj(fields)
     }
-}
-
-fn error_response(id: Json, message: &str) -> String {
-    Json::Obj(vec![
-        ("id".into(), id),
-        ("error".into(), Json::Obj(vec![("message".into(), Json::str(message))])),
-    ])
-    .to_string()
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! The three-tier load-shedding policy of the multi-session server.
+//!
+//! Overload is a function of *queue depth*, not wall-clock: the scheduler
+//! consults the policy with the number of requests waiting to run and gets
+//! back a tier. The tiers degrade through the same `Ok < Degraded < Failed`
+//! lattice the per-method outcomes use — the server never falls over, it
+//! answers less precisely:
+//!
+//! 1. **Full** — normal operation: every solve runs the configured
+//!    inference.
+//! 2. **Screen** — the queue is deep: solving requests run with the
+//!    bit-vector screening pre-pass forced on, which skips BP entirely for
+//!    provably-clean isolated methods. The session remembers that it owes a
+//!    full catch-up solve; the next `query_spec`/`query_outcomes` performs
+//!    it, so *final* per-session state is byte-identical to an unshedded
+//!    serial run (the content-addressed store makes the catch-up warm).
+//! 3. **Reject** — the queue is full: new solving requests are refused at
+//!    admission with a structured `overloaded` error carrying
+//!    `retry_after_ms`. Nothing is dropped silently.
+//!
+//! Queries, stats and control requests are never shed — an overloaded
+//! server must stay observable.
+
+/// What the scheduler does with a solving request at the current depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedTier {
+    /// Normal operation: run the full configured inference.
+    Full,
+    /// Degraded: force the screening pre-pass on for this solve.
+    Screen,
+    /// Refuse at admission with `retry_after_ms`.
+    Reject,
+}
+
+/// Depth thresholds of the three tiers (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Queued solving requests at or above which solves run screening-only.
+    pub screen_depth: usize,
+    /// Queued solving requests at or above which new solving requests are
+    /// rejected at admission (the global admission cap).
+    pub reject_depth: usize,
+    /// The back-off hint attached to `overloaded` rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> ShedPolicy {
+        ShedPolicy { screen_depth: 32, reject_depth: 256, retry_after_ms: 50 }
+    }
+}
+
+impl ShedPolicy {
+    /// The tier for a solving request when `depth` requests are queued.
+    pub fn tier(&self, depth: usize) -> ShedTier {
+        if depth >= self.reject_depth {
+            ShedTier::Reject
+        } else if depth >= self.screen_depth {
+            ShedTier::Screen
+        } else {
+            ShedTier::Full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_partition_the_depth_axis() {
+        let p = ShedPolicy { screen_depth: 4, reject_depth: 8, retry_after_ms: 10 };
+        assert_eq!(p.tier(0), ShedTier::Full);
+        assert_eq!(p.tier(3), ShedTier::Full);
+        assert_eq!(p.tier(4), ShedTier::Screen);
+        assert_eq!(p.tier(7), ShedTier::Screen);
+        assert_eq!(p.tier(8), ShedTier::Reject);
+        assert_eq!(p.tier(1000), ShedTier::Reject);
+    }
+
+    #[test]
+    fn degenerate_zero_cap_rejects_everything() {
+        let p = ShedPolicy { screen_depth: 0, reject_depth: 0, retry_after_ms: 1 };
+        assert_eq!(p.tier(0), ShedTier::Reject);
+    }
+}

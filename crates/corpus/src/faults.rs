@@ -18,6 +18,7 @@
 //! panic App.copy          # solve of App.copy panics (pattern: exact, Class.*, *)
 //! nan Row.*               # NaN unary factor in every Row method's model
 //! oversize App.big 4096   # pad App.big's factor graph with 4096 variables
+//! slow App.copy 250       # App.copy's solve sleeps 250 ms before running
 //! garble 0 12             # source #0: overwrite 12 random bytes
 //! truncate 1 50           # source #1: keep the first 50% of bytes
 //! bp-max-iters 2          # starve every solve's iteration cap
@@ -42,6 +43,10 @@ pub struct FaultPlan {
     pub nan_methods: Vec<String>,
     /// Method patterns padded with extra factor-graph variables.
     pub oversize_methods: Vec<(String, usize)>,
+    /// `(pattern, milliseconds)` pairs: the solve sleeps before running.
+    /// Replayable slowness for deadline/cancellation testing — never
+    /// changes any result, only timing.
+    pub slow_methods: Vec<(String, u64)>,
     /// `(source index, bytes to overwrite)` pairs.
     pub garble_sources: Vec<(usize, usize)>,
     /// `(source index, percent of bytes kept)` pairs.
@@ -94,6 +99,12 @@ impl FaultPlan {
                         .oversize_methods
                         .push((pat.to_string(), n.parse().map_err(|_| err("bad var count"))?)),
                     _ => return Err(err("expected `oversize <pattern> <vars>`")),
+                },
+                "slow" => match args[..] {
+                    [pat, ms] => plan
+                        .slow_methods
+                        .push((pat.to_string(), ms.parse().map_err(|_| err("bad delay"))?)),
+                    _ => return Err(err("expected `slow <pattern> <ms>`")),
                 },
                 "garble" => plan.garble_sources.push(two_nums(&args)?),
                 "truncate" => {
@@ -148,6 +159,7 @@ impl FaultPlan {
             panic_methods: self.panic_methods.clone(),
             nan_methods: self.nan_methods.clone(),
             oversize_methods: self.oversize_methods.clone(),
+            slow_methods: self.slow_methods.clone(),
         };
         if let Some(n) = self.bp_max_iterations {
             cfg.bp.max_iterations = n;
@@ -174,6 +186,9 @@ impl fmt::Display for FaultPlan {
         }
         for (p, n) in &self.oversize_methods {
             writeln!(f, "oversize {p} {n}")?;
+        }
+        for (p, ms) in &self.slow_methods {
+            writeln!(f, "slow {p} {ms}")?;
         }
         for (i, n) in &self.garble_sources {
             writeln!(f, "garble {i} {n}")?;
@@ -224,6 +239,7 @@ seed 7
 panic App.copy
 nan Row.*
 oversize App.big 4096
+slow App.copy 250
 garble 0 12
 truncate 1 50
 bp-max-iters 2
@@ -237,13 +253,14 @@ max-model-vars 100
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.panic_methods, vec!["App.copy"]);
         assert_eq!(plan.oversize_methods, vec![("App.big".to_string(), 4096)]);
+        assert_eq!(plan.slow_methods, vec![("App.copy".to_string(), 250)]);
         let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
         assert_eq!(plan, reparsed);
     }
 
     #[test]
     fn parse_rejects_bad_lines() {
-        for bad in ["bogus x", "oversize App.big", "truncate 0 150", "seed x"] {
+        for bad in ["bogus x", "oversize App.big", "truncate 0 150", "seed x", "slow App.copy"] {
             assert!(FaultPlan::parse(bad).is_err(), "should reject `{bad}`");
         }
     }
@@ -284,6 +301,7 @@ max-model-vars 100
         assert_eq!(cfg.bp.update_budget, Some(500));
         assert_eq!(cfg.max_model_vars, 100);
         assert_eq!(cfg.faults.panic_methods, vec!["App.copy"]);
+        assert_eq!(cfg.faults.slow_methods, vec![("App.copy".to_string(), 250)]);
         assert!(!cfg.faults.is_empty());
     }
 

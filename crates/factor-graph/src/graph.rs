@@ -106,6 +106,12 @@ pub struct BpOptions {
     /// Stored message representation (see [`BpPrecision`]). `F64` (the
     /// default) keeps results bit-identical to previous releases.
     pub precision: BpPrecision,
+    /// Optional wall-clock deadline. The kernel polls it at sweep/batch
+    /// granularity and stops early with [`Marginals::deadline_expired`]
+    /// set. Inherently non-deterministic — callers that promise
+    /// byte-identical replays must never cache a deadline-truncated
+    /// result (the inference layer keeps such solves out of the store).
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for BpOptions {
@@ -117,6 +123,7 @@ impl Default for BpOptions {
             schedule: BpSchedule::Sweep,
             update_budget: None,
             precision: BpPrecision::F64,
+            deadline: None,
         }
     }
 }
@@ -159,6 +166,9 @@ pub struct Marginals {
     pub updates: usize,
     /// Numeric anomalies clamped during the solve (see [`GuardEvents`]).
     pub guards: GuardEvents,
+    /// True when [`BpOptions::deadline`] expired before convergence; the
+    /// marginals are whatever the schedule had produced so far.
+    pub deadline_expired: bool,
 }
 
 impl Marginals {
@@ -339,6 +349,7 @@ impl FactorGraph {
             converged: true,
             updates: 0,
             guards: GuardEvents::default(),
+            deadline_expired: false,
         }
     }
 }

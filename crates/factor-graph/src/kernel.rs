@@ -402,6 +402,13 @@ fn damp(old: f64, new: f64, d: f64) -> f64 {
     d * old + (1.0 - d) * new
 }
 
+/// Whether the solve's wall-clock deadline (if any) has passed. Polled at
+/// sweep/batch granularity only — never per message update.
+#[inline]
+fn deadline_passed(opts: &BpOptions) -> bool {
+    opts.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+}
+
 /// Normalizes a two-point mass to `p(true)`, clamping degenerate masses to
 /// the uniform message and counting the clamp in `ev`.
 ///
@@ -651,6 +658,7 @@ impl CompiledGraph {
         let mut iterations = 0;
         let mut converged = false;
         let mut updates = 0usize;
+        let mut deadline_expired = false;
 
         for it in 0..opts.max_iterations {
             iterations = it + 1;
@@ -703,10 +711,16 @@ impl CompiledGraph {
             if updates >= budget {
                 break;
             }
+            // Wall-clock deadline, polled once per sweep: cheap relative to
+            // the `ne + nx` message updates a sweep costs.
+            if deadline_passed(opts) {
+                deadline_expired = true;
+                break;
+            }
         }
 
         S::restore(scratch, fv, vf, xm);
-        Marginals { probs: beliefs, iterations, converged, updates, guards: ev }
+        Marginals { probs: beliefs, iterations, converged, updates, guards: ev, deadline_expired }
     }
 
     /// The variable→factor message for edge `e`, computed on demand from
@@ -918,6 +932,7 @@ impl CompiledGraph {
             .saturating_mul(ne.max(1))
             .min(opts.update_budget.unwrap_or(usize::MAX));
         let mut updates = 0usize;
+        let mut deadline_expired = false;
 
         // Warm start: a few synchronous (Jacobi) sweeps before any
         // prioritization, so all evidence propagates one hop before the
@@ -927,6 +942,10 @@ impl CompiledGraph {
         // seed the residuals with informative values.
         for _ in 0..WARM_SWEEPS.min(opts.max_iterations) {
             if updates >= budget {
+                break;
+            }
+            if deadline_passed(opts) {
+                deadline_expired = true;
                 break;
             }
             for e in 0..ne {
@@ -985,6 +1004,13 @@ impl CompiledGraph {
         // batch (stale entries — epoch mismatch or dequeued edge — are
         // skipped on pop).
         'solve: while let Some(b) = buckets.iter().position(|q| !q.is_empty()) {
+            // Deadline polled once per batch: a batch is at most `ne`
+            // updates, the same granularity as a sweep-schedule iteration.
+            if deadline_expired || deadline_passed(opts) {
+                deadline_expired = true;
+                converged = false;
+                break;
+            }
             batch.clear();
             while let Some((e, ep)) = buckets[b].pop_front() {
                 let eu = e as usize;
@@ -1089,7 +1115,7 @@ impl CompiledGraph {
         }
         let iterations = updates.div_ceil(ne.max(1)).max(1);
         S::restore(scratch, fv, vf, xm);
-        Marginals { probs: beliefs, iterations, converged, updates, guards: ev }
+        Marginals { probs: beliefs, iterations, converged, updates, guards: ev, deadline_expired }
     }
 }
 

@@ -86,7 +86,7 @@ fn corrupted_source_is_skipped_and_the_rest_still_checked() {
 fn fault_plan_configures_the_pipeline() {
     let plan = FaultPlan::parse(
         "seed 1\npanic Spreadsheet.copy\nnan Row.*\noversize Island.roam 4096\n\
-         bp-max-iters 12\nmax-model-vars 2048\n",
+         slow Spreadsheet.copy 50\nbp-max-iters 12\nmax-model-vars 2048\n",
     )
     .expect("plan parses");
     let mut config = InferConfig::default();
@@ -97,6 +97,7 @@ fn fault_plan_configures_the_pipeline() {
             panic_methods: vec!["Spreadsheet.copy".into()],
             nan_methods: vec!["Row.*".into()],
             oversize_methods: vec![("Island.roam".into(), 4096)],
+            slow_methods: vec![("Spreadsheet.copy".into(), 50)],
         }
     );
     assert_eq!(config.bp.max_iterations, 12);

@@ -1,0 +1,220 @@
+//! Multi-tenant serve invariants: session isolation under faults, eviction
+//! byte-identity through the shared store, deadline handling via the `slow`
+//! fault, and graceful refusal under a zero admission cap.
+
+use anek::anek_core::InferConfig;
+use anek::store::Store;
+use anek::{SendStatus, Server, ServerOptions, ShedPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const TWO_METHODS: &str = "class App { void copy(Iterator<Integer> it) { it.next(); } \
+                           void other(Iterator<Integer> it) { it.hasNext(); } }";
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anek-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn load_line(id: usize, session: &str) -> String {
+    let text = TWO_METHODS.replace('"', "\\\"");
+    format!(
+        r#"{{"id":{id},"method":"load_sources","params":{{"session":"{session}","sources":[{{"name":"App.java","text":"{text}"}}]}}}}"#
+    )
+}
+
+/// Runs a scripted trace through one server client and returns the
+/// responses in request order.
+fn run_trace(server: &Server, lines: &[String]) -> Vec<String> {
+    let mut client = server.connect();
+    for line in lines {
+        client.send(line);
+    }
+    client.close();
+    let mut got = Vec::new();
+    while let Some((line, _)) = client.recv() {
+        got.push(line);
+    }
+    got
+}
+
+/// A fault injected into session A (a panic plus a `slow` delay) must not
+/// change a single byte of session B's transcript.
+#[test]
+fn faults_in_one_session_leave_others_byte_identical() {
+    let b_trace = [
+        load_line(1, "b"),
+        r#"{"id":2,"method":"query_spec","params":{"session":"b","method":"App.copy"}}"#.into(),
+        r#"{"id":3,"method":"query_outcomes","params":{"session":"b"}}"#.into(),
+    ];
+    // Reference: session b alone on a quiet server.
+    let quiet = Server::start(InferConfig::default(), None, ServerOptions::default());
+    let expected = run_trace(&quiet, &b_trace);
+
+    // Same trace while session a is panicking and slowed.
+    let noisy = Server::start(InferConfig::default(), None, ServerOptions::default());
+    let a_fault = [
+        load_line(1, "a"),
+        r#"{"id":2,"method":"inject_faults","params":{"session":"a","plan":"panic App.copy\nslow App.other 50"}}"#
+            .into(),
+        r#"{"id":3,"method":"query_outcomes","params":{"session":"a"}}"#.into(),
+    ];
+    let a_responses = run_trace(&noisy, &a_fault);
+    assert!(
+        a_responses[2].contains("\"status\":\"failed\""),
+        "the fault must land in a: {}",
+        a_responses[2]
+    );
+    let b_responses = run_trace(&noisy, &b_trace);
+    assert_eq!(b_responses, expected, "session b must not observe a's faults");
+}
+
+/// Evicting a session's heavyweight state under a tiny memory budget must
+/// be invisible to queries: the re-solve replays the shared store and
+/// reproduces byte-identical specs.
+#[test]
+fn eviction_is_byte_identical_through_the_shared_store() {
+    let dir = temp_store("evict");
+    let store = Arc::new(Store::open(&dir).expect("open store"));
+    let spec_query = |id: usize, session: &str| {
+        format!(
+            r#"{{"id":{id},"method":"query_spec","params":{{"session":"{session}","method":"App.copy"}}}}"#
+        )
+    };
+    // Reference response with no budget pressure.
+    let roomy =
+        Server::start(InferConfig::default(), Some(Arc::clone(&store)), ServerOptions::default());
+    let expected = run_trace(&roomy, &[load_line(1, "a"), spec_query(2, "a")]);
+
+    // One-byte budget: loading b evicts a; a's next query re-solves warm.
+    let tight = Server::start(
+        InferConfig::default(),
+        Some(Arc::clone(&store)),
+        ServerOptions { memory_budget_bytes: 1, ..ServerOptions::default() },
+    );
+    let got = run_trace(&tight, &[load_line(1, "a"), load_line(10, "b"), spec_query(2, "a")]);
+    assert!(tight.registry().evictions.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    // Load responses carry memo counters that legitimately differ between
+    // the cold and warm run; the spec answer is the byte-stable claim.
+    assert_eq!(got[2], expected[1], "post-eviction spec is byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `slow` fault pushes the solve past `deadline_ms`: the request still
+/// answers, flags the deadline, and the outcome table reports
+/// `deadline-expired` — while a later full run clears it.
+#[test]
+fn slow_fault_with_deadline_degrades_then_recovers() {
+    let server = Server::start(InferConfig::default(), None, ServerOptions::default());
+    // Arm the delay first and let that re-solve finish, so the deadline in
+    // the next trace is spent inside the solve, not waiting in the queue.
+    let arm = [
+        load_line(1, "d"),
+        r#"{"id":2,"method":"inject_faults","params":{"session":"d","plan":"slow App.* 120"}}"#
+            .into(),
+    ];
+    run_trace(&server, &arm);
+
+    let trace = [
+        format!(
+            r#"{{"id":3,"method":"update_source","params":{{"session":"d","name":"App.java","text":"{}","deadline_ms":60}}}}"#,
+            TWO_METHODS.replace('"', "\\\"")
+        ),
+        r#"{"id":4,"method":"query_outcomes","params":{"session":"d"}}"#.into(),
+    ];
+    let got = run_trace(&server, &trace);
+    assert!(got[0].contains("\"deadline\":true"), "mutator flags the deadline: {}", got[0]);
+    assert!(
+        got[1].contains("deadline-expired"),
+        "outcomes keep the deadline degradation observable: {}",
+        got[1]
+    );
+    assert!(!got[1].contains("\"status\":\"failed\""), "a deadline is degradation, not failure");
+
+    // Recovery in a second trace (a single trace would coalesce the two
+    // update_source requests): the same edit with no deadline completes.
+    let recovery = [
+        format!(
+            r#"{{"id":5,"method":"update_source","params":{{"session":"d","name":"App.java","text":"{}"}}}}"#,
+            TWO_METHODS.replace('"', "\\\"")
+        ),
+        r#"{"id":6,"method":"query_outcomes","params":{"session":"d"}}"#.into(),
+    ];
+    let got = run_trace(&server, &recovery);
+    assert!(!got[0].contains("\"deadline\":true"), "undeadlined run completes: {}", got[0]);
+    assert!(!got[1].contains("deadline-expired"), "full run clears the degradation: {}", got[1]);
+}
+
+/// A request whose deadline passed while it waited in the queue is
+/// cancelled with a structured `deadline` error, never silently dropped.
+#[test]
+fn queued_request_past_its_deadline_is_cancelled() {
+    let server = Server::start(InferConfig::default(), None, ServerOptions::default());
+    let mut client = server.connect();
+    server.scheduler().hold(true);
+    client.send(&load_line(1, "x"));
+    let line = r#"{"id":2,"method":"update_source","params":{"session":"x","name":"App.java","text":"class App {}","deadline_ms":0}}"#;
+    assert_eq!(client.send(line), SendStatus::Queued);
+    server.scheduler().hold(false);
+    client.close();
+    let responses: Vec<String> = std::iter::from_fn(|| client.recv().map(|(l, _)| l)).collect();
+    assert!(responses[1].contains("\"code\":\"deadline\""), "{}", responses[1]);
+    let cancelled =
+        server.scheduler().counters.deadline_cancelled.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(cancelled, 1);
+}
+
+/// `--admission-cap 0` (reject_depth 0) refuses every solving request with
+/// `retry_after_ms` but keeps control and query requests answering.
+#[test]
+fn zero_admission_cap_rejects_solves_but_stays_observable() {
+    let server = Server::start(
+        InferConfig::default(),
+        None,
+        ServerOptions {
+            policy: ShedPolicy { screen_depth: 0, reject_depth: 0, retry_after_ms: 25 },
+            ..ServerOptions::default()
+        },
+    );
+    let mut client = server.connect();
+    assert!(matches!(client.send(&load_line(1, "z")), SendStatus::Rejected { retry_after_ms: 25 }));
+    client.send(r#"{"id":2,"method":"server_stats"}"#);
+    client.send(r#"{"id":3,"method":"shutdown"}"#);
+    client.close();
+    let responses: Vec<String> = std::iter::from_fn(|| client.recv().map(|(l, _)| l)).collect();
+    assert!(responses[0].contains("\"code\":\"overloaded\""), "{}", responses[0]);
+    assert!(responses[0].contains("\"retry_after_ms\":25"), "{}", responses[0]);
+    assert!(responses[1].contains("\"rejected\":1"), "{}", responses[1]);
+    assert!(responses[2].contains("\"ok\":true"), "{}", responses[2]);
+    server.join();
+}
+
+/// Stacked edits to one source coalesce: the superseded requests answer
+/// `{"superseded":true}` and only the newest edit's state is observable.
+#[test]
+fn stacked_edits_coalesce_and_final_state_wins() {
+    let server = Server::start(InferConfig::default(), None, ServerOptions::default());
+    let mut client = server.connect();
+    client.send(&load_line(1, "c"));
+    server.scheduler().hold(true);
+    let edit = |id: usize, body: &str| {
+        format!(
+            r#"{{"id":{id},"method":"update_source","params":{{"session":"c","name":"App.java","text":"class App {{ void copy(Iterator<Integer> it) {{ {body} }} }}"}}}}"#
+        )
+    };
+    client.send(&edit(2, "it.hasNext();"));
+    client.send(&edit(3, "it.next();"));
+    client.send(r#"{"id":4,"method":"query_spec","params":{"session":"c","method":"App.copy"}}"#);
+    server.scheduler().hold(false);
+    client.close();
+    let responses: Vec<String> = std::iter::from_fn(|| client.recv().map(|(l, _)| l)).collect();
+    assert!(responses[1].contains("\"superseded\":true"), "{}", responses[1]);
+    let coalesced =
+        server.scheduler().counters.coalesced.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(coalesced, 1);
+    // The surviving edit calls next(): the spec must require a write-capable
+    // permission, proving the newest edit (not the superseded one) ran.
+    assert!(responses[3].contains("\"requires\""), "{}", responses[3]);
+    assert!(!responses[3].contains("error"), "{}", responses[3]);
+}
